@@ -1,0 +1,119 @@
+// E1 — Queue-less publish-subscribe connections.
+//
+// Paper claim: connecting operators directly through the publish-subscribe
+// architecture needs no inter-operator queues and yields a "substantial
+// overhead reduction".
+//
+// Harness: an operator chain of depth d (map -> map -> ...) over 100k
+// elements, connected (a) directly and (b) with a Buffer on every edge
+// (drained by the scheduler, as queue-based engines do). Series: items/sec
+// vs chain depth for both variants.
+
+#include <benchmark/benchmark.h>
+
+#include "src/algebra/map.h"
+#include "src/core/buffer.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+#include "src/scheduler/scheduler.h"
+
+namespace {
+
+using namespace pipes;  // NOLINT
+
+constexpr int kElements = 100'000;
+
+std::vector<StreamElement<int>> MakeInput() {
+  std::vector<StreamElement<int>> input;
+  input.reserve(kElements);
+  for (int i = 0; i < kElements; ++i) {
+    input.push_back(StreamElement<int>::Point(i, i));
+  }
+  return input;
+}
+
+struct AddOne {
+  int operator()(int v) const { return v + 1; }
+};
+
+void BM_DirectChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const auto input = MakeInput();
+  for (auto _ : state) {
+    QueryGraph graph;
+    auto& source = graph.Add<VectorSource<int>>(input);
+    Source<int>* upstream = &source;
+    for (int d = 0; d < depth; ++d) {
+      auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
+      upstream->SubscribeTo(map.input());
+      upstream = &map;
+    }
+    auto& sink = graph.Add<CountingSink<int>>();
+    upstream->SubscribeTo(sink.input());
+
+    scheduler::RoundRobinStrategy strategy;
+    scheduler::SingleThreadScheduler driver(graph, strategy, 256);
+    driver.RunToCompletion();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(state.iterations() * kElements);
+}
+
+void BM_QueuedChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const auto input = MakeInput();
+  for (auto _ : state) {
+    QueryGraph graph;
+    auto& source = graph.Add<VectorSource<int>>(input);
+    Source<int>* upstream = &source;
+    for (int d = 0; d < depth; ++d) {
+      auto& buffer = graph.Add<Buffer<int>>();
+      upstream->SubscribeTo(buffer.input());
+      auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
+      buffer.SubscribeTo(map.input());
+      upstream = &map;
+    }
+    auto& sink = graph.Add<CountingSink<int>>();
+    upstream->SubscribeTo(sink.input());
+
+    scheduler::RoundRobinStrategy strategy;
+    scheduler::SingleThreadScheduler driver(graph, strategy, 256);
+    driver.RunToCompletion();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(state.iterations() * kElements);
+}
+
+// Thread-safe queues on every edge (what a thread-per-operator engine pays
+// even on one thread).
+void BM_ConcurrentQueuedChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const auto input = MakeInput();
+  for (auto _ : state) {
+    QueryGraph graph;
+    auto& source = graph.Add<VectorSource<int>>(input);
+    Source<int>* upstream = &source;
+    for (int d = 0; d < depth; ++d) {
+      auto& buffer = graph.Add<ConcurrentBuffer<int>>();
+      upstream->SubscribeTo(buffer.input());
+      auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
+      buffer.SubscribeTo(map.input());
+      upstream = &map;
+    }
+    auto& sink = graph.Add<CountingSink<int>>();
+    upstream->SubscribeTo(sink.input());
+
+    scheduler::RoundRobinStrategy strategy;
+    scheduler::SingleThreadScheduler driver(graph, strategy, 256);
+    driver.RunToCompletion();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(state.iterations() * kElements);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DirectChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_QueuedChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ConcurrentQueuedChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);

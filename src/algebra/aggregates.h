@@ -1,0 +1,126 @@
+#ifndef PIPES_ALGEBRA_AGGREGATES_H_
+#define PIPES_ALGEBRA_AGGREGATES_H_
+
+#include <cstdint>
+
+/// \file
+/// Online (incremental) aggregation functions. Each aggregate is a stateless
+/// policy type over a copyable `State`; it is deliberately independent of
+/// the kind of processing that drives it — the data-driven temporal
+/// aggregation operators and the demand-driven cursor group-by both consume
+/// the same policies (the paper's "broad package of online aggregation
+/// functions designed independently from the underlying kind of
+/// processing").
+///
+/// Policy interface:
+///   using Value  = ...;  // input value type
+///   using State  = ...;  // copyable accumulator
+///   using Output = ...;  // result type
+///   static State Init();
+///   static void Add(State&, const Value&);
+///   static Output Result(const State&);
+
+namespace pipes::algebra {
+
+template <typename V>
+struct CountAgg {
+  using Value = V;
+  using State = std::uint64_t;
+  using Output = std::uint64_t;
+  static State Init() { return 0; }
+  static void Add(State& s, const Value&) { ++s; }
+  static Output Result(const State& s) { return s; }
+};
+
+template <typename V>
+struct SumAgg {
+  using Value = V;
+  using State = V;
+  using Output = V;
+  static State Init() { return V{}; }
+  static void Add(State& s, const Value& v) { s += v; }
+  static Output Result(const State& s) { return s; }
+};
+
+template <typename V>
+struct AvgAgg {
+  using Value = V;
+  struct State {
+    V sum{};
+    std::uint64_t count = 0;
+  };
+  using Output = double;
+  static State Init() { return State{}; }
+  static void Add(State& s, const Value& v) {
+    s.sum += v;
+    ++s.count;
+  }
+  static Output Result(const State& s) {
+    return s.count == 0 ? 0.0
+                        : static_cast<double>(s.sum) /
+                              static_cast<double>(s.count);
+  }
+};
+
+template <typename V>
+struct MinAgg {
+  using Value = V;
+  struct State {
+    V value{};
+    bool set = false;
+  };
+  using Output = V;
+  static State Init() { return State{}; }
+  static void Add(State& s, const Value& v) {
+    if (!s.set || v < s.value) {
+      s.value = v;
+      s.set = true;
+    }
+  }
+  static Output Result(const State& s) { return s.value; }
+};
+
+template <typename V>
+struct MaxAgg {
+  using Value = V;
+  struct State {
+    V value{};
+    bool set = false;
+  };
+  using Output = V;
+  static State Init() { return State{}; }
+  static void Add(State& s, const Value& v) {
+    if (!s.set || s.value < v) {
+      s.value = v;
+      s.set = true;
+    }
+  }
+  static Output Result(const State& s) { return s.value; }
+};
+
+/// Population variance via Welford's online update.
+template <typename V>
+struct VarianceAgg {
+  using Value = V;
+  struct State {
+    double mean = 0;
+    double m2 = 0;
+    std::uint64_t count = 0;
+  };
+  using Output = double;
+  static State Init() { return State{}; }
+  static void Add(State& s, const Value& v) {
+    ++s.count;
+    const double x = static_cast<double>(v);
+    const double delta = x - s.mean;
+    s.mean += delta / static_cast<double>(s.count);
+    s.m2 += delta * (x - s.mean);
+  }
+  static Output Result(const State& s) {
+    return s.count < 2 ? 0.0 : s.m2 / static_cast<double>(s.count);
+  }
+};
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_AGGREGATES_H_

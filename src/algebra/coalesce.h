@@ -1,0 +1,76 @@
+#ifndef PIPES_ALGEBRA_COALESCE_H_
+#define PIPES_ALGEBRA_COALESCE_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/core/pipe.h"
+
+/// \file
+/// Coalescing: merges consecutive elements with equal payloads and abutting
+/// or overlapping validity into a single element. Snapshot-equivalent to
+/// the identity, but it *reduces the physical stream rate* — the mechanism
+/// the paper advertises for keeping rates low downstream of aggregates
+/// (whose piecewise output often repeats the same value across adjacent
+/// segments).
+
+namespace pipes::algebra {
+
+/// Rate-reducing identity. `T` must be equality-comparable. Input elements
+/// with equal payloads must be adjacent to merge (true for aggregate
+/// outputs); interleaved equal payloads merge only opportunistically.
+template <typename T>
+class Coalesce : public UnaryPipe<T, T> {
+ public:
+  explicit Coalesce(std::string name = "coalesce")
+      : UnaryPipe<T, T>(std::move(name)) {}
+
+  std::uint64_t merged_count() const { return merged_; }
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
+    if (held_.has_value()) {
+      if (held_->payload == e.payload && e.start() <= held_->end() &&
+          e.end() >= held_->start()) {
+        held_->interval.end = std::max(held_->end(), e.end());
+        ++merged_;
+        return;
+      }
+      this->Transfer(*held_);
+    }
+    held_ = e;
+  }
+
+  void PortProgress(int /*port_id*/, Timestamp watermark) override {
+    // The held element can still be extended by an element starting at or
+    // before its end; it is safe to release once the watermark passes that.
+    if (held_.has_value()) {
+      if (watermark > held_->end()) {
+        this->Transfer(*held_);
+        held_.reset();
+        this->TransferHeartbeat(watermark);
+      } else {
+        this->TransferHeartbeat(std::min(watermark, held_->start()));
+      }
+    } else {
+      this->TransferHeartbeat(watermark);
+    }
+  }
+
+  void PortDone(int /*port_id*/) override {
+    if (held_.has_value()) {
+      this->Transfer(*held_);
+      held_.reset();
+    }
+    this->TransferDone();
+  }
+
+ private:
+  std::optional<StreamElement<T>> held_;
+  std::uint64_t merged_ = 0;
+};
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_COALESCE_H_

@@ -1,0 +1,45 @@
+#ifndef PIPES_ALGEBRA_FILTER_H_
+#define PIPES_ALGEBRA_FILTER_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/pipe.h"
+
+/// \file
+/// Selection. Stateless, non-blocking: an element passes iff the predicate
+/// holds on its payload; the validity interval is untouched, so snapshot
+/// equivalence with relational selection is immediate.
+
+namespace pipes::algebra {
+
+/// Generic selection operator, parameterized by a predicate on payloads
+/// (the paper's algebra is "parameterized by functions and predicates" and
+/// handles arbitrary objects, not just relational tuples).
+template <typename T, typename Pred>
+class Filter : public UnaryPipe<T, T> {
+ public:
+  explicit Filter(Pred pred, std::string name = "filter")
+      : UnaryPipe<T, T>(std::move(name)), pred_(std::move(pred)) {}
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
+    if (pred_(e.payload)) {
+      this->Transfer(e);
+    }
+  }
+
+ private:
+  Pred pred_;
+};
+
+/// Deduction helper: `auto& f = graph.Add<Filter<T, decltype(pred)>>(...)`
+/// is unwieldy; `MakeFilter<T>(pred)` is used by the plan builders instead.
+template <typename T, typename Pred>
+Filter<T, Pred> MakeFilter(Pred pred, std::string name = "filter") {
+  return Filter<T, Pred>(std::move(pred), std::move(name));
+}
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_FILTER_H_

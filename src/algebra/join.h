@@ -1,0 +1,221 @@
+#ifndef PIPES_ALGEBRA_JOIN_H_
+#define PIPES_ALGEBRA_JOIN_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/ordered_buffer.h"
+#include "src/core/pipe.h"
+#include "src/memory/memory_user.h"
+#include "src/sweeparea/hash_sweep_area.h"
+#include "src/sweeparea/list_sweep_area.h"
+#include "src/sweeparea/sweep_area.h"
+#include "src/sweeparea/tree_sweep_area.h"
+
+/// \file
+/// The temporal binary join: a generalized symmetric ripple join over two
+/// SweepAreas. Each arriving element probes the opposite SweepArea (every
+/// match yields a result valid on the intersection of the two intervals),
+/// is inserted into its own area, and areas are reorganized (purged) using
+/// the opposite input's watermark. Results are released in start order via
+/// an ordered staging buffer.
+///
+/// Snapshot semantics: payloads p_l, p_r joined at time t iff both are in
+/// their stream's snapshot at t and the predicate holds — hence the output
+/// element combine(p_l, p_r) with interval l ∩ r.
+///
+/// The join is a `memory::MemoryUser`: under a memory limit it sheds state
+/// from the larger SweepArea (approximate answers), counting what it drops.
+
+namespace pipes::algebra {
+
+/// What to do when the memory limit is exceeded.
+enum class ShedPolicy {
+  /// Evict elements from the larger SweepArea until within the limit.
+  kEvictFromLargerArea,
+  /// Ignore the limit (measurement-only mode).
+  kNone,
+};
+
+/// Symmetric temporal join. `Combine(l_payload, r_payload)` produces the
+/// output payload; `LeftSA` stores L probed by R, `RightSA` stores R probed
+/// by L.
+template <typename L, typename R, typename Out, typename LeftSA,
+          typename RightSA, typename Combine>
+class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
+ public:
+  TemporalJoin(LeftSA left_sa, RightSA right_sa, Combine combine,
+               std::string name = "join")
+      : BinaryPipe<L, R, Out>(std::move(name)),
+        left_sa_(std::move(left_sa)),
+        right_sa_(std::move(right_sa)),
+        combine_(std::move(combine)) {}
+
+  // --- memory::MemoryUser ---------------------------------------------------
+
+  std::size_t MemoryUsage() const override {
+    return left_sa_.ApproxBytes() + right_sa_.ApproxBytes();
+  }
+
+  void SetMemoryLimit(std::size_t bytes) override {
+    memory_limit_ = bytes;
+    Shed();
+  }
+
+  std::size_t memory_limit() const { return memory_limit_; }
+
+  void set_shed_policy(ShedPolicy policy) { shed_policy_ = policy; }
+
+  /// Elements dropped by load shedding so far (accuracy loss indicator).
+  std::uint64_t shed_count() const { return shed_count_; }
+
+  std::size_t left_state_size() const { return left_sa_.size(); }
+  std::size_t right_state_size() const { return right_sa_.size(); }
+
+  /// Metadata-monitor hook: join state = both SweepAreas.
+  std::size_t ApproxMemoryBytes() const override { return MemoryUsage(); }
+
+ protected:
+  void OnElementLeft(const StreamElement<L>& e) override {
+    right_sa_.Query(e, [&](const StreamElement<R>& r) {
+      staged_.Push(StreamElement<Out>(combine_(e.payload, r.payload),
+                                      e.interval.Intersect(r.interval)));
+    });
+    left_sa_.Insert(e);
+    Shed();
+    Flush();
+  }
+
+  void OnElementRight(const StreamElement<R>& e) override {
+    left_sa_.Query(e, [&](const StreamElement<L>& l) {
+      staged_.Push(StreamElement<Out>(combine_(l.payload, e.payload),
+                                      l.interval.Intersect(e.interval)));
+    });
+    right_sa_.Insert(e);
+    Shed();
+    Flush();
+  }
+
+  void OnProgressSide(int /*side*/, Timestamp /*watermark*/) override {
+    // Reorganization: a stored left element can never again match once its
+    // validity ended before every future right element's start (and vice
+    // versa).
+    left_sa_.PurgeBefore(this->right().watermark());
+    right_sa_.PurgeBefore(this->left().watermark());
+    Flush();
+  }
+
+  void OnDoneSide(int /*side*/) override {
+    if (this->BothDone()) {
+      staged_.FlushAll(
+          [this](const StreamElement<Out>& e) { this->Transfer(e); });
+      this->TransferDone();
+    } else {
+      OnProgressSide(0, this->CombinedWatermark());
+    }
+  }
+
+ private:
+  void Flush() {
+    const Timestamp combined = this->CombinedWatermark();
+    staged_.FlushUpTo(
+        combined, [this](const StreamElement<Out>& e) { this->Transfer(e); });
+    if (combined < kMaxTimestamp) {
+      this->TransferHeartbeat(combined);
+    }
+  }
+
+  void Shed() {
+    if (shed_policy_ == ShedPolicy::kNone) return;
+    while (MemoryUsage() > memory_limit_) {
+      const bool left_bigger = left_sa_.ApproxBytes() >= right_sa_.ApproxBytes();
+      const bool evicted =
+          left_bigger ? left_sa_.EvictOne() : right_sa_.EvictOne();
+      if (!evicted) {
+        // Both areas empty yet still over the limit: nothing sheddable.
+        break;
+      }
+      ++shed_count_;
+    }
+  }
+
+  LeftSA left_sa_;
+  RightSA right_sa_;
+  Combine combine_;
+  OrderedOutputBuffer<Out> staged_;
+  std::size_t memory_limit_ = std::numeric_limits<std::size_t>::max();
+  ShedPolicy shed_policy_ = ShedPolicy::kEvictFromLargerArea;
+  std::uint64_t shed_count_ = 0;
+};
+
+// --- Convenience factories --------------------------------------------------
+// The SweepArea types are inferred from the parameter functions; use
+// `QueryGraph::AddNode(MakeHashJoin(...))` to put the result in a graph.
+
+/// Equi-join on `key_l(l) == key_r(r)` with hash SweepAreas on both sides.
+template <typename L, typename R, typename KeyL, typename KeyR,
+          typename Combine>
+auto MakeHashJoin(KeyL key_l, KeyR key_r, Combine combine,
+                  std::string name = "hash-join") {
+  using Out = std::decay_t<std::invoke_result_t<Combine, const L&, const R&>>;
+  using LeftSA = sweeparea::HashSweepArea<L, R, KeyL, KeyR>;
+  using RightSA = sweeparea::HashSweepArea<R, L, KeyR, KeyL>;
+  return std::make_unique<
+      TemporalJoin<L, R, Out, LeftSA, RightSA, Combine>>(
+      LeftSA(key_l, key_r), RightSA(key_r, key_l), std::move(combine),
+      std::move(name));
+}
+
+/// Theta join on an arbitrary predicate with list SweepAreas.
+template <typename L, typename R, typename Pred, typename Combine>
+auto MakeNestedLoopsJoin(Pred pred, Combine combine,
+                         std::string name = "nl-join") {
+  using Out = std::decay_t<std::invoke_result_t<Combine, const L&, const R&>>;
+  // The stored/probe argument order differs per side: normalize to (l, r).
+  auto pred_lr = [pred](const L& l, const R& r) { return pred(l, r); };
+  auto pred_rl = [pred](const R& r, const L& l) { return pred(l, r); };
+  using LeftSA = sweeparea::ListSweepArea<L, R, decltype(pred_lr)>;
+  using RightSA = sweeparea::ListSweepArea<R, L, decltype(pred_rl)>;
+  return std::make_unique<
+      TemporalJoin<L, R, Out, LeftSA, RightSA, Combine>>(
+      LeftSA(pred_lr), RightSA(pred_rl), std::move(combine), std::move(name));
+}
+
+/// Band join: |key_l(l) - key_r(r)| <= band, with tree SweepAreas.
+template <typename L, typename R, typename KeyL, typename KeyR,
+          typename Combine>
+auto MakeBandJoin(KeyL key_l, KeyR key_r,
+                  std::invoke_result_t<KeyL, const L&> band, Combine combine,
+                  std::string name = "band-join") {
+  using Key = std::decay_t<std::invoke_result_t<KeyL, const L&>>;
+  using Out = std::decay_t<std::invoke_result_t<Combine, const L&, const R&>>;
+  auto range_from_r = [key_r, band](const R& r) {
+    const Key k = key_r(r);
+    return std::pair<Key, Key>(k - band, k + band);
+  };
+  auto range_from_l = [key_l, band](const L& l) {
+    const Key k = key_l(l);
+    return std::pair<Key, Key>(k - band, k + band);
+  };
+  using LeftSA = sweeparea::TreeSweepArea<L, R, KeyL, decltype(range_from_r)>;
+  using RightSA = sweeparea::TreeSweepArea<R, L, KeyR, decltype(range_from_l)>;
+  return std::make_unique<
+      TemporalJoin<L, R, Out, LeftSA, RightSA, Combine>>(
+      LeftSA(key_l, range_from_r), RightSA(key_r, range_from_l),
+      std::move(combine), std::move(name));
+}
+
+/// Cartesian product (all interval-overlapping pairs).
+template <typename L, typename R, typename Combine>
+auto MakeCrossProduct(Combine combine, std::string name = "cross") {
+  auto always = [](const L&, const R&) { return true; };
+  return MakeNestedLoopsJoin<L, R>(always, std::move(combine),
+                                   std::move(name));
+}
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_JOIN_H_

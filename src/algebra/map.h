@@ -1,0 +1,33 @@
+#ifndef PIPES_ALGEBRA_MAP_H_
+#define PIPES_ALGEBRA_MAP_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/pipe.h"
+
+/// \file
+/// Mapping (generalized projection). Applies a user function to every
+/// payload; validity intervals pass through unchanged.
+
+namespace pipes::algebra {
+
+/// Stateless transformation of payloads from `In` to `Out`.
+template <typename In, typename Out, typename Fn>
+class Map : public UnaryPipe<In, Out> {
+ public:
+  explicit Map(Fn fn, std::string name = "map")
+      : UnaryPipe<In, Out>(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<In>& e) override {
+    this->Transfer(StreamElement<Out>(fn_(e.payload), e.interval));
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_MAP_H_

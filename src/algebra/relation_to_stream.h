@@ -1,0 +1,73 @@
+#ifndef PIPES_ALGEBRA_RELATION_TO_STREAM_H_
+#define PIPES_ALGEBRA_RELATION_TO_STREAM_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/ordered_buffer.h"
+#include "src/core/pipe.h"
+
+/// \file
+/// CQL's relation-to-stream operators over interval streams. A temporal
+/// stream *is* a time-varying relation (its snapshots); these operators
+/// project the changes back out as point streams:
+///
+///  * `IStream` — one point element whenever a payload *enters* the
+///    snapshot (at its validity start),
+///  * `DStream` — one point element whenever a payload *leaves* the
+///    snapshot (at its validity end),
+///  * RSTREAM is the identity on interval streams and needs no operator.
+
+namespace pipes::algebra {
+
+/// Insert stream: [s, e) becomes the point [s, s+1). Stateless.
+template <typename T>
+class IStream : public UnaryPipe<T, T> {
+ public:
+  explicit IStream(std::string name = "istream")
+      : UnaryPipe<T, T>(std::move(name)) {}
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
+    this->Transfer(StreamElement<T>::Point(e.payload, e.start()));
+  }
+};
+
+/// Delete stream: [s, e) becomes the point [e, e+1). Deletions do not
+/// arrive in end order, so results are staged and released by watermark.
+/// Elements valid forever (end = kMaxTimestamp) never expire and produce
+/// nothing.
+template <typename T>
+class DStream : public UnaryPipe<T, T> {
+ public:
+  explicit DStream(std::string name = "dstream")
+      : UnaryPipe<T, T>(std::move(name)) {}
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
+    if (e.end() == kMaxTimestamp) return;
+    staged_.Push(StreamElement<T>::Point(e.payload, e.end()));
+  }
+
+  void PortProgress(int /*port_id*/, Timestamp watermark) override {
+    // A future input has start >= watermark, so its deletion lands at its
+    // end > watermark: everything staged below the watermark is final.
+    staged_.FlushUpTo(watermark, [this](const StreamElement<T>& e) {
+      this->Transfer(e);
+    });
+    this->TransferHeartbeat(watermark);
+  }
+
+  void PortDone(int /*port_id*/) override {
+    staged_.FlushAll(
+        [this](const StreamElement<T>& e) { this->Transfer(e); });
+    this->TransferDone();
+  }
+
+ private:
+  OrderedOutputBuffer<T> staged_;
+};
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_RELATION_TO_STREAM_H_

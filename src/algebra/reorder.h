@@ -1,0 +1,93 @@
+#ifndef PIPES_ALGEBRA_REORDER_H_
+#define PIPES_ALGEBRA_REORDER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/macros.h"
+#include "src/core/ordered_buffer.h"
+#include "src/core/source.h"
+
+/// \file
+/// Out-of-order adapter: autonomous data sources (sensors, network feeds)
+/// may deliver elements slightly out of timestamp order. A
+/// `ReorderingSource` wraps such a raw stream and restores the start-order
+/// invariant the algebra relies on, holding elements back by a bounded
+/// slack. Elements later than the slack allows are dropped (and counted).
+
+namespace pipes::algebra {
+
+/// Active source that buffers a raw (possibly disordered) generator and
+/// emits in start order. Assumes disorder is bounded: after seeing an
+/// element at time t, no element earlier than t - slack will arrive;
+/// violators are dropped.
+template <typename T>
+class ReorderingSource : public Source<T> {
+ public:
+  using Generator = std::function<std::optional<StreamElement<T>>()>;
+
+  ReorderingSource(Generator generator, Timestamp slack,
+                   std::string name = "reordering-source")
+      : Source<T>(std::move(name)),
+        generator_(std::move(generator)),
+        slack_(slack) {
+    PIPES_CHECK(slack >= 0);
+  }
+
+  bool is_active() const override { return true; }
+  bool HasWork() const override { return !exhausted_ || !staged_.empty(); }
+  bool IsFinished() const override { return exhausted_ && staged_.empty(); }
+  std::size_t queue_size() const override { return staged_.size(); }
+
+  /// Elements discarded because they arrived later than the slack bound.
+  std::uint64_t dropped_count() const { return dropped_; }
+
+  std::size_t DoWork(std::size_t max_units) override {
+    std::size_t n = 0;
+    while (n < max_units && !exhausted_) {
+      std::optional<StreamElement<T>> e = generator_();
+      ++n;
+      if (!e.has_value()) {
+        exhausted_ = true;
+        break;
+      }
+      if (max_seen_ > kMinTimestamp && e->start() < max_seen_ - slack_) {
+        ++dropped_;  // Violates the disorder bound; cannot emit in order.
+        continue;
+      }
+      max_seen_ = std::max(max_seen_, e->start());
+      staged_.Push(std::move(*e));
+      Flush();
+    }
+    if (exhausted_) {
+      staged_.FlushAll(
+          [this](const StreamElement<T>& e) { this->Transfer(e); });
+      this->TransferDone();
+    }
+    return n;
+  }
+
+ private:
+  void Flush() {
+    if (max_seen_ == kMinTimestamp) return;
+    const Timestamp safe = max_seen_ - slack_;
+    staged_.FlushUpTo(safe + 1,
+                      [this](const StreamElement<T>& e) { this->Transfer(e); });
+    if (safe > kMinTimestamp) {
+      this->TransferHeartbeat(safe);
+    }
+  }
+
+  Generator generator_;
+  Timestamp slack_;
+  OrderedOutputBuffer<T> staged_;
+  Timestamp max_seen_ = kMinTimestamp;
+  bool exhausted_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_REORDER_H_

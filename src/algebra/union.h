@@ -1,0 +1,60 @@
+#ifndef PIPES_ALGEBRA_UNION_H_
+#define PIPES_ALGEBRA_UNION_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/ordered_buffer.h"
+#include "src/core/pipe.h"
+
+/// \file
+/// Multiset union. The logical operator simply merges the snapshots of both
+/// inputs; physically the only work is re-establishing the global
+/// start-order of the output, which is done with an ordered staging buffer
+/// released by the combined watermark. Non-blocking: elements leave as soon
+/// as both inputs have progressed past their start.
+
+namespace pipes::algebra {
+
+/// Order-preserving union of two streams of the same payload type. For an
+/// n-ary union, chain instances or subscribe several sources to `left()` —
+/// the input port merges the progress of all its upstreams.
+template <typename T>
+class Union : public BinaryPipe<T, T, T> {
+ public:
+  explicit Union(std::string name = "union")
+      : BinaryPipe<T, T, T>(std::move(name)) {}
+
+ protected:
+  void OnElementLeft(const StreamElement<T>& e) override { Stage(e); }
+  void OnElementRight(const StreamElement<T>& e) override { Stage(e); }
+
+  void OnProgressSide(int /*side*/, Timestamp /*watermark*/) override {
+    const Timestamp combined = this->CombinedWatermark();
+    staged_.FlushUpTo(combined,
+                      [this](const StreamElement<T>& e) { this->Transfer(e); });
+    if (combined < kMaxTimestamp) {
+      this->TransferHeartbeat(combined);
+    }
+  }
+
+  void OnDoneSide(int /*side*/) override {
+    if (this->BothDone()) {
+      staged_.FlushAll(
+          [this](const StreamElement<T>& e) { this->Transfer(e); });
+      this->TransferDone();
+    } else {
+      // One side finished: progress is now governed by the other side only.
+      OnProgressSide(0, this->CombinedWatermark());
+    }
+  }
+
+ private:
+  void Stage(const StreamElement<T>& e) { staged_.Push(e); }
+
+  OrderedOutputBuffer<T> staged_;
+};
+
+}  // namespace pipes::algebra
+
+#endif  // PIPES_ALGEBRA_UNION_H_

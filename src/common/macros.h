@@ -1,0 +1,39 @@
+#ifndef PIPES_COMMON_MACROS_H_
+#define PIPES_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. `PIPES_CHECK` is always on and aborts with a
+/// message on violation; use it for conditions that indicate a programming
+/// error rather than a runtime failure (runtime failures return
+/// `pipes::Status` instead). `PIPES_DCHECK` compiles away in NDEBUG builds.
+
+#define PIPES_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PIPES_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define PIPES_CHECK_MSG(condition, msg)                                     \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PIPES_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #condition, msg);                    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define PIPES_DCHECK(condition) \
+  do {                          \
+  } while (false)
+#else
+#define PIPES_DCHECK(condition) PIPES_CHECK(condition)
+#endif
+
+#endif  // PIPES_COMMON_MACROS_H_

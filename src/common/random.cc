@@ -1,0 +1,144 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace pipes {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Random::Random(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+std::uint64_t Random::Next() {
+  const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Random::NextBounded(std::uint64_t bound) {
+  PIPES_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Random::UniformInt(std::int64_t lo, std::int64_t hi) {
+  PIPES_DCHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<std::int64_t>(Next());
+  }
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Random::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Random::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Random::Exponential(double lambda) {
+  PIPES_DCHECK(lambda > 0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::int64_t Random::Poisson(double mean) {
+  PIPES_DCHECK(mean >= 0);
+  if (mean == 0) {
+    return 0;
+  }
+  if (mean > 60) {
+    // Normal approximation, adequate for workload generation.
+    const double v = mean + std::sqrt(mean) * Gaussian();
+    return v < 0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::int64_t k = 0;
+  double product = UniformDouble();
+  while (product > limit) {
+    ++k;
+    product *= UniformDouble();
+  }
+  return k;
+}
+
+double Random::Gaussian() {
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 == 0.0);
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  PIPES_CHECK(n > 0);
+  double norm = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta) / norm;
+    cdf_[i] = acc;
+  }
+  cdf_[n - 1] = 1.0;  // Guard against floating-point shortfall.
+}
+
+std::size_t ZipfDistribution::Sample(Random& rng) const {
+  const double u = rng.UniformDouble();
+  // First index with cdf_[i] >= u.
+  std::size_t lo = 0;
+  std::size_t hi = n_ - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace pipes

@@ -1,0 +1,75 @@
+#ifndef PIPES_COMMON_RANDOM_H_
+#define PIPES_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/macros.h"
+
+/// \file
+/// Deterministic random number generation for workload generators and
+/// property tests. A small xoshiro256** core plus the distributions stream
+/// benchmarks need (uniform, zipf, poisson, exponential). We deliberately
+/// avoid <random> engines so that sequences are stable across standard
+/// library implementations.
+
+namespace pipes {
+
+/// Seedable xoshiro256** generator. Copyable; copies continue the sequence
+/// independently.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 42);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t Next();
+
+  /// Uniform on [0, bound). `bound` must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform on [lo, hi]. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform on [0, 1).
+  double UniformDouble();
+
+  /// Uniform on [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponential with rate lambda (> 0); mean 1/lambda.
+  double Exponential(double lambda);
+
+  /// Poisson with mean `mean` (>= 0); uses inversion for small means and a
+  /// normal approximation above 60.
+  std::int64_t Poisson(double mean);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed values on {0, ..., n-1} with exponent `theta`.
+/// Precomputes the harmonic table once; draws are O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double theta);
+
+  std::size_t Sample(Random& rng) const;
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_COMMON_RANDOM_H_

@@ -1,0 +1,147 @@
+#ifndef PIPES_COMMON_STATUS_H_
+#define PIPES_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/macros.h"
+
+/// \file
+/// Exception-free error handling, RocksDB/Arrow style. Fallible operations
+/// return a `Status`, or a `Result<T>` when they also produce a value.
+
+namespace pipes {
+
+/// Coarse error categories for `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kParseError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or a non-OK `Status`.
+///
+/// Access the value only after checking `ok()`; violating this aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;` or `return status;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    PIPES_CHECK_MSG(!std::get<Status>(data_).ok(),
+                    "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    PIPES_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    PIPES_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    PIPES_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define PIPES_RETURN_IF_ERROR(expr)           \
+  do {                                        \
+    ::pipes::Status _pipes_status = (expr);   \
+    if (!_pipes_status.ok()) {                \
+      return _pipes_status;                   \
+    }                                         \
+  } while (false)
+
+#define PIPES_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define PIPES_INTERNAL_CONCAT(a, b) PIPES_INTERNAL_CONCAT_IMPL(a, b)
+
+#define PIPES_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                    \
+  if (!var.ok()) {                                      \
+    return var.status();                                \
+  }                                                     \
+  lhs = std::move(var).value()
+
+/// Assigns the value of a `Result<T>` expression or propagates its status.
+/// `lhs` may declare a new variable or name an existing one.
+#define PIPES_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  PIPES_INTERNAL_ASSIGN_OR_RETURN(                                           \
+      PIPES_INTERNAL_CONCAT(_pipes_result_, __LINE__), lhs, expr)
+
+}  // namespace pipes
+
+#endif  // PIPES_COMMON_STATUS_H_

@@ -1,0 +1,15 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace pipes {
+
+std::string ToString(const TimeInterval& interval) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%lld, %lld)",
+                static_cast<long long>(interval.start),
+                static_cast<long long>(interval.end));
+  return buf;
+}
+
+}  // namespace pipes

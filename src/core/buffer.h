@@ -1,0 +1,172 @@
+#ifndef PIPES_CORE_BUFFER_H_
+#define PIPES_CORE_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/core/element.h"
+#include "src/core/pipe.h"
+
+/// \file
+/// Buffers: the only place in PIPES where inter-operator queues exist.
+/// Direct subscriptions deliver synchronously; a `Buffer` decouples its
+/// upstream from its downstream so a scheduler can drive the downstream
+/// portion independently. The fusion layer (scheduler layer 1) inserts
+/// buffers exactly at virtual-node boundaries; `ConcurrentBuffer` is the
+/// thread-safe variant used at thread boundaries (scheduler layer 3).
+
+namespace pipes {
+
+/// No-op lockable for the single-threaded buffer.
+struct NullMutex {
+  void lock() {}
+  void unlock() {}
+};
+
+/// A queueing identity pipe. Incoming elements and control signals are
+/// enqueued; `DoWork` dequeues and forwards them. Consecutive heartbeats
+/// are coalesced so idle upstreams cannot grow the queue.
+///
+/// With a `capacity`, the buffer is *bounded*: when a fluctuating stream
+/// rate outruns the scheduler, the oldest queued element is dropped (and
+/// counted) instead of growing memory without limit — buffer-level load
+/// shedding. Control signals are never dropped.
+template <typename T, typename Mutex = NullMutex>
+class BasicBuffer : public UnaryPipe<T, T> {
+ public:
+  /// `capacity` = 0 means unbounded.
+  explicit BasicBuffer(std::string name = "buffer",
+                       std::size_t capacity = 0)
+      : UnaryPipe<T, T>(std::move(name)), capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Elements dropped because the buffer was full.
+  std::uint64_t dropped_count() const {
+    std::lock_guard<Mutex> lock(mu_);
+    return dropped_;
+  }
+
+  bool is_active() const override { return true; }
+
+  bool HasWork() const override {
+    std::lock_guard<Mutex> lock(mu_);
+    return !queue_.empty();
+  }
+
+  bool IsFinished() const override {
+    std::lock_guard<Mutex> lock(mu_);
+    return done_received_ && queue_.empty();
+  }
+
+  std::size_t queue_size() const override {
+    std::lock_guard<Mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  std::size_t ApproxMemoryBytes() const override {
+    std::lock_guard<Mutex> lock(mu_);
+    return queue_.size() * (sizeof(Entry) + 16);
+  }
+
+  std::size_t DoWork(std::size_t max_units) override {
+    std::size_t n = 0;
+    while (n < max_units) {
+      Entry entry;
+      {
+        std::lock_guard<Mutex> lock(mu_);
+        if (queue_.empty()) break;
+        entry = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      ++n;
+      if (auto* e = std::get_if<StreamElement<T>>(&entry)) {
+        this->Transfer(*e);
+      } else if (auto* hb = std::get_if<Heartbeat>(&entry)) {
+        this->TransferHeartbeat(hb->t);
+      } else {
+        this->TransferDone();
+      }
+    }
+    return n;
+  }
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
+    std::lock_guard<Mutex> lock(mu_);
+    last_element_start_ = e.start();
+    queue_.push_back(e);
+    if (capacity_ > 0) {
+      ShedToCapacity();
+    }
+  }
+
+  void PortProgress(int /*port_id*/, Timestamp watermark) override {
+    std::lock_guard<Mutex> lock(mu_);
+    // An enqueued element already carries its own progress downstream; only
+    // heartbeats that advance beyond the last element are worth queueing.
+    if (watermark <= last_element_start_) return;
+    if (!queue_.empty()) {
+      if (auto* hb = std::get_if<Heartbeat>(&queue_.back())) {
+        hb->t = watermark;
+        return;
+      }
+    }
+    queue_.push_back(Heartbeat{watermark});
+  }
+
+  void PortDone(int /*port_id*/) override {
+    std::lock_guard<Mutex> lock(mu_);
+    done_received_ = true;
+    queue_.push_back(Done{});
+  }
+
+ private:
+  struct Heartbeat {
+    Timestamp t;
+  };
+  struct Done {};
+  using Entry = std::variant<StreamElement<T>, Heartbeat, Done>;
+
+  /// Drops the oldest queued *elements* (never control signals) until the
+  /// element count fits the capacity. Requires mu_ held.
+  void ShedToCapacity() {
+    std::size_t elements = 0;
+    for (const Entry& entry : queue_) {
+      if (std::holds_alternative<StreamElement<T>>(entry)) ++elements;
+    }
+    for (auto it = queue_.begin();
+         elements > capacity_ && it != queue_.end();) {
+      if (std::holds_alternative<StreamElement<T>>(*it)) {
+        it = queue_.erase(it);
+        --elements;
+        ++dropped_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  mutable Mutex mu_;
+  std::deque<Entry> queue_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  Timestamp last_element_start_ = kMinTimestamp;
+  bool done_received_ = false;
+};
+
+/// Single-threaded buffer (virtual-node boundary within one thread).
+template <typename T>
+using Buffer = BasicBuffer<T, NullMutex>;
+
+/// Thread-safe buffer (edge crossing a thread boundary).
+template <typename T>
+using ConcurrentBuffer = BasicBuffer<T, std::mutex>;
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_BUFFER_H_

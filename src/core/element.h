@@ -1,0 +1,46 @@
+#ifndef PIPES_CORE_ELEMENT_H_
+#define PIPES_CORE_ELEMENT_H_
+
+#include <utility>
+
+#include "src/common/time.h"
+
+/// \file
+/// The stream element: a payload tagged with a half-open validity interval.
+/// This is the physical representation behind the temporal operator algebra
+/// (Krämer/Seeger): the logical content of a stream at time t (its
+/// *snapshot*) is the multiset of payloads whose interval contains t, and
+/// every physical operator is required to be snapshot-equivalent to its
+/// logical counterpart.
+
+namespace pipes {
+
+/// A stream element: `payload` is valid during `interval` = [start, end).
+///
+/// Streams are ordered by non-decreasing `interval.start`. Raw source
+/// elements carry point intervals [t, t+1); window operators widen them.
+template <typename T>
+struct StreamElement {
+  T payload{};
+  TimeInterval interval;
+
+  StreamElement() = default;
+  StreamElement(T p, TimeInterval i)
+      : payload(std::move(p)), interval(i) {}
+  StreamElement(T p, Timestamp start, Timestamp end)
+      : payload(std::move(p)), interval(start, end) {}
+
+  /// Element with point validity [t, t+1).
+  static StreamElement Point(T p, Timestamp t) {
+    return StreamElement(std::move(p), TimeInterval::Point(t));
+  }
+
+  Timestamp start() const { return interval.start; }
+  Timestamp end() const { return interval.end; }
+
+  friend bool operator==(const StreamElement&, const StreamElement&) = default;
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_ELEMENT_H_

@@ -1,0 +1,113 @@
+#ifndef PIPES_CORE_GENERATOR_SOURCE_H_
+#define PIPES_CORE_GENERATOR_SOURCE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/core/element.h"
+#include "src/core/source.h"
+
+/// \file
+/// Active sources. An active source is driven by the scheduler (`DoWork`)
+/// and produces elements from some underlying generator — the adapter that
+/// "wraps a raw input stream to a source within a query graph".
+
+namespace pipes {
+
+/// Base class for sources that produce elements on demand. Subclasses
+/// implement `Generate`; returning nullopt ends the stream.
+template <typename T>
+class GeneratorSource : public Source<T> {
+ public:
+  explicit GeneratorSource(std::string name) : Source<T>(std::move(name)) {}
+
+  bool is_active() const override { return true; }
+  bool HasWork() const override { return !exhausted_; }
+  bool IsFinished() const override { return exhausted_; }
+
+  std::size_t DoWork(std::size_t max_units) override {
+    std::size_t n = 0;
+    while (n < max_units && !exhausted_) {
+      std::optional<StreamElement<T>> element = Generate();
+      ++n;
+      if (!element.has_value()) {
+        exhausted_ = true;
+        this->TransferDone();
+        break;
+      }
+      this->Transfer(*element);
+    }
+    return n;
+  }
+
+ protected:
+  /// Produces the next element (non-decreasing start), or nullopt at
+  /// end-of-stream.
+  virtual std::optional<StreamElement<T>> Generate() = 0;
+
+ private:
+  bool exhausted_ = false;
+};
+
+/// Replays a pre-built, start-ordered vector of elements. The unit-test
+/// workhorse.
+template <typename T>
+class VectorSource : public GeneratorSource<T> {
+ public:
+  VectorSource(std::vector<StreamElement<T>> elements,
+               std::string name = "vector-source")
+      : GeneratorSource<T>(std::move(name)), elements_(std::move(elements)) {
+    for (std::size_t i = 1; i < elements_.size(); ++i) {
+      PIPES_CHECK_MSG(elements_[i - 1].start() <= elements_[i].start(),
+                      "VectorSource input must be ordered by start");
+    }
+  }
+
+  /// Convenience: wraps payloads as point elements at consecutive integer
+  /// timestamps t0, t0+1, ...
+  static std::vector<StreamElement<T>> Points(std::vector<T> payloads,
+                                              Timestamp t0 = 0) {
+    std::vector<StreamElement<T>> out;
+    out.reserve(payloads.size());
+    Timestamp t = t0;
+    for (T& p : payloads) {
+      out.push_back(StreamElement<T>::Point(std::move(p), t++));
+    }
+    return out;
+  }
+
+ protected:
+  std::optional<StreamElement<T>> Generate() override {
+    if (next_ >= elements_.size()) return std::nullopt;
+    return elements_[next_++];
+  }
+
+ private:
+  std::vector<StreamElement<T>> elements_;
+  std::size_t next_ = 0;
+};
+
+/// Adapts a `std::function` generator, for ad-hoc sources in examples.
+template <typename T>
+class FunctionSource : public GeneratorSource<T> {
+ public:
+  using Generator = std::function<std::optional<StreamElement<T>>()>;
+
+  FunctionSource(Generator generator, std::string name = "function-source")
+      : GeneratorSource<T>(std::move(name)),
+        generator_(std::move(generator)) {}
+
+ protected:
+  std::optional<StreamElement<T>> Generate() override { return generator_(); }
+
+ private:
+  Generator generator_;
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_GENERATOR_SOURCE_H_

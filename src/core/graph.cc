@@ -1,0 +1,102 @@
+#include "src/core/graph.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace pipes {
+
+Status QueryGraph::Remove(Node& node) {
+  if (!node.upstream().empty() || !node.downstream().empty()) {
+    return Status::FailedPrecondition(
+        "node '" + node.name() + "' still has edges; unsubscribe first");
+  }
+  auto it = std::find_if(
+      nodes_.begin(), nodes_.end(),
+      [&](const std::unique_ptr<Node>& n) { return n.get() == &node; });
+  if (it == nodes_.end()) {
+    return Status::NotFound("node '" + node.name() + "' not in this graph");
+  }
+  nodes_.erase(it);
+  return Status::OK();
+}
+
+std::vector<Node*> QueryGraph::nodes() const {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+std::vector<Node*> QueryGraph::ActiveNodes() const {
+  std::vector<Node*> out;
+  for (const auto& n : nodes_) {
+    if (n->is_active()) out.push_back(n.get());
+  }
+  return out;
+}
+
+bool QueryGraph::Finished() const {
+  for (const auto& n : nodes_) {
+    if (n->is_active() && !n->IsFinished()) return false;
+  }
+  return true;
+}
+
+Status QueryGraph::Validate() const {
+  // Iterative three-color DFS over downstream edges.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<const Node*, Color> color;
+  for (const auto& n : nodes_) color[n.get()] = Color::kWhite;
+
+  for (const auto& start : nodes_) {
+    if (color[start.get()] != Color::kWhite) continue;
+    // Stack of (node, next-child-index).
+    std::vector<std::pair<const Node*, std::size_t>> stack;
+    stack.emplace_back(start.get(), 0);
+    color[start.get()] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < node->downstream().size()) {
+        const Node* child = node->downstream()[idx++];
+        auto it = color.find(child);
+        if (it == color.end()) {
+          return Status::FailedPrecondition(
+              "edge to node '" + child->name() + "' not owned by this graph");
+        }
+        if (it->second == Color::kGray) {
+          return Status::FailedPrecondition(
+              "query graph contains a cycle through '" + child->name() + "'");
+        }
+        if (it->second == Color::kWhite) {
+          it->second = Color::kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string QueryGraph::ToDot() const {
+  std::ostringstream out;
+  out << "digraph pipes {\n  rankdir=BT;\n";
+  for (const auto& n : nodes_) {
+    out << "  n" << n->id() << " [label=\"" << n->name();
+    if (n->is_active()) out << "\\n(active)";
+    out << "\"];\n";
+  }
+  // Each downstream entry is one edge (duplicates = parallel edges).
+  for (const auto& n : nodes_) {
+    for (const Node* down : n->downstream()) {
+      out << "  n" << n->id() << " -> n" << down->id() << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pipes

@@ -1,0 +1,78 @@
+#ifndef PIPES_CORE_GRAPH_H_
+#define PIPES_CORE_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/node.h"
+
+/// \file
+/// The directed acyclic query graph: owns all nodes of one (multi-)query
+/// dataflow. Heterogeneous sources at the bottom, sinks at the top, and the
+/// operator plans in between, possibly shared between queries (the
+/// multi-query optimizer grafts new plans onto a running graph by
+/// subscribing to existing nodes).
+
+namespace pipes {
+
+/// Owner and registry of query-graph nodes.
+///
+/// Nodes are created through `Add` and live until the graph is destroyed or
+/// they are explicitly removed. Edges are formed by
+/// `Source<T>::SubscribeTo(port)` on the nodes themselves.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+  QueryGraph(const QueryGraph&) = delete;
+  QueryGraph& operator=(const QueryGraph&) = delete;
+
+  /// Constructs a node of type `NodeT` in place and returns a reference to
+  /// it. The graph keeps ownership.
+  template <typename NodeT, typename... Args>
+  NodeT& Add(Args&&... args) {
+    auto node = std::make_unique<NodeT>(std::forward<Args>(args)...);
+    NodeT& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Adopts an externally constructed node (e.g. from the MakeHashJoin
+  /// factory, whose exact type is deduced) and returns a reference to it.
+  template <typename NodeT>
+  NodeT& AddNode(std::unique_ptr<NodeT> node) {
+    NodeT& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Removes `node` from the graph. Fails with FailedPrecondition while the
+  /// node still has edges (unsubscribe first), NotFound if not owned here.
+  Status Remove(Node& node);
+
+  /// All nodes, in insertion order.
+  std::vector<Node*> nodes() const;
+
+  /// Nodes the scheduler must drive (sources and buffers).
+  std::vector<Node*> ActiveNodes() const;
+
+  /// True when every active node is finished — the graph has fully drained.
+  bool Finished() const;
+
+  /// Checks that the subscription edges form a DAG.
+  Status Validate() const;
+
+  /// Graphviz rendering of the topology, for plan inspection.
+  std::string ToDot() const;
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_GRAPH_H_

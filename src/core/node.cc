@@ -1,0 +1,19 @@
+#include "src/core/node.h"
+
+namespace pipes {
+
+namespace {
+std::atomic<std::uint64_t> g_next_node_id{1};
+}  // namespace
+
+Node::Node(std::string name) : id_(NextId()), name_(std::move(name)) {}
+
+Node::~Node() = default;
+
+std::size_t Node::DoWork(std::size_t /*max_units*/) { return 0; }
+
+std::uint64_t Node::NextId() {
+  return g_next_node_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pipes

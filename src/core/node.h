@@ -1,0 +1,115 @@
+#ifndef PIPES_CORE_NODE_H_
+#define PIPES_CORE_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/metadata/registry.h"
+
+/// \file
+/// The untyped base of every node in a query graph. The paper distinguishes
+/// three node kinds — sources, sinks, and operators (pipes) — which in this
+/// implementation are the typed templates `Source<T>`, `Sink<T>` and the
+/// pipe bases built from them. `Node` carries what the runtime environment
+/// (scheduler, memory manager, metadata monitor, optimizer) needs without
+/// knowing element types: identity, graph topology, scheduling hooks, and
+/// the secondary-metadata registry.
+
+namespace pipes {
+
+/// Base class of all query-graph nodes. Not copyable or movable: a node's
+/// identity is its address (subscriptions hold pointers to it).
+class Node {
+ public:
+  explicit Node(std::string name);
+  virtual ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Process-unique id, assigned at construction.
+  std::uint64_t id() const { return id_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Topology -----------------------------------------------------------
+  // Maintained by Subscribe/Unsubscribe; a node may appear multiple times if
+  // multiple edges connect the same pair.
+
+  const std::vector<Node*>& upstream() const { return upstream_; }
+  const std::vector<Node*>& downstream() const { return downstream_; }
+
+  // --- Scheduling hooks ----------------------------------------------------
+  // An *active* node is one the scheduler must drive: a source that creates
+  // elements, or a buffer that drains its queue. Everything connected by
+  // direct subscriptions runs inside the caller's invocation — the paper's
+  // "virtual node" fused unit. Passive nodes keep the defaults.
+
+  /// True if this node must be driven by a scheduler.
+  virtual bool is_active() const { return false; }
+
+  /// Performs up to `max_units` units of work (one unit = one element or
+  /// control signal). Returns the number of units actually performed.
+  virtual std::size_t DoWork(std::size_t max_units);
+
+  /// True if calling DoWork now could make progress.
+  virtual bool HasWork() const { return false; }
+
+  /// True once this node will never produce work again (source exhausted,
+  /// or buffer drained after end-of-stream).
+  virtual bool IsFinished() const { return true; }
+
+  /// Number of queued entries (0 for queue-less nodes). Scheduling
+  /// strategies such as Chain use this.
+  virtual std::size_t queue_size() const { return 0; }
+
+  /// Approximate bytes of operator state (SweepAreas, sweep-line segments,
+  /// queues). The metadata monitor samples this for the memory_bytes
+  /// metric; stateless operators keep the default.
+  virtual std::size_t ApproxMemoryBytes() const { return 0; }
+
+  // --- Secondary metadata ---------------------------------------------------
+
+  /// Total elements received on all input ports.
+  std::uint64_t elements_in() const {
+    return elements_in_.load(std::memory_order_relaxed);
+  }
+  /// Total elements transferred to subscribers.
+  std::uint64_t elements_out() const {
+    return elements_out_.load(std::memory_order_relaxed);
+  }
+
+  void CountIn(std::uint64_t n = 1) {
+    elements_in_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountOut(std::uint64_t n = 1) {
+    elements_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Named gauges/estimators attached by the metadata factory at runtime.
+  metadata::Registry& metadata() { return metadata_; }
+  const metadata::Registry& metadata() const { return metadata_; }
+
+ private:
+  template <typename T>
+  friend class Source;
+  template <typename T>
+  friend class InputPort;
+
+  static std::uint64_t NextId();
+
+  std::uint64_t id_;
+  std::string name_;
+  std::vector<Node*> upstream_;
+  std::vector<Node*> downstream_;
+  std::atomic<std::uint64_t> elements_in_{0};
+  std::atomic<std::uint64_t> elements_out_{0};
+  metadata::Registry metadata_;
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_NODE_H_

@@ -1,0 +1,188 @@
+#ifndef PIPES_CORE_PORT_H_
+#define PIPES_CORE_PORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/time.h"
+#include "src/core/element.h"
+#include "src/core/node.h"
+
+/// \file
+/// Input ports: the sink half of the publish-subscribe architecture.
+///
+/// A node that consumes elements of type `T` owns one `InputPort<T>` per
+/// logical input. A port can be subscribed to by *multiple* sources
+/// (the paper: "a sink can subscribe to multiple sources"); the port merges
+/// their progress: its watermark is the minimum heartbeat over all live
+/// upstreams, so the owning operator sees a single, monotone notion of time
+/// per input.
+///
+/// Delivery is a direct virtual call — there is no queue between a source
+/// and a port. Queues exist only inside explicit `Buffer` nodes.
+
+namespace pipes {
+
+/// Callback interface a port owner implements, one instantiation per input
+/// element type. Multi-input operators with equal input types share one
+/// instantiation and dispatch on `port_id`; operators with distinct input
+/// types inherit one instantiation per type.
+template <typename T>
+class PortOwner {
+ public:
+  virtual ~PortOwner() = default;
+
+  /// A new element arrived on port `port_id`. Elements on one port are
+  /// ordered by non-decreasing interval start *per upstream*; use
+  /// `PortProgress` for a cross-upstream ordering guarantee.
+  virtual void PortElement(int port_id, const StreamElement<T>& element) = 0;
+
+  /// The port's merged watermark advanced to `watermark`: no future element
+  /// on this port will have `start() < watermark`.
+  virtual void PortProgress(int port_id, Timestamp watermark) = 0;
+
+  /// All upstreams of the port signalled end-of-stream.
+  virtual void PortDone(int port_id) = 0;
+};
+
+/// One logical input of an operator. Created by the owning node; sources
+/// attach to it via `Source<T>::SubscribeTo`.
+template <typename T>
+class InputPort {
+ public:
+  /// `owner` receives callbacks tagged with `port_id`; `owner_node` is the
+  /// same object viewed as a graph node (used for topology and counters).
+  InputPort(PortOwner<T>* owner, Node* owner_node, int port_id)
+      : owner_(owner), owner_node_(owner_node), port_id_(port_id) {
+    PIPES_CHECK(owner != nullptr && owner_node != nullptr);
+  }
+
+  InputPort(const InputPort&) = delete;
+  InputPort& operator=(const InputPort&) = delete;
+
+  Node* owner_node() const { return owner_node_; }
+  int port_id() const { return port_id_; }
+
+  /// Watermark merged over all upstreams; `kMinTimestamp` until every
+  /// upstream has reported progress, `kMaxTimestamp` once all are done.
+  Timestamp watermark() const { return MergedWatermark(); }
+
+  /// True once every upstream signalled done (and at least one was ever
+  /// subscribed).
+  bool done() const { return done_delivered_; }
+
+  std::size_t num_upstreams() const { return live_upstreams_; }
+
+  // --- Called by Source<T> --------------------------------------------------
+
+  /// Registers an upstream; returns its slot handle.
+  int AddUpstream() {
+    Upstream up;
+    up.live = true;
+    slots_.push_back(up);
+    ++live_upstreams_;
+    done_delivered_ = false;
+    return static_cast<int>(slots_.size()) - 1;
+  }
+
+  /// Unregisters the upstream in `slot` (unsubscribe). Its progress
+  /// constraint is lifted, which may advance the merged watermark.
+  void RemoveUpstream(int slot) {
+    PIPES_CHECK(ValidSlot(slot) && slots_[slot].live);
+    slots_[slot].live = false;
+    --live_upstreams_;
+    NotifyProgress();
+    MaybeNotifyDone();
+  }
+
+  void Receive(int slot, const StreamElement<T>& element) {
+    PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
+    Upstream& up = slots_[slot];
+    PIPES_DCHECK(element.start() >= up.watermark ||
+                 up.watermark == kMinTimestamp);
+    up.watermark = std::max(up.watermark, element.start());
+    owner_node_->CountIn();
+    owner_->PortElement(port_id_, element);
+    NotifyProgress();
+  }
+
+  void ReceiveHeartbeat(int slot, Timestamp t) {
+    PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
+    Upstream& up = slots_[slot];
+    if (t > up.watermark) {
+      up.watermark = t;
+      NotifyProgress();
+    }
+  }
+
+  void ReceiveDone(int slot) {
+    PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
+    slots_[slot].done = true;
+    NotifyProgress();
+    MaybeNotifyDone();
+  }
+
+ private:
+  struct Upstream {
+    Timestamp watermark = kMinTimestamp;
+    bool done = false;
+    bool live = false;
+  };
+
+  bool ValidSlot(int slot) const {
+    return slot >= 0 && slot < static_cast<int>(slots_.size());
+  }
+
+  Timestamp MergedWatermark() const {
+    Timestamp min_wm = kMaxTimestamp;
+    bool any = false;
+    for (const Upstream& up : slots_) {
+      if (!up.live || up.done) continue;
+      any = true;
+      min_wm = std::min(min_wm, up.watermark);
+    }
+    if (!any) {
+      // All upstreams done (or none subscribed): time is exhausted.
+      return kMaxTimestamp;
+    }
+    return min_wm;
+  }
+
+  void NotifyProgress() {
+    const Timestamp merged = MergedWatermark();
+    if (merged > last_notified_) {
+      last_notified_ = merged;
+      owner_->PortProgress(port_id_, merged);
+    }
+  }
+
+  void MaybeNotifyDone() {
+    if (done_delivered_) return;
+    bool all_done = true;
+    bool any_live_ever = false;
+    for (const Upstream& up : slots_) {
+      if (up.live) {
+        any_live_ever = true;
+        if (!up.done) all_done = false;
+      }
+    }
+    if (any_live_ever && all_done) {
+      done_delivered_ = true;
+      owner_->PortDone(port_id_);
+    }
+  }
+
+  PortOwner<T>* owner_;
+  Node* owner_node_;
+  int port_id_;
+  std::vector<Upstream> slots_;
+  std::size_t live_upstreams_ = 0;
+  Timestamp last_notified_ = kMinTimestamp;
+  bool done_delivered_ = false;
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_PORT_H_

@@ -1,0 +1,134 @@
+#ifndef PIPES_CORE_SOURCE_H_
+#define PIPES_CORE_SOURCE_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/element.h"
+#include "src/core/node.h"
+#include "src/core/port.h"
+
+/// \file
+/// The source half of the publish-subscribe architecture: a node that
+/// transfers elements of type `T` to its set of subscribed input ports
+/// (the paper: "a source transfers its elements to a set of subscribed
+/// sinks"). Subscriptions can be added and removed at runtime, which is how
+/// the multi-query optimizer grafts new query plans onto a running graph.
+
+namespace pipes {
+
+/// A query-graph node with one output of element type `T`.
+///
+/// `Transfer*` members deliver directly (synchronously) to every subscribed
+/// port — the queue-less connection the paper highlights. Subclasses must
+/// transfer elements in non-decreasing `start()` order and must finish with
+/// `TransferDone()`.
+///
+/// Subscription changes must not happen from inside a Transfer call chain.
+template <typename T>
+class Source : public Node {
+ public:
+  using Element = StreamElement<T>;
+
+  explicit Source(std::string name) : Node(std::move(name)) {}
+
+  /// Subscribes `port` to this source. The subscriber will see all elements
+  /// transferred from now on.
+  void SubscribeTo(InputPort<T>& port) {
+    const int slot = port.AddUpstream();
+    subscriptions_.push_back({&port, slot});
+    downstream_.push_back(port.owner_node());
+    port.owner_node()->upstream_.push_back(this);
+    // A late subscriber must not stall progress behind time that has already
+    // elapsed on this source.
+    if (last_start_ > kMinTimestamp) {
+      port.ReceiveHeartbeat(slot, last_start_);
+    }
+    if (done_) {
+      port.ReceiveDone(slot);
+    }
+  }
+
+  /// Cancels the subscription of `port`. No-op status if not subscribed.
+  Status UnsubscribeFrom(InputPort<T>& port) {
+    auto it = std::find_if(
+        subscriptions_.begin(), subscriptions_.end(),
+        [&](const Subscription& s) { return s.port == &port; });
+    if (it == subscriptions_.end()) {
+      return Status::NotFound("port is not subscribed to source " + name());
+    }
+    port.RemoveUpstream(it->slot);
+    subscriptions_.erase(it);
+    EraseOneTopologyEdge(port.owner_node());
+    return Status::OK();
+  }
+
+  std::size_t num_subscribers() const { return subscriptions_.size(); }
+
+  /// True once TransferDone was called.
+  bool output_done() const { return done_; }
+
+  /// Largest element start transferred so far (the source's implicit
+  /// heartbeat level).
+  Timestamp last_start() const { return last_start_; }
+
+ protected:
+  /// Delivers `element` to all subscribers. Enforces (in debug builds) the
+  /// non-decreasing start-order invariant.
+  void Transfer(const Element& element) {
+    PIPES_DCHECK(!done_);
+    PIPES_DCHECK(element.start() >= last_start_ ||
+                 last_start_ == kMinTimestamp);
+    last_start_ = std::max(last_start_, element.start());
+    CountOut();
+    for (const Subscription& s : subscriptions_) {
+      s.port->Receive(s.slot, element);
+    }
+  }
+
+  /// Promises that no future element will have `start() < t`.
+  void TransferHeartbeat(Timestamp t) {
+    PIPES_DCHECK(!done_);
+    if (t <= last_start_) return;
+    last_start_ = t;
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveHeartbeat(s.slot, t);
+    }
+  }
+
+  /// Signals end-of-stream to all subscribers. Idempotent.
+  void TransferDone() {
+    if (done_) return;
+    done_ = true;
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveDone(s.slot);
+    }
+  }
+
+ private:
+  struct Subscription {
+    InputPort<T>* port;
+    int slot;
+  };
+
+  void EraseOneTopologyEdge(Node* down) {
+    auto dit = std::find(downstream_.begin(), downstream_.end(), down);
+    if (dit != downstream_.end()) downstream_.erase(dit);
+    auto& ups = down->upstream_;
+    auto uit = std::find(ups.begin(), ups.end(), static_cast<Node*>(this));
+    if (uit != ups.end()) ups.erase(uit);
+  }
+
+  std::vector<Subscription> subscriptions_;
+  Timestamp last_start_ = kMinTimestamp;
+  bool done_ = false;
+};
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_SOURCE_H_

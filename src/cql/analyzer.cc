@@ -1,0 +1,259 @@
+#include "src/cql/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/cql/parser.h"
+#include "src/relational/expression.h"
+
+namespace pipes::cql {
+
+namespace {
+
+using optimizer::AggKind;
+using optimizer::AggSpec;
+using optimizer::JoinOp;
+using optimizer::LogicalPlan;
+using relational::ExprPtr;
+using relational::Schema;
+
+Result<AggKind> AggKindFromName(const std::string& name) {
+  std::string upper;
+  for (char c : name) {
+    upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (upper == "COUNT") return AggKind::kCount;
+  if (upper == "SUM") return AggKind::kSum;
+  if (upper == "AVG") return AggKind::kAvg;
+  if (upper == "MIN") return AggKind::kMin;
+  if (upper == "MAX") return AggKind::kMax;
+  if (upper == "VARIANCE") return AggKind::kVariance;
+  if (upper == "STDDEV") return AggKind::kStddev;
+  return Status::InvalidArgument("unknown aggregate '" + name + "'");
+}
+
+/// Resolves names to field references; rejects aggregate calls (they are
+/// only legal at the top of SELECT items and are handled separately).
+Result<ExprPtr> ResolveExpr(const ExprAstPtr& ast, const Schema& schema) {
+  switch (ast->kind) {
+    case ExprAst::Kind::kLiteral:
+      return relational::MakeLiteral(ast->literal);
+    case ExprAst::Kind::kName: {
+      const auto index = schema.IndexOf(ast->name);
+      if (!index.has_value()) {
+        return Status::InvalidArgument("unknown or ambiguous field '" +
+                                       ast->name + "'");
+      }
+      return relational::MakeField(*index, schema.field(*index).name);
+    }
+    case ExprAst::Kind::kBinary: {
+      PIPES_ASSIGN_OR_RETURN(ExprPtr left,
+                             ResolveExpr(ast->children[0], schema));
+      PIPES_ASSIGN_OR_RETURN(ExprPtr right,
+                             ResolveExpr(ast->children[1], schema));
+      return relational::MakeBinary(ast->binary_op, std::move(left),
+                                    std::move(right));
+    }
+    case ExprAst::Kind::kUnary: {
+      PIPES_ASSIGN_OR_RETURN(ExprPtr operand,
+                             ResolveExpr(ast->children[0], schema));
+      return relational::MakeUnary(ast->unary_op, std::move(operand));
+    }
+    case ExprAst::Kind::kAggCall:
+      return Status::InvalidArgument(
+          "aggregate calls are only allowed at the top level of SELECT");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+/// Default output name for a select item.
+std::string ItemName(const SelectItem& item, std::size_t position) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->kind == ExprAst::Kind::kName) {
+    return item.expr->name;
+  }
+  return "expr" + std::to_string(position);
+}
+
+}  // namespace
+
+Result<LogicalPlan> Analyze(const QueryAst& query, const Catalog& catalog) {
+  if (query.from.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+  if (query.select.empty()) {
+    return Status::InvalidArgument("SELECT list is empty");
+  }
+
+  // 1. Stream scans, schemas qualified by alias.
+  std::set<std::string> aliases;
+  LogicalPlan plan;
+  for (const StreamRef& ref : query.from) {
+    if (!aliases.insert(ref.alias).second) {
+      return Status::InvalidArgument("duplicate stream alias '" + ref.alias +
+                                     "'");
+    }
+    PIPES_ASSIGN_OR_RETURN(const Catalog::StreamInfo* info,
+                           catalog.Lookup(ref.stream));
+    LogicalPlan scan = optimizer::ScanOp(
+        ref.stream, info->schema.WithPrefix(ref.alias), ref.window);
+    // 2. Left-deep cross-join chain in FROM order; the optimizer extracts
+    // equi keys from the WHERE predicate afterwards.
+    plan = plan == nullptr
+               ? scan
+               : JoinOp(std::move(plan), std::move(scan), {}, nullptr);
+  }
+
+  // 3. WHERE.
+  if (query.where != nullptr) {
+    PIPES_ASSIGN_OR_RETURN(ExprPtr predicate,
+                           ResolveExpr(query.where, plan->schema));
+    plan = optimizer::FilterOp(std::move(plan), std::move(predicate));
+  }
+
+  // 4. Aggregation needed?
+  bool has_agg = false;
+  for (const SelectItem& item : query.select) {
+    if (item.expr != nullptr && item.expr->kind == ExprAst::Kind::kAggCall) {
+      has_agg = true;
+    }
+  }
+
+  if (!query.group_by.empty() || has_agg) {
+    // 4a. Resolve group fields.
+    std::vector<std::size_t> group_fields;
+    for (const std::string& name : query.group_by) {
+      const auto index = plan->schema.IndexOf(name);
+      if (!index.has_value()) {
+        return Status::InvalidArgument("unknown or ambiguous GROUP BY field '" +
+                                       name + "'");
+      }
+      group_fields.push_back(*index);
+    }
+
+    // 4b. Split SELECT items into aggregates and grouped fields.
+    struct ItemSlot {
+      bool is_agg;
+      std::size_t index;  // agg index or position in group_fields
+    };
+    std::vector<ItemSlot> slots;
+    std::vector<AggSpec> aggs;
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < query.select.size(); ++i) {
+      const SelectItem& item = query.select[i];
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * cannot be combined with "
+                                       "aggregation");
+      }
+      names.push_back(ItemName(item, i));
+      if (item.expr->kind == ExprAst::Kind::kAggCall) {
+        AggSpec spec;
+        PIPES_ASSIGN_OR_RETURN(spec.kind, AggKindFromName(item.expr->name));
+        if (!item.expr->children.empty()) {
+          PIPES_ASSIGN_OR_RETURN(
+              spec.arg, ResolveExpr(item.expr->children[0], plan->schema));
+        } else if (spec.kind != AggKind::kCount) {
+          return Status::InvalidArgument("only COUNT may be applied to *");
+        }
+        spec.output_name = names.back();
+        slots.push_back({true, aggs.size()});
+        aggs.push_back(std::move(spec));
+      } else if (item.expr->kind == ExprAst::Kind::kName) {
+        const auto index = plan->schema.IndexOf(item.expr->name);
+        if (!index.has_value()) {
+          return Status::InvalidArgument("unknown or ambiguous field '" +
+                                         item.expr->name + "'");
+        }
+        const auto pos = std::find(group_fields.begin(), group_fields.end(),
+                                   *index);
+        if (pos == group_fields.end()) {
+          return Status::InvalidArgument(
+              "non-aggregate SELECT item '" + item.expr->name +
+              "' must appear in GROUP BY");
+        }
+        slots.push_back(
+            {false, static_cast<std::size_t>(pos - group_fields.begin())});
+      } else {
+        return Status::InvalidArgument(
+            "with aggregation, SELECT items must be grouped fields or "
+            "aggregate calls");
+      }
+    }
+
+    plan = optimizer::GroupAggregateOp(std::move(plan), group_fields, aggs);
+
+    // 4b'. HAVING filters the aggregate output (group fields + aggregate
+    // names are in scope).
+    if (query.having != nullptr) {
+      PIPES_ASSIGN_OR_RETURN(ExprPtr having,
+                             ResolveExpr(query.having, plan->schema));
+      plan = optimizer::FilterOp(std::move(plan), std::move(having));
+    }
+
+    // 4c. Rearrange (group fields first, then aggs) into SELECT order.
+    std::vector<ExprPtr> exprs;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::size_t source_index =
+          slots[i].is_agg ? group_fields.size() + slots[i].index
+                          : slots[i].index;
+      exprs.push_back(relational::MakeField(
+          source_index, plan->schema.field(source_index).name));
+    }
+    plan = optimizer::ProjectOp(std::move(plan), std::move(exprs),
+                                std::move(names));
+  } else if (!(query.select.size() == 1 && query.select[0].star)) {
+    // 5. Plain projection.
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < query.select.size(); ++i) {
+      const SelectItem& item = query.select[i];
+      if (item.star) {
+        return Status::InvalidArgument(
+            "'*' must be the only SELECT item in this subset");
+      }
+      PIPES_ASSIGN_OR_RETURN(ExprPtr expr,
+                             ResolveExpr(item.expr, plan->schema));
+      exprs.push_back(std::move(expr));
+      names.push_back(ItemName(item, i));
+    }
+    plan = optimizer::ProjectOp(std::move(plan), std::move(exprs),
+                                std::move(names));
+  }
+
+  if (query.having != nullptr && query.group_by.empty() && !has_agg) {
+    return Status::InvalidArgument("HAVING requires aggregation");
+  }
+
+  if (query.distinct) {
+    plan = optimizer::DistinctOp(std::move(plan));
+  }
+
+  // 6. Relation-to-stream mode.
+  switch (query.stream_mode) {
+    case StreamMode::kRStream:
+      break;  // interval streams are the relation representation already
+    case StreamMode::kIStream:
+      plan = optimizer::IStreamOp(std::move(plan));
+      break;
+    case StreamMode::kDStream:
+      plan = optimizer::DStreamOp(std::move(plan));
+      break;
+  }
+  return plan;
+}
+
+Result<LogicalPlan> Compile(const std::string& query_text,
+                            const Catalog& catalog) {
+  PIPES_ASSIGN_OR_RETURN(QueryAst ast, Parse(query_text));
+  return Analyze(ast, catalog);
+}
+
+Result<relational::ExprPtr> ResolveExpression(
+    const ExprAstPtr& ast, const relational::Schema& schema) {
+  return ResolveExpr(ast, schema);
+}
+
+}  // namespace pipes::cql

@@ -1,0 +1,39 @@
+#ifndef PIPES_CQL_ANALYZER_H_
+#define PIPES_CQL_ANALYZER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/cql/ast.h"
+#include "src/cql/catalog.h"
+#include "src/optimizer/logical_plan.h"
+
+/// \file
+/// Semantic analysis: binds a parsed query against the catalog and lowers
+/// it to a logical plan — stream scans with windows, a left-deep cross-join
+/// chain in FROM order, the WHERE predicate as a filter on top (the
+/// optimizer later pushes it down and extracts equi-join keys), grouped
+/// aggregation, projection, and DISTINCT.
+///
+/// Restrictions of the subset: aggregates appear only in the SELECT list;
+/// with GROUP BY (or any aggregate), non-aggregate SELECT items must be
+/// plain grouped field names.
+
+namespace pipes::cql {
+
+/// Lowers `query` to a logical plan, or a semantic error.
+Result<optimizer::LogicalPlan> Analyze(const QueryAst& query,
+                                       const Catalog& catalog);
+
+/// Convenience: parse + analyze.
+Result<optimizer::LogicalPlan> Compile(const std::string& query_text,
+                                       const Catalog& catalog);
+
+/// Binds a parsed expression against `schema` (no aggregate calls). Used
+/// by the XML plan reader.
+Result<relational::ExprPtr> ResolveExpression(
+    const ExprAstPtr& ast, const relational::Schema& schema);
+
+}  // namespace pipes::cql
+
+#endif  // PIPES_CQL_ANALYZER_H_

@@ -1,0 +1,56 @@
+#include "src/cql/ast.h"
+
+#include "src/relational/expression.h"
+
+namespace pipes::cql {
+
+std::string ExprAst::ToString() const {
+  switch (kind) {
+    case Kind::kName:
+      return name;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             relational::BinaryOpName(binary_op) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kUnary:
+      return std::string(unary_op == relational::UnaryOp::kNot ? "NOT "
+                                                               : "-") +
+             children[0]->ToString();
+    case Kind::kAggCall:
+      return name + "(" +
+             (children.empty() ? "*" : children[0]->ToString()) + ")";
+  }
+  return "?";
+}
+
+std::string QueryAst::ToString() const {
+  std::string out = "SELECT ";
+  if (stream_mode == StreamMode::kIStream) out += "ISTREAM ";
+  if (stream_mode == StreamMode::kDStream) out += "DSTREAM ";
+  if (distinct) out += "DISTINCT ";
+  for (std::size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].star ? "*" : select[i].expr->ToString();
+    if (!select[i].alias.empty()) out += " AS " + select[i].alias;
+  }
+  out += " FROM ";
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].stream + " [" + from[i].window.ToString() + "]";
+    if (from[i].alias != from[i].stream) out += " AS " + from[i].alias;
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i];
+    }
+    if (having != nullptr) out += " HAVING " + having->ToString();
+  }
+  return out;
+}
+
+}  // namespace pipes::cql

@@ -1,0 +1,74 @@
+#ifndef PIPES_CQL_AST_H_
+#define PIPES_CQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/logical_plan.h"
+#include "src/relational/expression.h"
+#include "src/relational/value.h"
+
+/// \file
+/// Abstract syntax for the CQL subset. Names are unresolved here; the
+/// analyzer binds them against the catalog and lowers the query to a
+/// logical plan.
+
+namespace pipes::cql {
+
+struct ExprAst;
+using ExprAstPtr = std::shared_ptr<const ExprAst>;
+
+/// Parsed expression with unresolved names.
+struct ExprAst {
+  enum class Kind {
+    kName,     // possibly qualified field name ("alias.field")
+    kLiteral,
+    kBinary,
+    kUnary,
+    kAggCall,  // COUNT/SUM/AVG/MIN/MAX; child may be empty for COUNT(*)
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string name;                      // kName / kAggCall function name
+  relational::Value literal;             // kLiteral
+  relational::BinaryOp binary_op = relational::BinaryOp::kAdd;  // kBinary
+  relational::UnaryOp unary_op = relational::UnaryOp::kNot;     // kUnary
+  std::vector<ExprAstPtr> children;
+
+  std::string ToString() const;
+};
+
+/// One SELECT list entry; `star` stands for `*`.
+struct SelectItem {
+  ExprAstPtr expr;    // null when star
+  std::string alias;  // empty = derive from the expression
+  bool star = false;
+};
+
+/// FROM entry: stream name with optional window and alias.
+struct StreamRef {
+  std::string stream;
+  std::string alias;  // defaults to the stream name
+  optimizer::WindowSpec window;  // defaults to NOW
+};
+
+/// CQL relation-to-stream mode of the query result.
+enum class StreamMode { kRStream, kIStream, kDStream };
+
+/// A parsed (not yet analyzed) continuous query.
+struct QueryAst {
+  std::vector<SelectItem> select;
+  std::vector<StreamRef> from;
+  ExprAstPtr where;                   // may be null
+  std::vector<std::string> group_by;  // field names
+  ExprAstPtr having;                  // may be null; requires GROUP BY
+  bool distinct = false;
+  StreamMode stream_mode = StreamMode::kRStream;
+
+  std::string ToString() const;
+};
+
+}  // namespace pipes::cql
+
+#endif  // PIPES_CQL_AST_H_

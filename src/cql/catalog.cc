@@ -1,0 +1,41 @@
+#include "src/cql/catalog.h"
+
+namespace pipes::cql {
+
+Status Catalog::RegisterStream(const std::string& name,
+                               relational::Schema schema,
+                               Source<relational::Tuple>* source,
+                               double rate_hint) {
+  if (streams_.find(name) != streams_.end()) {
+    return Status::AlreadyExists("stream '" + name + "' already registered");
+  }
+  streams_[name] = StreamInfo{std::move(schema), source, rate_hint};
+  return Status::OK();
+}
+
+Result<const Catalog::StreamInfo*> Catalog::Lookup(
+    const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Catalog::SetRateHint(const std::string& name, double rate_hint) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  it->second.rate_hint = rate_hint;
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, info] : streams_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pipes::cql

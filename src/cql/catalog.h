@@ -1,0 +1,51 @@
+#ifndef PIPES_CQL_CATALOG_H_
+#define PIPES_CQL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/source.h"
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+
+/// \file
+/// The catalog binds stream names to their schemas and to the physical
+/// sources feeding the running query graph. The CQL analyzer resolves
+/// against it; the plan manager pulls physical sources from it.
+
+namespace pipes::cql {
+
+/// Registry of tuple streams available to continuous queries.
+class Catalog {
+ public:
+  struct StreamInfo {
+    relational::Schema schema;
+    Source<relational::Tuple>* source = nullptr;
+    /// Estimated elements per second, used by the cost model before any
+    /// secondary metadata is available.
+    double rate_hint = 1000.0;
+  };
+
+  /// Registers a stream; fails if the name is taken. `source` may be null
+  /// for analysis-only use (no instantiation).
+  Status RegisterStream(const std::string& name, relational::Schema schema,
+                        Source<relational::Tuple>* source = nullptr,
+                        double rate_hint = 1000.0);
+
+  Result<const StreamInfo*> Lookup(const std::string& name) const;
+
+  /// Updates the rate estimate for `name` — the feedback path from the
+  /// metadata monitor into the cost model (adaptive optimization).
+  Status SetRateHint(const std::string& name, double rate_hint);
+
+  std::vector<std::string> StreamNames() const;
+
+ private:
+  std::map<std::string, StreamInfo> streams_;
+};
+
+}  // namespace pipes::cql
+
+#endif  // PIPES_CQL_CATALOG_H_

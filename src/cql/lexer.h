@@ -1,0 +1,44 @@
+#ifndef PIPES_CQL_LEXER_H_
+#define PIPES_CQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+/// \file
+/// Tokenizer for the CQL subset. Keywords are recognized case-insensitively
+/// at parse time; the lexer only distinguishes identifiers, literals, and
+/// symbols.
+
+namespace pipes::cql {
+
+enum class TokenKind {
+  kIdent,    // names and keywords
+  kInt,      // integer literal
+  kDouble,   // floating literal
+  kString,   // 'quoted'
+  kSymbol,   // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;          // raw text (symbol spelling for kSymbol)
+  std::int64_t int_value = 0;
+  double double_value = 0;
+  std::size_t position = 0;  // byte offset, for error messages
+
+  /// Case-insensitive keyword/identifier comparison.
+  bool Is(const char* upper) const;
+  bool IsSymbol(const char* symbol) const;
+};
+
+/// Splits `input` into tokens (ending with one kEnd token), or a ParseError
+/// pointing at the offending byte.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace pipes::cql
+
+#endif  // PIPES_CQL_LEXER_H_

@@ -1,0 +1,37 @@
+#ifndef PIPES_CQL_PARSER_H_
+#define PIPES_CQL_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/cql/ast.h"
+
+/// \file
+/// Recursive-descent parser for the CQL subset:
+///
+///   query     := SELECT [DISTINCT] items FROM streams [WHERE expr]
+///                [GROUP BY name (, name)*]
+///   items     := '*' | item (',' item)*
+///   item      := expr [AS ident]
+///   streams   := streamref (',' streamref)*
+///   streamref := ident [window] [[AS] ident]
+///   window    := '[' RANGE n unit [SLIDE n unit] | ROWS n | NOW |
+///                    UNBOUNDED ']'
+///   unit      := MILLISECONDS | SECONDS | MINUTES | HOURS
+///   expr      := or-expr with the usual precedence; primary supports
+///                literals, (possibly qualified) names, aggregate calls
+///                COUNT/SUM/AVG/MIN/MAX, parentheses, NOT, unary minus.
+
+namespace pipes::cql {
+
+/// Parses one continuous query. Returns ParseError with offset context on
+/// malformed input.
+Result<QueryAst> Parse(const std::string& query);
+
+/// Parses a standalone expression (the full input must be one expression).
+/// Used by the XML plan reader to revive serialized predicates.
+Result<ExprAstPtr> ParseExpressionAst(const std::string& text);
+
+}  // namespace pipes::cql
+
+#endif  // PIPES_CQL_PARSER_H_

@@ -1,0 +1,217 @@
+#ifndef PIPES_CURSORS_CURSOR_H_
+#define PIPES_CURSORS_CURSOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Demand-driven cursor algebra — the XXL substrate PIPES builds on.
+/// A cursor yields elements on request (`Next()`), the dual of the
+/// data-driven pipe. The familiar relational operations are provided as
+/// cursor combinators; `src/cursors/translate.h` holds the dataflow
+/// translation operators (Graefe) that convert between the two worlds.
+
+namespace pipes::cursors {
+
+/// Pull-based iterator; `Next()` returns nullopt when exhausted.
+template <typename T>
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+  virtual std::optional<T> Next() = 0;
+};
+
+template <typename T>
+using CursorPtr = std::unique_ptr<Cursor<T>>;
+
+/// Cursor over an owned vector.
+template <typename T>
+class VectorCursor : public Cursor<T> {
+ public:
+  explicit VectorCursor(std::vector<T> values) : values_(std::move(values)) {}
+
+  std::optional<T> Next() override {
+    if (next_ >= values_.size()) return std::nullopt;
+    return values_[next_++];
+  }
+
+ private:
+  std::vector<T> values_;
+  std::size_t next_ = 0;
+};
+
+/// Cursor over a generator function.
+template <typename T>
+class FunctionCursor : public Cursor<T> {
+ public:
+  using Generator = std::function<std::optional<T>()>;
+  explicit FunctionCursor(Generator generator)
+      : generator_(std::move(generator)) {}
+
+  std::optional<T> Next() override { return generator_(); }
+
+ private:
+  Generator generator_;
+};
+
+/// Selection combinator.
+template <typename T>
+class FilterCursor : public Cursor<T> {
+ public:
+  FilterCursor(CursorPtr<T> input, std::function<bool(const T&)> pred)
+      : input_(std::move(input)), pred_(std::move(pred)) {}
+
+  std::optional<T> Next() override {
+    while (auto v = input_->Next()) {
+      if (pred_(*v)) return v;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  CursorPtr<T> input_;
+  std::function<bool(const T&)> pred_;
+};
+
+/// Mapping combinator.
+template <typename In, typename Out>
+class MapCursor : public Cursor<Out> {
+ public:
+  MapCursor(CursorPtr<In> input, std::function<Out(const In&)> fn)
+      : input_(std::move(input)), fn_(std::move(fn)) {}
+
+  std::optional<Out> Next() override {
+    if (auto v = input_->Next()) return fn_(*v);
+    return std::nullopt;
+  }
+
+ private:
+  CursorPtr<In> input_;
+  std::function<Out(const In&)> fn_;
+};
+
+/// Concatenation (bag union) of two cursors.
+template <typename T>
+class ConcatCursor : public Cursor<T> {
+ public:
+  ConcatCursor(CursorPtr<T> first, CursorPtr<T> second)
+      : first_(std::move(first)), second_(std::move(second)) {}
+
+  std::optional<T> Next() override {
+    if (first_ != nullptr) {
+      if (auto v = first_->Next()) return v;
+      first_.reset();
+    }
+    return second_->Next();
+  }
+
+ private:
+  CursorPtr<T> first_;
+  CursorPtr<T> second_;
+};
+
+/// Nested-loops join: streams the outer cursor against a materialized
+/// inner. Demand-driven: one output per Next().
+template <typename L, typename R, typename Out>
+class NestedLoopsJoinCursor : public Cursor<Out> {
+ public:
+  NestedLoopsJoinCursor(CursorPtr<L> outer, std::vector<R> inner,
+                        std::function<bool(const L&, const R&)> pred,
+                        std::function<Out(const L&, const R&)> combine)
+      : outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        pred_(std::move(pred)),
+        combine_(std::move(combine)) {}
+
+  std::optional<Out> Next() override {
+    for (;;) {
+      if (!current_.has_value()) {
+        current_ = outer_->Next();
+        if (!current_.has_value()) return std::nullopt;
+        inner_pos_ = 0;
+      }
+      while (inner_pos_ < inner_.size()) {
+        const R& r = inner_[inner_pos_++];
+        if (pred_(*current_, r)) return combine_(*current_, r);
+      }
+      current_.reset();
+    }
+  }
+
+ private:
+  CursorPtr<L> outer_;
+  std::vector<R> inner_;
+  std::function<bool(const L&, const R&)> pred_;
+  std::function<Out(const L&, const R&)> combine_;
+  std::optional<L> current_;
+  std::size_t inner_pos_ = 0;
+};
+
+/// Hash group-by: materializes groups on first Next(), then yields
+/// (key, aggregate) pairs. Uses the same online aggregation policies as the
+/// data-driven operators.
+template <typename In, typename Agg, typename KeyFn, typename ValueFn>
+class GroupByCursor
+    : public Cursor<std::pair<
+          std::decay_t<std::invoke_result_t<KeyFn, const In&>>,
+          typename Agg::Output>> {
+ public:
+  using Key = std::decay_t<std::invoke_result_t<KeyFn, const In&>>;
+  using Out = std::pair<Key, typename Agg::Output>;
+
+  GroupByCursor(CursorPtr<In> input, KeyFn key_fn, ValueFn value_fn,
+                Agg agg = Agg())
+      : input_(std::move(input)),
+        key_fn_(std::move(key_fn)),
+        value_fn_(std::move(value_fn)),
+        agg_(std::move(agg)) {}
+
+  std::optional<Out> Next() override {
+    if (!materialized_) {
+      Materialize();
+    }
+    if (next_ >= results_.size()) return std::nullopt;
+    return results_[next_++];
+  }
+
+ private:
+  void Materialize() {
+    std::unordered_map<Key, typename Agg::State> groups;
+    std::vector<Key> order;  // deterministic output: first-seen order
+    while (auto v = input_->Next()) {
+      const Key key = key_fn_(*v);
+      auto [it, inserted] = groups.try_emplace(key, agg_.Init());
+      if (inserted) order.push_back(key);
+      agg_.Add(it->second, value_fn_(*v));
+    }
+    results_.reserve(order.size());
+    for (const Key& key : order) {
+      results_.emplace_back(key, agg_.Result(groups.at(key)));
+    }
+    materialized_ = true;
+  }
+
+  CursorPtr<In> input_;
+  KeyFn key_fn_;
+  ValueFn value_fn_;
+  Agg agg_;
+  bool materialized_ = false;
+  std::vector<Out> results_;
+  std::size_t next_ = 0;
+};
+
+/// Drains a cursor into a vector (terminal helper).
+template <typename T>
+std::vector<T> Collect(Cursor<T>& cursor) {
+  std::vector<T> out;
+  while (auto v = cursor.Next()) out.push_back(std::move(*v));
+  return out;
+}
+
+}  // namespace pipes::cursors
+
+#endif  // PIPES_CURSORS_CURSOR_H_

@@ -1,0 +1,168 @@
+#include "src/memory/memory_manager.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/macros.h"
+
+namespace pipes::memory {
+
+namespace {
+
+/// Distributes `budget` by weight, clamping each share to
+/// [min_bytes, preferred_bytes] and re-offering capped users' leftover in
+/// further passes. Guarantees every user at least its minimum.
+std::vector<std::size_t> WeightedAssign(std::size_t budget,
+                                        const std::vector<UserInfo>& users,
+                                        const std::vector<double>& weights) {
+  const std::size_t n = users.size();
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<bool> fixed(n, false);
+
+  // Minima come first, regardless of budget.
+  std::size_t spent = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[i] = users[i].min_bytes;
+    spent += assignment[i];
+  }
+  std::size_t remaining = budget > spent ? budget - spent : 0;
+
+  // Iteratively hand the remainder out by weight, freezing users that hit
+  // their preferred cap. Terminates: each pass fixes at least one user or
+  // distributes everything.
+  for (std::size_t pass = 0; pass < n + 1 && remaining > 0; ++pass) {
+    double total_weight = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!fixed[i]) total_weight += weights[i];
+    }
+    if (total_weight <= 0) break;
+    bool any_fixed = false;
+    std::size_t next_remaining = remaining;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      const auto share = static_cast<std::size_t>(
+          static_cast<double>(remaining) * (weights[i] / total_weight));
+      const std::size_t headroom =
+          users[i].preferred_bytes > assignment[i]
+              ? users[i].preferred_bytes - assignment[i]
+              : 0;
+      const std::size_t granted = std::min(share, headroom);
+      assignment[i] += granted;
+      next_remaining -= granted;
+      if (granted == headroom) {
+        fixed[i] = true;
+        any_fixed = true;
+      }
+    }
+    if (!any_fixed) {
+      // Rounding may strand a few bytes; give them to the first open user.
+      for (std::size_t i = 0; i < n && next_remaining > 0; ++i) {
+        if (fixed[i]) continue;
+        const std::size_t headroom =
+            users[i].preferred_bytes > assignment[i]
+                ? users[i].preferred_bytes - assignment[i]
+                : 0;
+        const std::size_t granted = std::min(next_remaining, headroom);
+        assignment[i] += granted;
+        next_remaining -= granted;
+      }
+      remaining = next_remaining;
+      break;
+    }
+    remaining = next_remaining;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<std::size_t> UniformStrategy::Assign(
+    std::size_t budget, const std::vector<UserInfo>& users) {
+  return WeightedAssign(budget, users,
+                        std::vector<double>(users.size(), 1.0));
+}
+
+std::vector<std::size_t> ProportionalStrategy::Assign(
+    std::size_t budget, const std::vector<UserInfo>& users) {
+  std::vector<double> weights(users.size());
+  double total = 0;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    weights[i] = static_cast<double>(users[i].usage);
+    total += weights[i];
+  }
+  if (total == 0) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+  }
+  return WeightedAssign(budget, users, weights);
+}
+
+std::vector<std::size_t> PriorityStrategy::Assign(
+    std::size_t budget, const std::vector<UserInfo>& users) {
+  std::vector<double> weights(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    weights[i] = std::max(users[i].priority, 0.0);
+  }
+  return WeightedAssign(budget, users, weights);
+}
+
+MemoryManager::MemoryManager(std::size_t budget_bytes,
+                             std::unique_ptr<AssignmentStrategy> strategy)
+    : budget_(budget_bytes), strategy_(std::move(strategy)) {
+  PIPES_CHECK(strategy_ != nullptr);
+}
+
+Status MemoryManager::Register(MemoryUser& user, double priority) {
+  for (const Registration& r : users_) {
+    if (r.user == &user) {
+      return Status::AlreadyExists("memory user already registered");
+    }
+  }
+  users_.push_back({&user, priority});
+  Redistribute();
+  return Status::OK();
+}
+
+Status MemoryManager::Unregister(MemoryUser& user) {
+  auto it = std::find_if(users_.begin(), users_.end(),
+                         [&](const Registration& r) { return r.user == &user; });
+  if (it == users_.end()) {
+    return Status::NotFound("memory user not registered");
+  }
+  users_.erase(it);
+  user.SetMemoryLimit(std::numeric_limits<std::size_t>::max());
+  Redistribute();
+  return Status::OK();
+}
+
+void MemoryManager::Redistribute() {
+  if (users_.empty()) return;
+  std::vector<UserInfo> infos;
+  infos.reserve(users_.size());
+  for (const Registration& r : users_) {
+    infos.push_back(UserInfo{r.user, r.priority, r.user->MemoryUsage(),
+                             r.user->MinMemoryBytes(),
+                             r.user->PreferredMemoryBytes()});
+  }
+  const std::vector<std::size_t> assignment =
+      strategy_->Assign(budget_, infos);
+  PIPES_CHECK(assignment.size() == users_.size());
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    users_[i].user->SetMemoryLimit(assignment[i]);
+  }
+}
+
+void MemoryManager::set_strategy(
+    std::unique_ptr<AssignmentStrategy> strategy) {
+  PIPES_CHECK(strategy != nullptr);
+  strategy_ = std::move(strategy);
+  Redistribute();
+}
+
+std::size_t MemoryManager::TotalUsage() const {
+  std::size_t total = 0;
+  for (const Registration& r : users_) total += r.user->MemoryUsage();
+  return total;
+}
+
+}  // namespace pipes::memory

@@ -1,0 +1,113 @@
+#ifndef PIPES_MEMORY_MEMORY_MANAGER_H_
+#define PIPES_MEMORY_MEMORY_MANAGER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/memory/memory_user.h"
+
+/// \file
+/// The adaptive memory manager: operators requiring memory subscribe to it;
+/// the manager globally assigns and redistributes the available budget at
+/// runtime according to an exchangeable strategy. When assignments shrink,
+/// users shed state through their own load-shedding strategy (approximate
+/// query answers under pressure — experiment E6).
+
+namespace pipes::memory {
+
+/// Snapshot of one registered user handed to assignment strategies.
+struct UserInfo {
+  MemoryUser* user = nullptr;
+  double priority = 1.0;
+  std::size_t usage = 0;
+  std::size_t min_bytes = 0;
+  std::size_t preferred_bytes = 0;
+};
+
+/// Splits `budget` bytes over the users. Implementations must return one
+/// assignment per user, each at least the user's `min_bytes` (the manager
+/// accepts overshoot of the budget only through these minima).
+class AssignmentStrategy {
+ public:
+  virtual ~AssignmentStrategy() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<std::size_t> Assign(
+      std::size_t budget, const std::vector<UserInfo>& users) = 0;
+};
+
+/// Equal shares, clamped to [min, preferred]; leftover from capped users is
+/// re-offered to the others.
+class UniformStrategy : public AssignmentStrategy {
+ public:
+  std::string name() const override { return "uniform"; }
+  std::vector<std::size_t> Assign(
+      std::size_t budget, const std::vector<UserInfo>& users) override;
+};
+
+/// Shares proportional to current usage (demand-driven): operators whose
+/// state grows fastest receive the most memory.
+class ProportionalStrategy : public AssignmentStrategy {
+ public:
+  std::string name() const override { return "proportional"; }
+  std::vector<std::size_t> Assign(
+      std::size_t budget, const std::vector<UserInfo>& users) override;
+};
+
+/// Shares proportional to registration priority (queries the user cares
+/// about most keep their state longest).
+class PriorityStrategy : public AssignmentStrategy {
+ public:
+  std::string name() const override { return "priority"; }
+  std::vector<std::size_t> Assign(
+      std::size_t budget, const std::vector<UserInfo>& users) override;
+};
+
+/// The global manager. Not thread-safe; drive it from the scheduling
+/// thread (call `Redistribute()` periodically or after registrations).
+class MemoryManager {
+ public:
+  MemoryManager(std::size_t budget_bytes,
+                std::unique_ptr<AssignmentStrategy> strategy);
+
+  /// Subscribes `user`; fails if already registered. Triggers
+  /// redistribution.
+  Status Register(MemoryUser& user, double priority = 1.0);
+
+  /// Unsubscribes `user` (its limit is lifted). Triggers redistribution.
+  Status Unregister(MemoryUser& user);
+
+  /// Recomputes assignments with the current strategy and pushes them to
+  /// every user via SetMemoryLimit.
+  void Redistribute();
+
+  void set_budget(std::size_t bytes) {
+    budget_ = bytes;
+    Redistribute();
+  }
+  std::size_t budget() const { return budget_; }
+
+  void set_strategy(std::unique_ptr<AssignmentStrategy> strategy);
+  const AssignmentStrategy& strategy() const { return *strategy_; }
+
+  std::size_t num_users() const { return users_.size(); }
+
+  /// Sum of all users' current usage.
+  std::size_t TotalUsage() const;
+
+ private:
+  struct Registration {
+    MemoryUser* user;
+    double priority;
+  };
+
+  std::size_t budget_;
+  std::unique_ptr<AssignmentStrategy> strategy_;
+  std::vector<Registration> users_;
+};
+
+}  // namespace pipes::memory
+
+#endif  // PIPES_MEMORY_MEMORY_MANAGER_H_

@@ -1,0 +1,41 @@
+#ifndef PIPES_MEMORY_MEMORY_USER_H_
+#define PIPES_MEMORY_MEMORY_USER_H_
+
+#include <cstddef>
+#include <limits>
+
+/// \file
+/// Interface between stateful operators and the adaptive memory manager.
+/// Operators requiring memory (joins, aggregates, buffers) subscribe to a
+/// `MemoryManager`, which globally assigns and redistributes the available
+/// budget at runtime. When an operator's assignment shrinks below its
+/// current usage it must shed state (approximate answers) to fit.
+
+namespace pipes::memory {
+
+/// An operator that consumes managed memory.
+class MemoryUser {
+ public:
+  virtual ~MemoryUser() = default;
+
+  /// Current state size in bytes (approximate accounting).
+  virtual std::size_t MemoryUsage() const = 0;
+
+  /// New upper bound in bytes. Implementations must immediately shed state
+  /// (via their load-shedding strategy) until `MemoryUsage() <= bytes`, and
+  /// must respect the bound for future insertions.
+  virtual void SetMemoryLimit(std::size_t bytes) = 0;
+
+  /// Least assignment this user can operate with.
+  virtual std::size_t MinMemoryBytes() const { return 1024; }
+
+  /// Assignment beyond which extra memory does not help (e.g. enough to
+  /// hold a full window). Unlimited by default.
+  virtual std::size_t PreferredMemoryBytes() const {
+    return std::numeric_limits<std::size_t>::max();
+  }
+};
+
+}  // namespace pipes::memory
+
+#endif  // PIPES_MEMORY_MEMORY_USER_H_

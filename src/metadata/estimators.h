@@ -1,0 +1,77 @@
+#ifndef PIPES_METADATA_ESTIMATORS_H_
+#define PIPES_METADATA_ESTIMATORS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+/// \file
+/// Iteratively computed inferential estimators — the paper's "secondary
+/// metadata" synopses, computed in the style of online aggregation: each
+/// estimate is maintained incrementally so a value is available at any time
+/// during a run.
+
+namespace pipes::metadata {
+
+/// Welford's online algorithm: count, mean, variance, min, max in O(1) per
+/// observation without storing the sample.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void Reset() { *this = RunningStats(); }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than two observations.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average; used for rate and selectivity
+/// estimates that must adapt to fluctuating stream characteristics.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * x + (1 - alpha_) * value_;
+    }
+  }
+
+  bool seeded() const { return seeded_; }
+  double value() const { return value_; }
+  void Reset() { seeded_ = false; value_ = 0; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace pipes::metadata
+
+#endif  // PIPES_METADATA_ESTIMATORS_H_

@@ -1,0 +1,139 @@
+#include "src/metadata/monitor.h"
+
+#include <algorithm>
+
+namespace pipes::metadata {
+
+const char* MetricName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kInputRate:
+      return "input_rate";
+    case MetricKind::kOutputRate:
+      return "output_rate";
+    case MetricKind::kSelectivity:
+      return "selectivity";
+    case MetricKind::kQueueSize:
+      return "queue_size";
+    case MetricKind::kSubscriberCount:
+      return "subscriber_count";
+    case MetricKind::kMemoryBytes:
+      return "memory_bytes";
+  }
+  return "?";
+}
+
+void Monitor::Watch(Node& node, std::set<MetricKind> metrics) {
+  if (Watched* existing = Find(node); existing != nullptr) {
+    // Recomposition: drop gauges of metrics no longer requested.
+    for (MetricKind kind : existing->metrics) {
+      if (metrics.find(kind) == metrics.end()) {
+        node.metadata().Remove(MetricName(kind));
+      }
+    }
+    existing->metrics = std::move(metrics);
+    return;
+  }
+  Watched w;
+  w.node = &node;
+  w.metrics = std::move(metrics);
+  w.last_in = node.elements_in();
+  w.last_out = node.elements_out();
+  watched_.push_back(std::move(w));
+}
+
+Status Monitor::AddMetric(Node& node, MetricKind kind) {
+  Watched* w = Find(node);
+  if (w == nullptr) {
+    return Status::NotFound("node '" + node.name() + "' is not watched");
+  }
+  w->metrics.insert(kind);
+  return Status::OK();
+}
+
+Status Monitor::RemoveMetric(Node& node, MetricKind kind) {
+  Watched* w = Find(node);
+  if (w == nullptr) {
+    return Status::NotFound("node '" + node.name() + "' is not watched");
+  }
+  w->metrics.erase(kind);
+  node.metadata().Remove(MetricName(kind));
+  return Status::OK();
+}
+
+void Monitor::Unwatch(Node& node) {
+  auto it = std::find_if(watched_.begin(), watched_.end(),
+                         [&](const Watched& w) { return w.node == &node; });
+  if (it != watched_.end()) {
+    for (MetricKind kind : it->metrics) {
+      node.metadata().Remove(MetricName(kind));
+    }
+    watched_.erase(it);
+  }
+}
+
+void Monitor::Sample() {
+  ++samples_;
+  for (Watched& w : watched_) {
+    Node& node = *w.node;
+    const std::uint64_t in = node.elements_in();
+    const std::uint64_t out = node.elements_out();
+    for (MetricKind kind : w.metrics) {
+      double value = 0;
+      switch (kind) {
+        case MetricKind::kInputRate:
+          value = static_cast<double>(in - w.last_in);
+          break;
+        case MetricKind::kOutputRate:
+          value = static_cast<double>(out - w.last_out);
+          break;
+        case MetricKind::kSelectivity:
+          value = in == 0 ? 1.0
+                          : static_cast<double>(out) /
+                                static_cast<double>(in);
+          break;
+        case MetricKind::kQueueSize:
+          value = static_cast<double>(node.queue_size());
+          break;
+        case MetricKind::kSubscriberCount:
+          value = static_cast<double>(node.downstream().size());
+          break;
+        case MetricKind::kMemoryBytes:
+          value = static_cast<double>(node.ApproxMemoryBytes());
+          break;
+      }
+      const char* name = MetricName(kind);
+      node.metadata().SetGauge(name, value);
+      node.metadata().Observe(std::string(name) + ".stats", value);
+    }
+    w.last_in = in;
+    w.last_out = out;
+  }
+}
+
+void Monitor::WriteCsvHeader(std::ostream& out) {
+  out << "sample,node,metric,value,mean,variance\n";
+}
+
+void Monitor::WriteCsv(std::ostream& out) const {
+  for (const Watched& w : watched_) {
+    for (MetricKind kind : w.metrics) {
+      const char* name = MetricName(kind);
+      const auto gauge = w.node->metadata().Gauge(name);
+      if (!gauge.has_value()) continue;
+      const auto stats =
+          w.node->metadata().Stats(std::string(name) + ".stats");
+      out << samples_ << ',' << w.node->name() << ',' << name << ','
+          << *gauge << ',' << (stats ? stats->mean() : 0.0) << ','
+          << (stats ? stats->variance() : 0.0) << '\n';
+    }
+  }
+}
+
+Monitor::Watched* Monitor::Find(const Node& node) {
+  for (Watched& w : watched_) {
+    if (w.node == &node) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace pipes::metadata

@@ -1,0 +1,83 @@
+#ifndef PIPES_METADATA_MONITOR_H_
+#define PIPES_METADATA_MONITOR_H_
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/node.h"
+
+/// \file
+/// The secondary-metadata monitor: a configurable factory that decorates
+/// arbitrary nodes in a query graph with the desired metadata information.
+/// Each `Sample()` derives the current input/output rate, selectivity,
+/// queue size, and subscriber count of every watched node from its hot-path
+/// counters, stores them as gauges in the node's metadata registry, feeds
+/// running statistics (averages, variances) of each, and can render
+/// everything as CSV — the text-mode equivalent of the paper's performance
+/// monitoring tool. Metric composition can be altered at runtime.
+
+namespace pipes::metadata {
+
+/// The derivable secondary-metadata kinds.
+enum class MetricKind {
+  kInputRate,        // elements in per sample period
+  kOutputRate,       // elements out per sample period
+  kSelectivity,      // cumulative out/in
+  kQueueSize,        // current queue length
+  kSubscriberCount,  // current number of downstream edges
+  kMemoryBytes,      // via MemoryUsageFn if the node provides one
+};
+
+const char* MetricName(MetricKind kind);
+
+/// Samples watched nodes on demand. Sampling cadence is the caller's
+/// choice (every N scheduler iterations, or from a timer thread — the
+/// registries are thread-safe).
+class Monitor {
+ public:
+  Monitor() = default;
+
+  /// Starts decorating `node` with `metrics`. Watching an already-watched
+  /// node replaces its metric composition.
+  void Watch(Node& node, std::set<MetricKind> metrics);
+
+  /// Adds or removes one metric at runtime.
+  Status AddMetric(Node& node, MetricKind kind);
+  Status RemoveMetric(Node& node, MetricKind kind);
+
+  /// Stops decorating `node`.
+  void Unwatch(Node& node);
+
+  /// Takes one sample: updates every watched node's gauges and running
+  /// statistics.
+  void Sample();
+
+  std::uint64_t samples_taken() const { return samples_; }
+
+  /// Writes "sample,node,metric,value,mean,variance" rows for all watched
+  /// nodes' current gauges.
+  void WriteCsv(std::ostream& out) const;
+
+  static void WriteCsvHeader(std::ostream& out);
+
+ private:
+  struct Watched {
+    Node* node;
+    std::set<MetricKind> metrics;
+    std::uint64_t last_in = 0;
+    std::uint64_t last_out = 0;
+  };
+
+  Watched* Find(const Node& node);
+
+  std::vector<Watched> watched_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace pipes::metadata
+
+#endif  // PIPES_METADATA_MONITOR_H_

@@ -1,0 +1,85 @@
+#ifndef PIPES_METADATA_REGISTRY_H_
+#define PIPES_METADATA_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/metadata/estimators.h"
+
+/// \file
+/// Per-node secondary-metadata registry. The metadata factory decorates
+/// nodes by attaching named gauges and running estimators here; composition
+/// can be altered at runtime, and the monitor samples the registry
+/// periodically. Hot-path counters live directly on `Node` as relaxed
+/// atomics; this registry holds the derived, lower-frequency statistics.
+
+namespace pipes::metadata {
+
+/// Thread-safe map of named gauges (instantaneous values) and named
+/// `RunningStats` (averages/variances of previously sampled values).
+class Registry {
+ public:
+  /// Sets (creating if needed) the gauge `name`.
+  void SetGauge(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = value;
+  }
+
+  /// Returns the gauge value, or nullopt if never set.
+  std::optional<double> Gauge(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Adds an observation to the running statistics `name` (created on first
+  /// use).
+  void Observe(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_[name].Add(value);
+  }
+
+  /// Returns a copy of the running statistics, or nullopt if never observed.
+  std::optional<RunningStats> Stats(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stats_.find(name);
+    if (it == stats_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Removes the gauge and/or stats called `name` (runtime recomposition).
+  void Remove(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_.erase(name);
+    stats_.erase(name);
+  }
+
+  std::vector<std::string> GaugeNames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(gauges_.size());
+    for (const auto& [name, unused] : gauges_) names.push_back(name);
+    return names;
+  }
+
+  std::vector<std::string> StatsNames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(stats_.size());
+    for (const auto& [name, unused] : stats_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, RunningStats> stats_;
+};
+
+}  // namespace pipes::metadata
+
+#endif  // PIPES_METADATA_REGISTRY_H_

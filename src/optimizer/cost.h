@@ -1,0 +1,53 @@
+#ifndef PIPES_OPTIMIZER_COST_H_
+#define PIPES_OPTIMIZER_COST_H_
+
+#include <set>
+#include <string>
+
+#include "src/cql/catalog.h"
+#include "src/optimizer/logical_plan.h"
+
+/// \file
+/// The cost model: estimates output rates and cumulative processing cost
+/// (tuples touched per unit time) of logical plans. Scan rates come from
+/// catalog hints (which the metadata monitor can refresh at runtime);
+/// operator selectivities are textbook defaults. Subplans whose signature
+/// already runs in the graph cost nothing extra — the multi-query
+/// optimizer's sharing incentive (Roy et al. style).
+
+namespace pipes::optimizer {
+
+struct CostEstimate {
+  double output_rate = 0;  // elements per second
+  double cost = 0;         // processing effort per second
+};
+
+class CostModel {
+ public:
+  /// `catalog` supplies per-stream rate hints; null uses the default rate.
+  explicit CostModel(const cql::Catalog* catalog = nullptr)
+      : catalog_(catalog) {}
+
+  /// Estimates `plan`. Subtrees whose signature appears in `shared` are
+  /// treated as already paid for (cost 0, normal output rate).
+  CostEstimate Estimate(const LogicalPlan& plan,
+                        const std::set<std::string>* shared = nullptr) const;
+
+  // Default parameters, public for tests and tuning.
+  static constexpr double kDefaultScanRate = 1000.0;
+  static constexpr double kFilterSelectivity = 0.25;
+  static constexpr double kEquiJoinSelectivity = 0.05;
+  static constexpr double kResidualSelectivity = 0.25;
+  static constexpr double kAggregateRateFactor = 0.5;
+  static constexpr double kDistinctRateFactor = 0.5;
+  /// Effective window "size" converting rate x rate into a join output
+  /// rate (seconds of opposite state each element meets).
+  static constexpr double kJoinWindowSeconds = 1.0;
+
+ private:
+  const cql::Catalog* catalog_;
+};
+
+}  // namespace pipes::optimizer
+
+#endif  // PIPES_OPTIMIZER_COST_H_

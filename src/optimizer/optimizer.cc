@@ -1,0 +1,153 @@
+#include "src/optimizer/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <numeric>
+#include <utility>
+
+#include "src/common/macros.h"
+
+namespace pipes::optimizer {
+
+namespace {
+
+/// A cross-join chain decomposition: the unary operators above the chain
+/// (outermost first) and the chain's leaves in original order.
+struct Decomposition {
+  std::vector<LogicalPlan> unary_stack;  // outermost first
+  std::vector<LogicalPlan> leaves;       // left-to-right
+};
+
+/// Flattens pure cross joins (no keys, no residual) into a leaf list.
+void FlattenCross(const LogicalPlan& plan, std::vector<LogicalPlan>* leaves) {
+  if (plan->kind == LogicalOp::Kind::kJoin && plan->equi_keys.empty() &&
+      plan->predicate == nullptr) {
+    FlattenCross(plan->children[0], leaves);
+    FlattenCross(plan->children[1], leaves);
+    return;
+  }
+  leaves->push_back(plan);
+}
+
+/// Walks down unary operators to the topmost join; returns nullopt when the
+/// plan has no permutable cross-join chain.
+std::optional<Decomposition> Decompose(const LogicalPlan& plan) {
+  Decomposition result;
+  LogicalPlan current = plan;
+  while (current->children.size() == 1) {
+    result.unary_stack.push_back(current);
+    current = current->children[0];
+  }
+  if (current->kind != LogicalOp::Kind::kJoin) return std::nullopt;
+  FlattenCross(current, &result.leaves);
+  if (result.leaves.size() < 2) return std::nullopt;
+  return result;
+}
+
+/// Left-deep cross-join chain over `leaves`.
+LogicalPlan BuildChain(const std::vector<LogicalPlan>& leaves) {
+  LogicalPlan plan = leaves[0];
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    plan = JoinOp(plan, leaves[i], {}, nullptr);
+  }
+  return plan;
+}
+
+/// Projection that restores the original concatenation order on top of a
+/// permuted chain, so the operators above keep their field references.
+LogicalPlan RestoreOrder(LogicalPlan permuted_chain,
+                         const std::vector<LogicalPlan>& original_leaves,
+                         const std::vector<std::size_t>& permutation) {
+  // new_offset[p] = start of original leaf `permutation[p]` in the permuted
+  // concatenation.
+  std::vector<std::size_t> new_offset_of_original(original_leaves.size(), 0);
+  std::size_t offset = 0;
+  for (std::size_t p = 0; p < permutation.size(); ++p) {
+    new_offset_of_original[permutation[p]] = offset;
+    offset += original_leaves[permutation[p]]->schema.arity();
+  }
+  std::vector<relational::ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (std::size_t leaf = 0; leaf < original_leaves.size(); ++leaf) {
+    const auto& schema = original_leaves[leaf]->schema;
+    for (std::size_t f = 0; f < schema.arity(); ++f) {
+      exprs.push_back(relational::MakeField(new_offset_of_original[leaf] + f,
+                                            schema.field(f).name));
+      names.push_back(schema.field(f).name);
+    }
+  }
+  return ProjectOp(std::move(permuted_chain), std::move(exprs),
+                   std::move(names));
+}
+
+/// Reattaches the unary operator stack (outermost first) above `base`.
+LogicalPlan Reattach(const std::vector<LogicalPlan>& unary_stack,
+                     LogicalPlan base) {
+  LogicalPlan plan = std::move(base);
+  for (auto it = unary_stack.rbegin(); it != unary_stack.rend(); ++it) {
+    plan = CloneWithChildren(**it, {std::move(plan)});
+  }
+  return plan;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(const cql::Catalog* catalog)
+    : rules_(DefaultRules()), cost_model_(catalog) {}
+
+std::vector<LogicalPlan> Optimizer::EnumerateAlternatives(
+    const LogicalPlan& plan) const {
+  std::vector<LogicalPlan> alternatives;
+  std::map<std::string, bool> seen;
+  auto add = [&](const LogicalPlan& candidate) {
+    LogicalPlan normalized = Rewrite(candidate, rules_);
+    const std::string signature = normalized->Signature();
+    if (!seen.emplace(signature, true).second) return;
+    alternatives.push_back(std::move(normalized));
+  };
+
+  add(plan);
+
+  const std::optional<Decomposition> decomposition = Decompose(plan);
+  if (decomposition.has_value()) {
+    const std::size_t n = decomposition->leaves.size();
+    std::vector<std::size_t> permutation(n);
+    std::iota(permutation.begin(), permutation.end(), 0);
+    std::size_t generated = 0;
+    do {
+      std::vector<LogicalPlan> permuted;
+      permuted.reserve(n);
+      for (std::size_t index : permutation) {
+        permuted.push_back(decomposition->leaves[index]);
+      }
+      LogicalPlan chain = BuildChain(permuted);
+      chain = RestoreOrder(std::move(chain), decomposition->leaves,
+                           permutation);
+      add(Reattach(decomposition->unary_stack, std::move(chain)));
+      ++generated;
+    } while (generated < 24 &&
+             std::next_permutation(permutation.begin(), permutation.end()));
+  }
+  return alternatives;
+}
+
+OptimizationResult Optimizer::Optimize(
+    const LogicalPlan& plan,
+    const std::set<std::string>* shared_signatures) const {
+  const std::vector<LogicalPlan> alternatives = EnumerateAlternatives(plan);
+  PIPES_CHECK(!alternatives.empty());
+  OptimizationResult best;
+  best.alternatives_considered = alternatives.size();
+  for (const LogicalPlan& candidate : alternatives) {
+    const CostEstimate estimate =
+        cost_model_.Estimate(candidate, shared_signatures);
+    if (best.plan == nullptr || estimate.cost < best.cost) {
+      best.plan = candidate;
+      best.cost = estimate.cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace pipes::optimizer

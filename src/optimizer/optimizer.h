@@ -1,0 +1,53 @@
+#ifndef PIPES_OPTIMIZER_OPTIMIZER_H_
+#define PIPES_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/cost.h"
+#include "src/optimizer/logical_plan.h"
+#include "src/optimizer/rules.h"
+
+/// \file
+/// The rule-based query optimizer: takes a new query plan, heuristically
+/// produces a set of snapshot-equivalent alternatives (join-order
+/// enumeration + rule normalization), probes each against the currently
+/// running query graph (shared subplans cost nothing), and returns the
+/// best plan under the cost model — exactly the workflow the paper
+/// describes for multi-query optimization over streams.
+
+namespace pipes::optimizer {
+
+struct OptimizationResult {
+  LogicalPlan plan;
+  double cost = 0;
+  std::size_t alternatives_considered = 0;
+};
+
+class Optimizer {
+ public:
+  /// Uses the default rule set; `catalog` (optional) feeds rate hints to
+  /// the cost model.
+  explicit Optimizer(const cql::Catalog* catalog = nullptr);
+
+  /// Optimizes `plan`. `shared_signatures` lists the subplan signatures
+  /// already instantiated in the running graph.
+  OptimizationResult Optimize(
+      const LogicalPlan& plan,
+      const std::set<std::string>* shared_signatures = nullptr) const;
+
+  /// All snapshot-equivalent alternatives considered (normalized, deduped);
+  /// exposed for tests and the demo.
+  std::vector<LogicalPlan> EnumerateAlternatives(
+      const LogicalPlan& plan) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+  CostModel cost_model_;
+};
+
+}  // namespace pipes::optimizer
+
+#endif  // PIPES_OPTIMIZER_OPTIMIZER_H_

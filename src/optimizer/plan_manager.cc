@@ -1,0 +1,144 @@
+#include "src/optimizer/plan_manager.h"
+
+#include <algorithm>
+
+#include "src/cql/analyzer.h"
+
+namespace pipes::optimizer {
+
+PlanManager::PlanManager(QueryGraph* graph, const cql::Catalog* catalog,
+                         bool sharing)
+    : graph_(graph),
+      catalog_(catalog),
+      sharing_(sharing),
+      optimizer_(catalog),
+      builder_(graph, catalog) {}
+
+Result<PlanManager::InstalledQuery> PlanManager::InstallQuery(
+    const std::string& cql_text) {
+  PIPES_ASSIGN_OR_RETURN(LogicalPlan plan,
+                         cql::Compile(cql_text, *catalog_));
+  return InstallPlan(plan);
+}
+
+Result<PlanManager::InstalledQuery> PlanManager::InstallPlan(
+    const LogicalPlan& plan) {
+  const std::uint64_t query_id = next_query_id_++;
+
+  // Probe alternatives against the running graph: already-installed
+  // subplans are free.
+  std::set<std::string> shared;
+  if (sharing_) {
+    for (const auto& [signature, entry] : registry_) {
+      shared.insert(signature);
+    }
+  }
+  const OptimizationResult optimized = optimizer_.Optimize(plan, &shared);
+
+  PhysicalBuilder::BuildStats stats;
+  std::vector<std::string> used;
+  Source<relational::Tuple>* output = nullptr;
+  if (sharing_) {
+    PIPES_ASSIGN_OR_RETURN(output,
+                           builder_.Build(optimized.plan, &registry_, &stats,
+                                          &used));
+  } else {
+    // Build privately (intra-query dedup still applies), then merge the
+    // entries under query-unique keys so the query stays uninstallable.
+    SubplanMap local;
+    PIPES_ASSIGN_OR_RETURN(output, builder_.Build(optimized.plan, &local,
+                                                  &stats, &used));
+    const std::string suffix = "#" + std::to_string(query_id);
+    for (std::string& signature : used) {
+      auto node = local.extract(signature);
+      PIPES_CHECK(!node.empty());
+      signature += suffix;
+      node.key() = signature;
+      registry_.insert(std::move(node));
+    }
+  }
+
+  // One reference per query on every subplan it touches.
+  for (const std::string& signature : used) {
+    auto it = registry_.find(signature);
+    PIPES_CHECK(it != registry_.end());
+    ++it->second.refcount;
+  }
+  queries_[query_id] = QueryRecord{used};
+
+  total_created_ += stats.operators_created;
+  total_reused_ += stats.operators_reused;
+
+  InstalledQuery installed;
+  installed.query_id = query_id;
+  installed.plan = optimized.plan;
+  installed.output = output;
+  installed.schema = optimized.plan->schema;
+  installed.operators_created = stats.operators_created;
+  installed.operators_reused = stats.operators_reused;
+  installed.estimated_cost = optimized.cost;
+  installed.alternatives_considered = optimized.alternatives_considered;
+  return installed;
+}
+
+Status PlanManager::UninstallQuery(std::uint64_t query_id) {
+  auto query_it = queries_.find(query_id);
+  if (query_it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(query_id) +
+                            " is not installed");
+  }
+  const QueryRecord& record = query_it->second;
+
+  // Phase 1: determine which subplans would die, and validate that every
+  // edge leaving a dying node leads to another dying node — i.e. no
+  // external sink and no foreign operator still listens. Nothing is
+  // modified if validation fails.
+  std::set<std::string> dying;
+  std::set<const Node*> dying_nodes;
+  for (const std::string& signature : record.signatures_postorder) {
+    auto it = registry_.find(signature);
+    PIPES_CHECK(it != registry_.end());
+    if (it->second.refcount == 1) {
+      dying.insert(signature);
+      for (const Node* node : it->second.nodes) {
+        dying_nodes.insert(node);
+      }
+    }
+  }
+  for (const std::string& signature : dying) {
+    for (const Node* node : registry_[signature].nodes) {
+      for (const Node* down : node->downstream()) {
+        if (dying_nodes.find(down) == dying_nodes.end()) {
+          return Status::FailedPrecondition(
+              "cannot uninstall query " + std::to_string(query_id) +
+              ": node '" + down->name() + "' still consumes from '" +
+              node->name() + "'; unsubscribe sinks first");
+        }
+      }
+    }
+  }
+
+  // Phase 2: drop references; physically remove dead subplans parents
+  // first (reverse postorder), so every node's downstream edges are gone
+  // before it is detached and deleted.
+  for (auto it = record.signatures_postorder.rbegin();
+       it != record.signatures_postorder.rend(); ++it) {
+    auto entry_it = registry_.find(*it);
+    PIPES_CHECK(entry_it != registry_.end());
+    SubplanEntry& entry = entry_it->second;
+    if (--entry.refcount > 0) continue;
+    for (auto& disconnect : entry.disconnects) {
+      const Status status = disconnect();
+      PIPES_CHECK_MSG(status.ok(), status.ToString().c_str());
+    }
+    for (Node* node : entry.nodes) {
+      const Status status = graph_->Remove(*node);
+      PIPES_CHECK_MSG(status.ok(), status.ToString().c_str());
+    }
+    registry_.erase(entry_it);
+  }
+  queries_.erase(query_it);
+  return Status::OK();
+}
+
+}  // namespace pipes::optimizer

@@ -1,0 +1,41 @@
+#ifndef PIPES_OPTIMIZER_PLAN_XML_H_
+#define PIPES_OPTIMIZER_PLAN_XML_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/optimizer/logical_plan.h"
+
+/// \file
+/// XML persistence for logical query plans — the storage format of the
+/// paper's visual plan editor ("the user has the option to store these
+/// query plans in XML files"). Plans round-trip: `ToXml` emits a
+/// self-contained document; `FromXml` rebuilds the plan (expressions are
+/// serialized as CQL expression text and re-parsed against the child
+/// schema on load).
+///
+/// Example:
+///
+///   <plan>
+///     <op kind="project">
+///       <out name="top" type="DOUBLE"/>
+///       <expr text="(a.price * 2)"/>
+///       <op kind="scan" stream="bids" window="RANGE" range="60000">
+///         <out name="a.price" type="DOUBLE"/>
+///       </op>
+///     </op>
+///   </plan>
+
+namespace pipes::optimizer {
+
+/// Serializes `plan` as an XML document (indented, UTF-8, self-contained).
+std::string ToXml(const LogicalPlan& plan);
+
+/// Parses a document produced by `ToXml` back into a plan. Scan schemas
+/// are embedded in the document, so no catalog is needed; expression text
+/// is resolved against the reconstructed child schemas.
+Result<LogicalPlan> FromXml(const std::string& xml);
+
+}  // namespace pipes::optimizer
+
+#endif  // PIPES_OPTIMIZER_PLAN_XML_H_

@@ -1,0 +1,74 @@
+#ifndef PIPES_OPTIMIZER_RULES_H_
+#define PIPES_OPTIMIZER_RULES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/logical_plan.h"
+
+/// \file
+/// Rule-based rewriting: each rule maps a plan root to a snapshot-
+/// equivalent alternative (or declines). `Rewrite` applies a rule set
+/// bottom-up to a fixpoint. The default set performs the classic
+/// heuristics: filter merging, equi-join key extraction, and predicate
+/// pushdown through projections and join sides.
+
+namespace pipes::optimizer {
+
+/// A rewrite rule. `Apply` inspects only the root of `plan` (children are
+/// already normalized when called from `Rewrite`) and returns the rewritten
+/// plan, or nullptr when not applicable.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string name() const = 0;
+  virtual LogicalPlan Apply(const LogicalPlan& plan) const = 0;
+};
+
+/// Filter(Filter(x, p2), p1) => Filter(x, p1 AND p2).
+class MergeFiltersRule : public Rule {
+ public:
+  std::string name() const override { return "merge-filters"; }
+  LogicalPlan Apply(const LogicalPlan& plan) const override;
+};
+
+/// Filter(Join(l, r), p): moves `l.a = r.b` conjuncts into the join's equi
+/// keys, pushes single-side conjuncts into the corresponding input, and
+/// keeps the rest as the join residual.
+class ExtractJoinKeysRule : public Rule {
+ public:
+  std::string name() const override { return "extract-join-keys"; }
+  LogicalPlan Apply(const LogicalPlan& plan) const override;
+};
+
+/// Filter(Project(x, exprs), p) => Project(Filter(x, p'), exprs) when every
+/// field `p` references maps to a plain field reference in `exprs`.
+class PushFilterThroughProjectRule : public Rule {
+ public:
+  std::string name() const override { return "push-filter-through-project"; }
+  LogicalPlan Apply(const LogicalPlan& plan) const override;
+};
+
+/// Filter(x, TRUE) => x.
+class RemoveTrivialFilterRule : public Rule {
+ public:
+  std::string name() const override { return "remove-trivial-filter"; }
+  LogicalPlan Apply(const LogicalPlan& plan) const override;
+};
+
+/// The standard rule set, in application order.
+std::vector<std::unique_ptr<Rule>> DefaultRules();
+
+/// Applies `rules` bottom-up until no rule changes the plan (bounded, so
+/// non-terminating rule sets cannot loop forever).
+LogicalPlan Rewrite(const LogicalPlan& plan,
+                    const std::vector<std::unique_ptr<Rule>>& rules);
+
+/// Rebuilds `op` with `children` substituted (schemas recomputed).
+LogicalPlan CloneWithChildren(const LogicalOp& op,
+                              std::vector<LogicalPlan> children);
+
+}  // namespace pipes::optimizer
+
+#endif  // PIPES_OPTIMIZER_RULES_H_

@@ -1,0 +1,50 @@
+#include "src/relational/schema.h"
+
+namespace pipes::relational {
+
+std::optional<std::size_t> Schema::IndexOf(const std::string& name) const {
+  // Exact match first.
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  // Unqualified match against qualified field names ("alias.name").
+  std::optional<std::size_t> found;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& qualified = fields_[i].name;
+    const std::size_t dot = qualified.rfind('.');
+    if (dot != std::string::npos && qualified.substr(dot + 1) == name) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Field> fields = fields_;
+  fields.insert(fields.end(), other.fields_.begin(), other.fields_.end());
+  return Schema(std::move(fields));
+}
+
+Schema Schema::WithPrefix(const std::string& prefix) const {
+  std::vector<Field> fields;
+  fields.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    fields.push_back(Field{prefix + "." + f.name, f.type});
+  }
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pipes::relational

@@ -1,0 +1,58 @@
+#ifndef PIPES_RELATIONAL_SCHEMA_H_
+#define PIPES_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/relational/value.h"
+
+/// \file
+/// Schemas: named, typed field lists describing tuple streams and
+/// relations. Used by the CQL analyzer to resolve field references and by
+/// the optimizer to type plans.
+
+namespace pipes::relational {
+
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// Ordered field list. Field lookup is by case-sensitive name; qualified
+/// lookup ("alias.name") is handled by the analyzer, which prefixes names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  std::size_t arity() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void Append(Field field) { fields_.push_back(std::move(field)); }
+
+  /// Index of the field called `name`, or nullopt. If several fields share
+  /// the suffix after a dot (ambiguity), returns nullopt as well.
+  std::optional<std::size_t> IndexOf(const std::string& name) const;
+
+  /// Schema of `this ++ other` (join output).
+  Schema Concat(const Schema& other) const;
+
+  /// Renames every field to "prefix.name" (stream aliasing in FROM).
+  Schema WithPrefix(const std::string& prefix) const;
+
+  std::string ToString() const;  // "(name:TYPE, ...)"
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace pipes::relational
+
+#endif  // PIPES_RELATIONAL_SCHEMA_H_

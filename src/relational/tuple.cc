@@ -1,0 +1,70 @@
+#include "src/relational/tuple.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace pipes::relational {
+
+const Value& Tuple::field(std::size_t i) const {
+  PIPES_CHECK_MSG(i < values_.size(), "tuple field index out of range");
+  return values_[i];
+}
+
+void Tuple::set_field(std::size_t i, Value v) {
+  PIPES_CHECK_MSG(i < values_.size(), "tuple field index out of range");
+  values_[i] = std::move(v);
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> values = values_;
+  values.insert(values.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Project(const std::vector<std::size_t>& indices) const {
+  std::vector<Value> values;
+  values.reserve(indices.size());
+  for (std::size_t i : indices) values.push_back(field(i));
+  return Tuple(std::move(values));
+}
+
+std::size_t Tuple::Hash() const {
+  std::size_t h = 0x811c9dc5;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool operator<(const Tuple& a, const Tuple& b) {
+  return std::lexicographical_compare(a.values_.begin(), a.values_.end(),
+                                      b.values_.begin(), b.values_.end());
+}
+
+}  // namespace pipes::relational
+
+namespace pipes::sweeparea {
+
+std::size_t ApproxPayloadBytes(const pipes::relational::Tuple& t) {
+  std::size_t bytes = sizeof(pipes::relational::Tuple);
+  for (const auto& v : t.values()) {
+    bytes += sizeof(pipes::relational::Value);
+    if (v.type() == pipes::relational::ValueType::kString) {
+      bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace pipes::sweeparea

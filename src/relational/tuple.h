@@ -1,0 +1,67 @@
+#ifndef PIPES_RELATIONAL_TUPLE_H_
+#define PIPES_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/relational/value.h"
+
+/// \file
+/// Tuples: fixed-arity sequences of `Value`s, positionally addressed. Field
+/// names live in the `Schema`, not in the tuple, so tuples stay compact.
+
+namespace pipes::relational {
+
+/// A row. Hashable and comparable so it can serve directly as a join or
+/// grouping key payload in the generic algebra.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  std::size_t arity() const { return values_.size(); }
+
+  const Value& field(std::size_t i) const;
+  void set_field(std::size_t i, Value v);
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// New tuple with this tuple's fields followed by `other`'s
+  /// (concatenation for joins).
+  Tuple Concat(const Tuple& other) const;
+
+  /// New tuple containing the fields at `indices`, in that order.
+  Tuple Project(const std::vector<std::size_t>& indices) const;
+
+  std::size_t Hash() const;
+  std::string ToString() const;  // "(v1, v2, ...)"
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b);
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace pipes::relational
+
+template <>
+struct std::hash<pipes::relational::Tuple> {
+  std::size_t operator()(const pipes::relational::Tuple& t) const {
+    return t.Hash();
+  }
+};
+
+namespace pipes::sweeparea {
+/// Memory accounting for tuple payloads (used by SweepAreas).
+std::size_t ApproxPayloadBytes(const pipes::relational::Tuple& t);
+}  // namespace pipes::sweeparea
+
+#endif  // PIPES_RELATIONAL_TUPLE_H_

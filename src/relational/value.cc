@@ -1,0 +1,146 @@
+#include "src/relational/value.h"
+
+#include <functional>
+
+#include "src/common/macros.h"
+
+namespace pipes::relational {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::int64_t Value::AsInt() const {
+  PIPES_CHECK_MSG(type() == ValueType::kInt, "Value is not an INT");
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (type() == ValueType::kInt) {
+    return static_cast<double>(std::get<std::int64_t>(data_));
+  }
+  PIPES_CHECK_MSG(type() == ValueType::kDouble, "Value is not numeric");
+  return std::get<double>(data_);
+}
+
+bool Value::AsBool() const {
+  PIPES_CHECK_MSG(type() == ValueType::kBool, "Value is not a BOOL");
+  return std::get<bool>(data_);
+}
+
+const std::string& Value::AsString() const {
+  PIPES_CHECK_MSG(type() == ValueType::kString, "Value is not a STRING");
+  return std::get<std::string>(data_);
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return std::get<bool>(data_);
+    case ValueType::kInt:
+      return std::get<std::int64_t>(data_) != 0;
+    case ValueType::kDouble:
+      return std::get<double>(data_) != 0.0;
+    case ValueType::kString:
+      PIPES_CHECK_MSG(false, "string used as predicate");
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "TRUE" : "FALSE";
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+std::size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt:
+      return std::hash<std::int64_t>()(std::get<std::int64_t>(data_));
+    case ValueType::kDouble: {
+      // Hash doubles holding integral values like the equal int (promotion
+      // equality must imply hash equality).
+      const double d = std::get<double>(data_);
+      const auto as_int = static_cast<std::int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<std::int64_t>()(as_int);
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 0x85ebca6b : 0xc2b2ae35;
+    case ValueType::kString:
+      return std::hash<std::string>()(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return a.AsDouble() == b.AsDouble();
+  }
+  return a.data_ == b.data_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return a.AsDouble() < b.AsDouble();
+  }
+  // Order heterogeneous values by a type rank, then content.
+  auto rank = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kBool:
+        return 2;
+      case ValueType::kString:
+        return 3;
+    }
+    return 4;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b);
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return !a.AsBool() && b.AsBool();
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+    default:
+      return false;
+  }
+}
+
+}  // namespace pipes::relational

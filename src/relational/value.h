@@ -1,0 +1,76 @@
+#ifndef PIPES_RELATIONAL_VALUE_H_
+#define PIPES_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+/// \file
+/// Dynamically typed values for the relational layer. The operator algebra
+/// itself handles arbitrary payload types; `Value`/`Tuple` exist so that
+/// dynamically constructed plans (CQL front end, optimizer) have a common
+/// payload representation.
+
+namespace pipes::relational {
+
+enum class ValueType { kNull, kInt, kDouble, kBool, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// A null, 64-bit integer, double, bool, or string.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Typed accessors; calling the wrong one aborts (programming error).
+  std::int64_t AsInt() const;
+  double AsDouble() const;  // accepts kInt too (promotes)
+  bool AsBool() const;
+  const std::string& AsString() const;
+
+  /// Truthiness for predicates: false for null, the value for bool,
+  /// non-zero for numerics. Strings abort.
+  bool Truthy() const;
+
+  std::string ToString() const;
+
+  std::size_t Hash() const;
+
+  /// Equality: same type (with int/double promotion) and same content.
+  /// Null equals only null.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Ordering for sort/tree use: null < numerics < bool < string; numerics
+  /// compare by promoted double.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, bool, std::string> data_;
+};
+
+}  // namespace pipes::relational
+
+template <>
+struct std::hash<pipes::relational::Value> {
+  std::size_t operator()(const pipes::relational::Value& v) const {
+    return v.Hash();
+  }
+};
+
+#endif  // PIPES_RELATIONAL_VALUE_H_

@@ -1,0 +1,48 @@
+#ifndef PIPES_SCHEDULER_FUSION_H_
+#define PIPES_SCHEDULER_FUSION_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/buffer.h"
+#include "src/core/graph.h"
+
+/// \file
+/// Layer 1 of the scheduling framework: deciding where virtual nodes end.
+/// Operators connected directly execute fused — inside one invocation, with
+/// no queue (the paper's merged "virtual node"). Splicing a buffer into an
+/// edge *splits* the virtual node there, creating a new scheduling unit;
+/// splicing a `ConcurrentBuffer` additionally makes the edge safe to cross
+/// a thread boundary (layer 3).
+
+namespace pipes::scheduler {
+
+/// Replaces the direct edge `source -> port` with `source -> buffer ->
+/// port`, making everything downstream of `port` a separate virtual node.
+/// Fails with NotFound when `source` is not subscribed to `port`.
+template <typename T>
+Result<Buffer<T>*> SpliceBuffer(QueryGraph& graph, Source<T>& source,
+                                InputPort<T>& port,
+                                std::string name = "boundary") {
+  PIPES_RETURN_IF_ERROR(source.UnsubscribeFrom(port));
+  auto& buffer = graph.Add<Buffer<T>>(std::move(name));
+  source.SubscribeTo(buffer.input());
+  buffer.SubscribeTo(port);
+  return &buffer;
+}
+
+/// Same, with a thread-safe buffer (for edges that will cross threads).
+template <typename T>
+Result<ConcurrentBuffer<T>*> SpliceConcurrentBuffer(
+    QueryGraph& graph, Source<T>& source, InputPort<T>& port,
+    std::string name = "thread-boundary") {
+  PIPES_RETURN_IF_ERROR(source.UnsubscribeFrom(port));
+  auto& buffer = graph.Add<ConcurrentBuffer<T>>(std::move(name));
+  source.SubscribeTo(buffer.input());
+  buffer.SubscribeTo(port);
+  return &buffer;
+}
+
+}  // namespace pipes::scheduler
+
+#endif  // PIPES_SCHEDULER_FUSION_H_

@@ -1,0 +1,128 @@
+#include "src/scheduler/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/common/macros.h"
+
+namespace pipes::scheduler {
+
+SingleThreadScheduler::SingleThreadScheduler(QueryGraph& graph,
+                                             Strategy& strategy,
+                                             std::size_t batch_size)
+    : graph_(graph), strategy_(strategy), batch_size_(batch_size) {
+  PIPES_CHECK(batch_size > 0);
+}
+
+bool SingleThreadScheduler::Step() {
+  std::vector<Node*> candidates;
+  std::size_t total_queue = 0;
+  for (Node* node : graph_.ActiveNodes()) {
+    total_queue += node->queue_size();
+    if (node->HasWork()) candidates.push_back(node);
+  }
+  stats_.peak_total_queue = std::max(stats_.peak_total_queue, total_queue);
+  stats_.accumulated_queue += total_queue;
+  if (candidates.empty()) return false;
+
+  const std::size_t pick = strategy_.Select(candidates);
+  PIPES_CHECK(pick < candidates.size());
+  stats_.units += candidates[pick]->DoWork(batch_size_);
+  ++stats_.iterations;
+  return true;
+}
+
+RunStats SingleThreadScheduler::RunToCompletion(std::uint64_t max_iterations) {
+  while (stats_.iterations < max_iterations) {
+    if (!Step()) {
+      if (graph_.Finished()) break;
+      // No candidate but not finished can only happen if an external
+      // (non-scheduled) source still owes input. Nothing we can do here.
+      break;
+    }
+  }
+  return stats_;
+}
+
+ThreadScheduler::ThreadScheduler(QueryGraph& graph, int num_threads,
+                                 StrategyFactory strategy_factory,
+                                 std::vector<int> assignment,
+                                 std::size_t batch_size)
+    : graph_(graph),
+      num_threads_(num_threads),
+      strategy_factory_(std::move(strategy_factory)),
+      assignment_(std::move(assignment)),
+      batch_size_(batch_size) {
+  PIPES_CHECK(num_threads_ > 0);
+}
+
+RunStats ThreadScheduler::RunToCompletion() {
+  const std::vector<Node*> active = graph_.ActiveNodes();
+  std::vector<std::vector<Node*>> partitions(num_threads_);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const int worker = assignment_.empty()
+                           ? static_cast<int>(i % num_threads_)
+                           : assignment_[i];
+    PIPES_CHECK(worker >= 0 && worker < num_threads_);
+    partitions[worker].push_back(active[i]);
+  }
+
+  std::atomic<bool> all_finished{false};
+  std::vector<RunStats> per_thread(num_threads_);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads_);
+
+  for (int w = 0; w < num_threads_; ++w) {
+    workers.emplace_back([&, w]() {
+      std::unique_ptr<Strategy> strategy = strategy_factory_();
+      RunStats& stats = per_thread[w];
+      std::vector<Node*> candidates;
+      while (!all_finished.load(std::memory_order_acquire)) {
+        candidates.clear();
+        std::size_t total_queue = 0;
+        for (Node* node : partitions[w]) {
+          total_queue += node->queue_size();
+          if (node->HasWork()) candidates.push_back(node);
+        }
+        stats.peak_total_queue =
+            std::max(stats.peak_total_queue, total_queue);
+        stats.accumulated_queue += total_queue;
+        if (candidates.empty()) {
+          // This worker is idle; check global termination. The first
+          // worker doubles as the termination detector.
+          if (w == 0) {
+            bool finished = true;
+            for (Node* node : active) {
+              if (!node->IsFinished()) {
+                finished = false;
+                break;
+              }
+            }
+            if (finished) {
+              all_finished.store(true, std::memory_order_release);
+              break;
+            }
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        const std::size_t pick = strategy->Select(candidates);
+        stats.units += candidates[pick]->DoWork(batch_size_);
+        ++stats.iterations;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  RunStats merged;
+  for (const RunStats& s : per_thread) {
+    merged.iterations += s.iterations;
+    merged.units += s.units;
+    merged.peak_total_queue += s.peak_total_queue;
+    merged.accumulated_queue += s.accumulated_queue;
+  }
+  return merged;
+}
+
+}  // namespace pipes::scheduler

@@ -1,0 +1,92 @@
+#ifndef PIPES_SCHEDULER_SCHEDULER_H_
+#define PIPES_SCHEDULER_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/graph.h"
+#include "src/scheduler/strategy.h"
+
+/// \file
+/// Drivers for query graphs — layers 2 and 3 of the scheduling framework.
+///
+/// * `SingleThreadScheduler` runs all active nodes of a graph in one thread
+///   under a layer-2 `Strategy`; fully deterministic, used by the test
+///   suite and by the strategy-comparison experiments.
+/// * `ThreadScheduler` (layer 3) partitions the active nodes over several
+///   worker threads, each running its own strategy instance. Edges that
+///   cross a thread boundary must go through a `ConcurrentBuffer`.
+
+namespace pipes::scheduler {
+
+/// Aggregate statistics of one run.
+struct RunStats {
+  /// Scheduling decisions taken.
+  std::uint64_t iterations = 0;
+  /// Work units performed (elements + control signals).
+  std::uint64_t units = 0;
+  /// Peak of the summed queue sizes over all active nodes, sampled at each
+  /// scheduling decision — the memory objective Chain minimizes.
+  std::size_t peak_total_queue = 0;
+  /// Sum over scheduling decisions of total queued entries (time-averaged
+  /// queue occupancy x iterations).
+  std::uint64_t accumulated_queue = 0;
+};
+
+/// Deterministic one-thread driver.
+class SingleThreadScheduler {
+ public:
+  /// `batch_size` is the max number of work units per scheduling decision
+  /// (Aurora-style train size).
+  SingleThreadScheduler(QueryGraph& graph, Strategy& strategy,
+                        std::size_t batch_size = 64);
+
+  /// Performs one scheduling decision. Returns false when no active node
+  /// has work.
+  bool Step();
+
+  /// Runs until the graph is fully drained (all active nodes finished) or
+  /// `max_iterations` decisions were taken.
+  RunStats RunToCompletion(
+      std::uint64_t max_iterations = std::uint64_t{1} << 62);
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  QueryGraph& graph_;
+  Strategy& strategy_;
+  std::size_t batch_size_;
+  RunStats stats_;
+};
+
+/// Layer 3: fixed partitioning of active nodes onto worker threads. Each
+/// worker runs a private strategy over its partition until the whole graph
+/// has drained.
+class ThreadScheduler {
+ public:
+  using StrategyFactory = std::function<std::unique_ptr<Strategy>()>;
+
+  /// `assignment[i]` is the worker index (in [0, num_threads)) of the i-th
+  /// active node (graph.ActiveNodes() order). An empty assignment
+  /// distributes round-robin.
+  ThreadScheduler(QueryGraph& graph, int num_threads,
+                  StrategyFactory strategy_factory,
+                  std::vector<int> assignment = {},
+                  std::size_t batch_size = 64);
+
+  /// Runs worker threads until the graph is drained; returns merged stats.
+  RunStats RunToCompletion();
+
+ private:
+  QueryGraph& graph_;
+  int num_threads_;
+  StrategyFactory strategy_factory_;
+  std::vector<int> assignment_;
+  std::size_t batch_size_;
+};
+
+}  // namespace pipes::scheduler
+
+#endif  // PIPES_SCHEDULER_SCHEDULER_H_

@@ -1,0 +1,162 @@
+#include "src/scheduler/strategy.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace pipes::scheduler {
+
+namespace {
+
+/// Observed selectivity of a passive operator: elements out per element in.
+/// Unobserved operators are assumed to pass everything through.
+double ObservedSelectivity(const Node& node) {
+  const std::uint64_t in = node.elements_in();
+  if (in == 0) return 1.0;
+  return static_cast<double>(node.elements_out()) / static_cast<double>(in);
+}
+
+/// Walks the fused (queue-less) chain below `node`, i.e. downstream until
+/// the next active node or a sink, and reports the steepest memory-drop
+/// slope and the total output fan-out per input.
+struct ChainWalk {
+  double steepest_slope = 0;   // max over paths of (1 - sel_product)/length
+  double output_per_input = 0;  // sum over terminal paths of sel products
+};
+
+void Walk(const Node& node, double product, int depth, ChainWalk& walk) {
+  if (depth > 32) return;  // Defensive bound; graphs are shallow DAGs.
+  if (node.downstream().empty()) {
+    walk.output_per_input += product;
+    return;
+  }
+  for (const Node* down : node.downstream()) {
+    const bool boundary = down->is_active();
+    // Terminal nodes (sinks) deliver rather than filter: tuples reaching
+    // them count as output, so they carry no selectivity of their own.
+    const bool terminal = down->downstream().empty();
+    const double sel =
+        boundary || terminal ? 1.0 : ObservedSelectivity(*down);
+    const double next_product = product * sel;
+    const double slope = (1.0 - next_product) / static_cast<double>(depth + 1);
+    walk.steepest_slope = std::max(walk.steepest_slope, slope);
+    if (boundary) {
+      // Tuples parked in the next buffer count as delivered for rate
+      // purposes but stop the memory-chain here.
+      walk.output_per_input += next_product;
+    } else {
+      Walk(*down, next_product, depth + 1, walk);
+    }
+  }
+}
+
+ChainWalk AnalyzeChain(const Node& node) {
+  ChainWalk walk;
+  Walk(node, 1.0, 0, walk);
+  return walk;
+}
+
+}  // namespace
+
+std::size_t RoundRobinStrategy::Select(const std::vector<Node*>& candidates) {
+  PIPES_DCHECK(!candidates.empty());
+  // Pick the smallest id strictly greater than the last-run id, wrapping.
+  std::size_t best = 0;
+  bool found = false;
+  std::uint64_t best_id = 0;
+  std::size_t min_index = 0;
+  std::uint64_t min_id = candidates[0]->id();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::uint64_t id = candidates[i]->id();
+    if (id < min_id) {
+      min_id = id;
+      min_index = i;
+    }
+    if (id > last_id_ && (!found || id < best_id)) {
+      found = true;
+      best_id = id;
+      best = i;
+    }
+  }
+  const std::size_t pick = found ? best : min_index;
+  last_id_ = candidates[pick]->id();
+  return pick;
+}
+
+std::size_t FifoStrategy::Select(const std::vector<Node*>& candidates) {
+  PIPES_DCHECK(!candidates.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i]->id() < candidates[best]->id()) best = i;
+  }
+  return best;
+}
+
+std::size_t LongestQueueStrategy::Select(
+    const std::vector<Node*>& candidates) {
+  PIPES_DCHECK(!candidates.empty());
+  std::size_t best = 0;
+  std::size_t best_len = candidates[0]->queue_size();
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const std::size_t len = candidates[i]->queue_size();
+    if (len > best_len) {
+      best = i;
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+double ChainStrategy::Priority(const Node& node) {
+  // Chain's objective is queued memory. Running a node with an empty queue
+  // (a source) *adds* tuples to downstream queues instead of releasing
+  // them, so sources only run when no buffer holds anything to shed.
+  const double producer_penalty = node.queue_size() == 0 ? 1.0 : 0.0;
+  return AnalyzeChain(node).steepest_slope - producer_penalty;
+}
+
+std::size_t ChainStrategy::Select(const std::vector<Node*>& candidates) {
+  PIPES_DCHECK(!candidates.empty());
+  std::size_t best = 0;
+  double best_priority = Priority(*candidates[0]);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double p = Priority(*candidates[i]);
+    if (p > best_priority) {
+      best = i;
+      best_priority = p;
+    }
+  }
+  return best;
+}
+
+double RateBasedStrategy::Priority(const Node& node) {
+  return AnalyzeChain(node).output_per_input;
+}
+
+std::size_t RateBasedStrategy::Select(const std::vector<Node*>& candidates) {
+  PIPES_DCHECK(!candidates.empty());
+  std::size_t best = 0;
+  double best_priority = Priority(*candidates[0]);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double p = Priority(*candidates[i]);
+    if (p > best_priority) {
+      best = i;
+      best_priority = p;
+    }
+  }
+  return best;
+}
+
+RandomStrategy::RandomStrategy(std::uint64_t seed) : state_(seed | 1) {}
+
+std::size_t RandomStrategy::Select(const std::vector<Node*>& candidates) {
+  PIPES_DCHECK(!candidates.empty());
+  // xorshift64*
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t r = state_ * 0x2545f4914f6cdd1dULL;
+  return static_cast<std::size_t>(r % candidates.size());
+}
+
+}  // namespace pipes::scheduler

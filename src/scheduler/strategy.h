@@ -1,0 +1,99 @@
+#ifndef PIPES_SCHEDULER_STRATEGY_H_
+#define PIPES_SCHEDULER_STRATEGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/node.h"
+
+/// \file
+/// Layer 2 of the PIPES scheduling framework: strategies that order the
+/// *active* nodes of a query graph within one thread. An active node plus
+/// the passive operators it reaches through direct (queue-less)
+/// subscriptions is the paper's "virtual node" — one unit of scheduling.
+/// The framework is deliberately strategy-agnostic so that the recent
+/// scheduling techniques of the literature (Chain, Aurora's rate-based
+/// batching, FIFO, round-robin, ...) can be compared within one uniform
+/// harness (experiment E2).
+
+namespace pipes::scheduler {
+
+/// Picks which candidate to run next. `candidates` is the non-empty set of
+/// active nodes that currently have work; the returned index selects one.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::size_t Select(const std::vector<Node*>& candidates) = 0;
+};
+
+/// Cycles through the candidates; the baseline of every comparison.
+class RoundRobinStrategy : public Strategy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  std::size_t Select(const std::vector<Node*>& candidates) override;
+
+ private:
+  std::uint64_t last_id_ = 0;
+};
+
+/// Runs the candidate that appears first in graph insertion order — sources
+/// before the buffers fed by them, i.e. tuples are pushed through in
+/// arrival (FIFO) order.
+class FifoStrategy : public Strategy {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::size_t Select(const std::vector<Node*>& candidates) override;
+};
+
+/// Always drains the longest queue first (Aurora's tuple-batching
+/// heuristic: amortize scheduling overhead over big batches).
+class LongestQueueStrategy : public Strategy {
+ public:
+  std::string name() const override { return "longest-queue"; }
+  std::size_t Select(const std::vector<Node*>& candidates) override;
+};
+
+/// Chain scheduling (Babcock et al., SIGMOD 2002): run the candidate whose
+/// fused downstream chain sheds queued memory at the steepest rate. The
+/// selectivity of each downstream operator is estimated adaptively from its
+/// observed elements_out/elements_in (secondary metadata).
+class ChainStrategy : public Strategy {
+ public:
+  std::string name() const override { return "chain"; }
+  std::size_t Select(const std::vector<Node*>& candidates) override;
+
+  /// Steepest (1 - selectivity-product) / path-length over all passive
+  /// downstream paths of `node`. Exposed for tests.
+  static double Priority(const Node& node);
+};
+
+/// Rate-based scheduling (Carney et al., VLDB 2003 flavour): run the
+/// candidate with the highest estimated output rate per unit of work, i.e.
+/// prefer operators that deliver results to the user soonest.
+class RateBasedStrategy : public Strategy {
+ public:
+  std::string name() const override { return "rate-based"; }
+  std::size_t Select(const std::vector<Node*>& candidates) override;
+
+  /// Estimated output-per-input-unit of the fused chain rooted at `node`.
+  static double Priority(const Node& node);
+};
+
+/// Uniformly random choice; the control arm for strategy comparisons.
+class RandomStrategy : public Strategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed = 7);
+  std::string name() const override { return "random"; }
+  std::size_t Select(const std::vector<Node*>& candidates) override;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pipes::scheduler
+
+#endif  // PIPES_SCHEDULER_STRATEGY_H_

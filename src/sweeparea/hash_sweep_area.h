@@ -1,0 +1,129 @@
+#ifndef PIPES_SWEEPAREA_HASH_SWEEP_AREA_H_
+#define PIPES_SWEEPAREA_HASH_SWEEP_AREA_H_
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/time.h"
+#include "src/core/element.h"
+#include "src/sweeparea/sweep_area.h"
+
+/// \file
+/// Hash-based SweepArea for equi-joins: stored elements are bucketed by
+/// key, probes touch exactly one bucket. An optional residual predicate
+/// supports mixed equi/theta conditions.
+
+namespace pipes::sweeparea {
+
+/// `KeyS(stored_payload)` and `KeyP(probe_payload)` must return the same
+/// key type (hashable, equality-comparable).
+template <typename Stored, typename Probe, typename KeyS, typename KeyP,
+          typename Residual = TruePredicate>
+class HashSweepArea {
+ public:
+  using Key = std::decay_t<std::invoke_result_t<KeyS, const Stored&>>;
+
+  HashSweepArea(KeyS key_stored, KeyP key_probe,
+                Residual residual = Residual())
+      : key_stored_(std::move(key_stored)),
+        key_probe_(std::move(key_probe)),
+        residual_(std::move(residual)) {}
+
+  void Insert(const StreamElement<Stored>& element) {
+    bytes_ += ApproxPayloadBytes(element.payload) + kPerElementOverheadBytes;
+    Key key = key_stored_(element.payload);
+    expiry_.push(Expiry{element.end(), key});
+    buckets_[std::move(key)].push_back(element);
+    ++count_;
+  }
+
+  template <typename Emit>
+  void Query(const StreamElement<Probe>& probe, Emit&& emit) const {
+    auto it = buckets_.find(key_probe_(probe.payload));
+    if (it == buckets_.end()) return;
+    for (const StreamElement<Stored>& stored : it->second) {
+      if (stored.interval.Overlaps(probe.interval) &&
+          residual_(stored.payload, probe.payload)) {
+        emit(stored);
+      }
+    }
+  }
+
+  /// Reorganization driven by an expiry heap: each heap pop removes exactly
+  /// one expired element from its bucket, so the cost is proportional to
+  /// the number of expirations, not to the total state.
+  std::size_t PurgeBefore(Timestamp t) {
+    std::size_t removed = 0;
+    while (!expiry_.empty() && expiry_.top().end <= t) {
+      const Key key = expiry_.top().key;
+      expiry_.pop();
+      auto bucket_it = buckets_.find(key);
+      if (bucket_it == buckets_.end()) continue;  // evicted by shedding
+      auto& bucket = bucket_it->second;
+      for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+        if (it->end() <= t) {
+          bytes_ -=
+              ApproxPayloadBytes(it->payload) + kPerElementOverheadBytes;
+          bucket.erase(it);
+          ++removed;
+          --count_;
+          break;
+        }
+      }
+      if (bucket.empty()) buckets_.erase(bucket_it);
+    }
+    return removed;
+  }
+
+  bool EvictOne(StreamElement<Stored>* evicted = nullptr) {
+    // Evict from the largest bucket: sheds load where the most join state
+    // (and the least selective output) accumulates.
+    if (buckets_.empty()) return false;
+    auto victim = buckets_.begin();
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+      if (it->second.size() > victim->second.size()) victim = it;
+    }
+    auto& bucket = victim->second;
+    bytes_ -= ApproxPayloadBytes(bucket.front().payload) +
+              kPerElementOverheadBytes;
+    if (evicted != nullptr) *evicted = std::move(bucket.front());
+    bucket.pop_front();
+    --count_;
+    if (bucket.empty()) buckets_.erase(victim);
+    return true;
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t ApproxBytes() const { return bytes_; }
+
+ private:
+  struct Expiry {
+    Timestamp end;
+    Key key;
+  };
+  struct LaterExpiry {
+    bool operator()(const Expiry& a, const Expiry& b) const {
+      return a.end > b.end;
+    }
+  };
+
+  KeyS key_stored_;
+  KeyP key_probe_;
+  Residual residual_;
+  std::unordered_map<Key, std::deque<StreamElement<Stored>>> buckets_;
+  // One entry per inserted element; entries of shed elements go stale and
+  // are skipped when popped.
+  std::priority_queue<Expiry, std::vector<Expiry>, LaterExpiry> expiry_;
+  std::size_t count_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace pipes::sweeparea
+
+#endif  // PIPES_SWEEPAREA_HASH_SWEEP_AREA_H_

@@ -1,0 +1,115 @@
+#ifndef PIPES_SWEEPAREA_TREE_SWEEP_AREA_H_
+#define PIPES_SWEEPAREA_TREE_SWEEP_AREA_H_
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/element.h"
+#include "src/sweeparea/sweep_area.h"
+
+/// \file
+/// Ordered (tree-based) SweepArea for band and range joins: stored elements
+/// are kept in a multimap over their key; a probe supplies an inclusive key
+/// range [lo, hi] and only that range is scanned. The tailored SweepArea
+/// for the window band joins of Kang/Naughton/Viglas.
+
+namespace pipes::sweeparea {
+
+/// `KeyS(stored_payload)` gives the stored ordering key;
+/// `RangeP(probe_payload)` gives the inclusive probe range as a
+/// `std::pair<Key, Key>`.
+template <typename Stored, typename Probe, typename KeyS, typename RangeP,
+          typename Residual = TruePredicate>
+class TreeSweepArea {
+ public:
+  using Key = std::decay_t<std::invoke_result_t<KeyS, const Stored&>>;
+
+  TreeSweepArea(KeyS key_stored, RangeP range_probe,
+                Residual residual = Residual())
+      : key_stored_(std::move(key_stored)),
+        range_probe_(std::move(range_probe)),
+        residual_(std::move(residual)) {}
+
+  void Insert(const StreamElement<Stored>& element) {
+    bytes_ += ApproxPayloadBytes(element.payload) + kPerElementOverheadBytes;
+    Key key = key_stored_(element.payload);
+    expiry_.push(Expiry{element.end(), key});
+    tree_.emplace(std::move(key), element);
+  }
+
+  template <typename Emit>
+  void Query(const StreamElement<Probe>& probe, Emit&& emit) const {
+    const auto [lo, hi] = range_probe_(probe.payload);
+    for (auto it = tree_.lower_bound(lo);
+         it != tree_.end() && !(hi < it->first); ++it) {
+      const StreamElement<Stored>& stored = it->second;
+      if (stored.interval.Overlaps(probe.interval) &&
+          residual_(stored.payload, probe.payload)) {
+        emit(stored);
+      }
+    }
+  }
+
+  /// Expiry-heap reorganization: cost proportional to the number of
+  /// expirations (each pop erases one expired entry under its key).
+  std::size_t PurgeBefore(Timestamp t) {
+    std::size_t removed = 0;
+    while (!expiry_.empty() && expiry_.top().end <= t) {
+      const Key key = expiry_.top().key;
+      expiry_.pop();
+      auto [lo, hi] = tree_.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second.end() <= t) {
+          bytes_ -= ApproxPayloadBytes(it->second.payload) +
+                    kPerElementOverheadBytes;
+          tree_.erase(it);
+          ++removed;
+          break;
+        }
+      }
+    }
+    return removed;
+  }
+
+  bool EvictOne(StreamElement<Stored>* evicted = nullptr) {
+    if (tree_.empty()) return false;
+    auto it = tree_.begin();
+    bytes_ -= ApproxPayloadBytes(it->second.payload) +
+              kPerElementOverheadBytes;
+    if (evicted != nullptr) *evicted = std::move(it->second);
+    tree_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return tree_.size(); }
+  std::size_t ApproxBytes() const { return bytes_; }
+
+ private:
+  struct Expiry {
+    Timestamp end;
+    Key key;
+  };
+  struct LaterExpiry {
+    bool operator()(const Expiry& a, const Expiry& b) const {
+      return a.end > b.end;
+    }
+  };
+
+  KeyS key_stored_;
+  RangeP range_probe_;
+  Residual residual_;
+  std::multimap<Key, StreamElement<Stored>> tree_;
+  // One entry per inserted element; entries of shed elements go stale and
+  // are skipped when popped.
+  std::priority_queue<Expiry, std::vector<Expiry>, LaterExpiry> expiry_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace pipes::sweeparea
+
+#endif  // PIPES_SWEEPAREA_TREE_SWEEP_AREA_H_

@@ -1,0 +1,110 @@
+#include "src/workloads/nexmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace pipes::workloads {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {"Ada",  "Alan", "Edgar", "Grace",
+                                       "Jim",  "Mike", "Peter", "Rita",
+                                       "Tina", "Walt"};
+constexpr const char* kCities[] = {"Portland", "Seattle", "Hayward",
+                                   "Oakland",  "Marburg", "Paris"};
+constexpr const char* kStates[] = {"OR", "WA", "CA", "HE", "ID"};
+
+}  // namespace
+
+NexmarkGenerator::NexmarkGenerator(NexmarkOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  PIPES_CHECK(options_.mean_interarrival_ms > 0);
+  // Seed entities so the very first bids have something to reference.
+  MakePerson(0);
+  MakeAuction(0);
+}
+
+Person NexmarkGenerator::MakePerson(Timestamp t) {
+  Person p;
+  p.id = next_person_id_++;
+  p.name = std::string(kFirstNames[rng_.NextBounded(10)]) + "-" +
+           std::to_string(p.id);
+  p.city = kCities[rng_.NextBounded(6)];
+  p.state = kStates[rng_.NextBounded(5)];
+  p.reg_time = t;
+  return p;
+}
+
+Auction NexmarkGenerator::MakeAuction(Timestamp t) {
+  Auction a;
+  a.id = next_auction_id_++;
+  a.seller = PickPersonId();
+  a.category = static_cast<std::int32_t>(
+      rng_.NextBounded(static_cast<std::uint64_t>(options_.num_categories)));
+  a.initial_price = 1.0 + rng_.UniformDouble() * 99.0;
+  a.open_time = t;
+  a.expires = t + static_cast<Timestamp>(rng_.Exponential(
+                      1.0 / static_cast<double>(
+                                options_.mean_auction_duration_ms)));
+  current_prices_.push_back(a.initial_price);
+  return a;
+}
+
+Bid NexmarkGenerator::MakeBid(Timestamp t) {
+  Bid b;
+  b.auction = PickAuctionId();
+  b.bidder = PickPersonId();
+  // Bids raise the current price by a small increment.
+  double& price = current_prices_[static_cast<std::size_t>(b.auction)];
+  price += 0.5 + rng_.UniformDouble() * 0.05 * price;
+  b.price = price;
+  b.time = t;
+  return b;
+}
+
+std::int64_t NexmarkGenerator::PickAuctionId() {
+  // Skew toward recent auctions: exponent-distributed distance from the
+  // newest id (approximates NEXMark's hot-item skew).
+  const auto n = static_cast<double>(next_auction_id_);
+  const double u = rng_.UniformDouble();
+  const double skewed =
+      options_.auction_zipf_theta <= 0
+          ? u * n
+          : n * std::pow(u, 1.0 + options_.auction_zipf_theta);
+  const auto offset = static_cast<std::int64_t>(skewed);
+  return std::clamp<std::int64_t>(next_auction_id_ - 1 - offset, 0,
+                                  next_auction_id_ - 1);
+}
+
+std::int64_t NexmarkGenerator::PickPersonId() {
+  return static_cast<std::int64_t>(
+      rng_.NextBounded(static_cast<std::uint64_t>(next_person_id_)));
+}
+
+std::optional<NexmarkEvent> NexmarkGenerator::Next() {
+  if (emitted_ >= options_.num_events) return std::nullopt;
+  now_ += std::max<Timestamp>(
+      1, static_cast<Timestamp>(
+             rng_.Exponential(1.0 / options_.mean_interarrival_ms)));
+
+  NexmarkEvent event;
+  event.time = now_;
+  // Canonical NEXMark mix per 50 events: 1 person, 3 auctions, 46 bids.
+  const std::uint64_t slot = emitted_ % 50;
+  if (slot == 0) {
+    event.kind = NexmarkKind::kPerson;
+    event.person = MakePerson(now_);
+  } else if (slot <= 3) {
+    event.kind = NexmarkKind::kAuction;
+    event.auction = MakeAuction(now_);
+  } else {
+    event.kind = NexmarkKind::kBid;
+    event.bid = MakeBid(now_);
+  }
+  ++emitted_;
+  return event;
+}
+
+}  // namespace pipes::workloads

@@ -1,0 +1,93 @@
+#include <algorithm>
+
+#include "src/workloads/nexmark_queries.h"
+
+namespace pipes::workloads {
+
+BidStream& BuildBidStream(QueryGraph& graph, Source<NexmarkEvent>& events) {
+  auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsBidEvent>>(
+      IsBidEvent{}, "bids-only");
+  auto& map = graph.Add<BidStream>(BidOfEvent{}, "bid-stream");
+  events.SubscribeTo(filter.input());
+  filter.SubscribeTo(map.input());
+  return map;
+}
+
+AuctionStream& BuildAuctionStream(QueryGraph& graph,
+                                  Source<NexmarkEvent>& events) {
+  auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsAuctionEvent>>(
+      IsAuctionEvent{}, "auctions-only");
+  auto& map = graph.Add<AuctionStream>(AuctionOfEvent{}, "auction-stream");
+  events.SubscribeTo(filter.input());
+  filter.SubscribeTo(map.input());
+  return map;
+}
+
+PersonStream& BuildPersonStream(QueryGraph& graph,
+                                Source<NexmarkEvent>& events) {
+  auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsPersonEvent>>(
+      IsPersonEvent{}, "persons-only");
+  auto& map = graph.Add<PersonStream>(PersonOfEvent{}, "person-stream");
+  events.SubscribeTo(filter.input());
+  filter.SubscribeTo(map.input());
+  return map;
+}
+
+CurrencyConversion& BuildCurrencyConversion(QueryGraph& graph,
+                                            Source<Bid>& bids, double rate) {
+  auto& conversion = graph.Add<CurrencyConversion>(ConvertCurrency{rate},
+                                                   "currency-conversion");
+  bids.SubscribeTo(conversion.input());
+  return conversion;
+}
+
+BidSelection& BuildBidSelection(QueryGraph& graph, Source<Bid>& bids,
+                                std::int64_t modulus) {
+  auto& selection = graph.Add<BidSelection>(AuctionIdModulo{modulus},
+                                            "bid-selection");
+  bids.SubscribeTo(selection.input());
+  return selection;
+}
+
+HighestBid& BuildHighestBidQuery(QueryGraph& graph, Source<Bid>& bids,
+                                 Timestamp period) {
+  auto& window = graph.Add<algebra::SlideWindow<Bid>>(period, period,
+                                                      "tumbling-window");
+  auto& highest = graph.Add<HighestBid>(PriceOf{}, "highest-bid");
+  bids.SubscribeTo(window.input());
+  window.SubscribeTo(highest.input());
+  return highest;
+}
+
+namespace {
+
+struct BidAuctionKey {
+  std::int64_t operator()(const Bid& b) const { return b.auction; }
+};
+
+}  // namespace
+
+Source<BidWithAuction>& BuildOpenAuctionJoin(QueryGraph& graph,
+                                             Source<Bid>& bids,
+                                             Source<Auction>& open_auctions) {
+  auto join = algebra::MakeHashJoin<Bid, Auction>(
+      BidAuctionKey{}, AuctionId{}, CombineBidAuction{}, "bids-x-open-auctions");
+  auto& node = graph.AddNode(std::move(join));
+  bids.SubscribeTo(node.left());
+  open_auctions.SubscribeTo(node.right());
+  return node;
+}
+
+BidsPerAuction& BuildBidsPerAuctionQuery(QueryGraph& graph,
+                                         Source<Bid>& bids, Timestamp range,
+                                         Timestamp slide) {
+  auto& window = graph.Add<algebra::SlideWindow<Bid>>(range, slide,
+                                                      "auction-window");
+  auto& counts = graph.Add<BidsPerAuction>(AuctionOfBid{}, PriceOf{},
+                                           "bids-per-auction");
+  bids.SubscribeTo(window.input());
+  window.SubscribeTo(counts.input());
+  return counts;
+}
+
+}  // namespace pipes::workloads

@@ -1,0 +1,105 @@
+#include "src/workloads/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace pipes::workloads {
+
+TrafficGenerator::TrafficGenerator(TrafficOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  PIPES_CHECK(options_.num_detectors > 0 && options_.num_lanes > 0);
+  PIPES_CHECK(options_.base_rate_per_s > 0);
+  for (std::int32_t d = 0; d < options_.num_detectors; ++d) {
+    for (std::int32_t lane = 0; lane < options_.num_lanes; ++lane) {
+      for (std::int32_t dir = 0; dir < 2; ++dir) {
+        ScheduleNext(d, lane, dir, /*after=*/0);
+      }
+    }
+  }
+}
+
+double TrafficGenerator::RateMultiplier(Timestamp t) const {
+  // Two rush-hour peaks at 8:00 and 17:00 of a 24h day, scaled to the
+  // configured duration.
+  const double day_fraction =
+      static_cast<double>(t) / static_cast<double>(options_.duration_ms);
+  const double hour = day_fraction * 24.0;
+  auto peak = [&](double center) {
+    const double d = (hour - center) / 1.5;
+    return std::exp(-d * d);
+  };
+  return 1.0 + 2.0 * peak(8.0) + 2.0 * peak(17.0);
+}
+
+bool TrafficGenerator::IncidentActive(std::int32_t detector,
+                                      std::int32_t direction,
+                                      Timestamp t) const {
+  for (const TrafficIncident& incident : options_.incidents) {
+    if (incident.direction != direction) continue;
+    if (t < incident.begin || t >= incident.end) continue;
+    // The jam backs up over the detectors upstream of the incident.
+    const std::int32_t delta = incident.detector - detector;
+    const bool affected = direction == 0
+                              ? (delta >= 0 && delta <= incident.upstream_reach)
+                              : (delta <= 0 && -delta <= incident.upstream_reach);
+    if (affected) return true;
+  }
+  return false;
+}
+
+void TrafficGenerator::ScheduleNext(std::int32_t detector, std::int32_t lane,
+                                    std::int32_t direction, Timestamp after) {
+  // Thinning-free approximation: draw the gap from the rate at `after`.
+  const double rate_per_ms =
+      options_.base_rate_per_s * RateMultiplier(after) / 1000.0;
+  const double gap = rng_.Exponential(rate_per_ms);
+  const auto at = after + std::max<Timestamp>(1, static_cast<Timestamp>(gap));
+  if (at >= options_.duration_ms) return;  // beyond the measurement window
+  arrivals_.push(Arrival{at, detector, lane, direction});
+}
+
+std::optional<TrafficReading> TrafficGenerator::Next() {
+  if (arrivals_.empty()) return std::nullopt;
+  const Arrival arrival = arrivals_.top();
+  arrivals_.pop();
+  ScheduleNext(arrival.detector, arrival.lane, arrival.direction, arrival.at);
+
+  TrafficReading reading;
+  reading.detector = arrival.detector;
+  reading.lane = arrival.lane;
+  reading.direction = arrival.direction;
+  reading.timestamp = arrival.at;
+
+  // Speed model: base (+ HOV bonus), reduced during rush hours, collapsed
+  // near active incidents, plus Gaussian noise.
+  double speed = options_.base_speed_kmh;
+  if (arrival.lane == 0) speed += options_.hov_speed_bonus_kmh;
+  const double congestion = RateMultiplier(arrival.at);
+  speed /= std::sqrt(congestion);
+  // Incidents block the whole carriageway (the HOV lane jams too); apply
+  // the strongest active slowdown.
+  double incident_factor = 1.0;
+  for (const TrafficIncident& incident : options_.incidents) {
+    if (incident.direction != arrival.direction) continue;
+    if (arrival.at < incident.begin || arrival.at >= incident.end) continue;
+    const std::int32_t delta = incident.detector - arrival.detector;
+    const bool affected =
+        arrival.direction == 0
+            ? (delta >= 0 && delta <= incident.upstream_reach)
+            : (delta <= 0 && -delta <= incident.upstream_reach);
+    if (affected) incident_factor = std::min(incident_factor,
+                                             incident.speed_factor);
+  }
+  speed *= incident_factor;
+  speed += rng_.Gaussian() * options_.speed_noise_stddev;
+  reading.speed_kmh = std::max(3.0, speed);
+
+  reading.length_m = rng_.Bernoulli(options_.truck_fraction)
+                         ? rng_.UniformDouble(12.0, 22.0)
+                         : rng_.UniformDouble(3.8, 5.4);
+  return reading;
+}
+
+}  // namespace pipes::workloads

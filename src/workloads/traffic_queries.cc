@@ -1,0 +1,48 @@
+#include "src/workloads/traffic_queries.h"
+
+namespace pipes::workloads {
+
+HovAverageSpeed& BuildHovAverageSpeedQuery(QueryGraph& graph,
+                                           Source<TrafficReading>& readings,
+                                           Timestamp range, Timestamp slide) {
+  auto& hov = graph.Add<algebra::Filter<TrafficReading, HovLaneOnly>>(
+      HovLaneOnly{}, "hov-only");
+  auto& window = graph.Add<algebra::SlideWindow<TrafficReading>>(
+      range, slide, "hov-window");
+  auto& average = graph.Add<HovAverageSpeed>(
+      DirectionOf{}, SpeedOf{}, "hov-average");
+  readings.SubscribeTo(hov.input());
+  hov.SubscribeTo(window.input());
+  window.SubscribeTo(average.input());
+  return average;
+}
+
+SegmentAverageSpeed& BuildSegmentAverageSpeedQuery(
+    QueryGraph& graph, Source<TrafficReading>& readings,
+    std::int32_t direction, Timestamp range, Timestamp slide) {
+  auto& filtered = graph.Add<algebra::Filter<TrafficReading, InDirection>>(
+      InDirection{direction}, "direction-only");
+  auto& window = graph.Add<algebra::SlideWindow<TrafficReading>>(
+      range, slide, "segment-window");
+  auto& average = graph.Add<SegmentAverageSpeed>(
+      DetectorOf{}, SpeedOf{}, "segment-average");
+  readings.SubscribeTo(filtered.input());
+  filtered.SubscribeTo(window.input());
+  window.SubscribeTo(average.input());
+  return average;
+}
+
+CongestionDetector& BuildCongestionQuery(
+    QueryGraph& graph, Source<TrafficReading>& readings,
+    std::int32_t direction, Timestamp avg_window, Timestamp avg_slide,
+    double speed_threshold, Timestamp min_duration) {
+  SegmentAverageSpeed& averages = BuildSegmentAverageSpeedQuery(
+      graph, readings, direction, avg_window, avg_slide);
+  auto& detector = graph.Add<CongestionDetector>(
+      PairKey{}, AvgBelow{speed_threshold}, min_duration,
+      "congestion-detector");
+  averages.SubscribeTo(detector.input());
+  return detector;
+}
+
+}  // namespace pipes::workloads

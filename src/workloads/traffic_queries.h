@@ -1,0 +1,172 @@
+#ifndef PIPES_WORKLOADS_TRAFFIC_QUERIES_H_
+#define PIPES_WORKLOADS_TRAFFIC_QUERIES_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/filter.h"
+#include "src/algebra/window.h"
+#include "src/core/graph.h"
+#include "src/workloads/traffic.h"
+
+/// \file
+/// The traffic-management query library: typed building blocks for the
+/// demo scenario's continuous queries (in the spirit of the Linear Road
+/// benchmark the paper references):
+///
+///  * hourly average HOV speed per direction,
+///  * per-segment average speed over short windows,
+///  * sustained-condition detection ("average speed below a threshold
+///    constantly for 15 minutes" — the incident indicator).
+///
+/// All pieces are ordinary operators of the generic algebra; this header
+/// just packages the workload's types and plan fragments for reuse by
+/// examples, tests, and benchmarks.
+
+namespace pipes::workloads {
+
+/// Alarm raised when a keyed condition held continuously long enough.
+template <typename Key>
+struct Sustained {
+  Key key{};
+  Timestamp since = 0;     // when the run started
+  Timestamp duration = 0;  // run length when the alarm fired
+
+  friend bool operator==(const Sustained&, const Sustained&) = default;
+};
+
+/// Detects, per key, runs of contiguous (overlapping or abutting) input
+/// validity during which `pred(payload)` holds; fires one alarm per run
+/// when the run first reaches `min_duration`. The alarm element carries
+/// the triggering element's validity, so output order follows input order.
+template <typename In, typename KeyFn, typename Pred>
+class SustainedConditionDetector
+    : public UnaryPipe<
+          In, Sustained<std::decay_t<std::invoke_result_t<KeyFn, const In&>>>> {
+ public:
+  using Key = std::decay_t<std::invoke_result_t<KeyFn, const In&>>;
+  using Alarm = Sustained<Key>;
+
+  SustainedConditionDetector(KeyFn key_fn, Pred pred,
+                             Timestamp min_duration,
+                             std::string name = "sustained-condition")
+      : UnaryPipe<In, Alarm>(std::move(name)),
+        key_fn_(std::move(key_fn)),
+        pred_(std::move(pred)),
+        min_duration_(min_duration) {
+    PIPES_CHECK(min_duration > 0);
+  }
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<In>& e) override {
+    const Key key = key_fn_(e.payload);
+    Run& run = runs_[key];
+    if (!pred_(e.payload)) {
+      run.active = false;
+      return;
+    }
+    if (!run.active || e.start() > run.end) {
+      // Gap (or first observation): a new run starts.
+      run.active = true;
+      run.alarmed = false;
+      run.start = e.start();
+      run.end = e.end();
+    } else {
+      run.end = std::max(run.end, e.end());
+    }
+    if (!run.alarmed && run.end - run.start >= min_duration_) {
+      run.alarmed = true;
+      this->Transfer(StreamElement<Alarm>(
+          Alarm{key, run.start, run.end - run.start}, e.interval));
+    }
+  }
+
+ private:
+  struct Run {
+    bool active = false;
+    bool alarmed = false;
+    Timestamp start = 0;
+    Timestamp end = 0;
+  };
+
+  KeyFn key_fn_;
+  Pred pred_;
+  Timestamp min_duration_;
+  std::unordered_map<Key, Run> runs_;
+};
+
+// --- Plan fragments for the demo queries --------------------------------------
+
+/// Named functors so the fragment builders have spellable operator types.
+struct HovLaneOnly {
+  bool operator()(const TrafficReading& r) const { return r.lane == 0; }
+};
+struct DirectionOf {
+  std::int32_t operator()(const TrafficReading& r) const {
+    return r.direction;
+  }
+};
+struct DetectorOf {
+  std::int32_t operator()(const TrafficReading& r) const {
+    return r.detector;
+  }
+};
+struct SpeedOf {
+  double operator()(const TrafficReading& r) const { return r.speed_kmh; }
+};
+struct InDirection {
+  std::int32_t direction;
+  bool operator()(const TrafficReading& r) const {
+    return r.direction == direction;
+  }
+};
+
+/// (direction, average HOV speed) per `slide`-aligned window of `range`.
+using HovAverageSpeed =
+    algebra::GroupedAggregate<TrafficReading, algebra::AvgAgg<double>,
+                              DirectionOf, SpeedOf>;
+
+/// Builds: source -> HOV filter -> slide window -> grouped average.
+/// Returns the query output (subscribe a sink to it).
+HovAverageSpeed& BuildHovAverageSpeedQuery(
+    QueryGraph& graph, Source<TrafficReading>& readings, Timestamp range,
+    Timestamp slide);
+
+/// (detector, average speed) in one direction per slide-aligned window.
+using SegmentAverageSpeed =
+    algebra::GroupedAggregate<TrafficReading, algebra::AvgAgg<double>,
+                              DetectorOf, SpeedOf>;
+
+SegmentAverageSpeed& BuildSegmentAverageSpeedQuery(
+    QueryGraph& graph, Source<TrafficReading>& readings,
+    std::int32_t direction, Timestamp range, Timestamp slide);
+
+/// Predicate on the (detector, avg) pairs of SegmentAverageSpeed.
+struct AvgBelow {
+  double threshold;
+  bool operator()(const std::pair<std::int32_t, double>& p) const {
+    return p.second < threshold;
+  }
+};
+struct PairKey {
+  std::int32_t operator()(const std::pair<std::int32_t, double>& p) const {
+    return p.first;
+  }
+};
+
+/// Congestion detector: segment averages below `speed_threshold` sustained
+/// for at least `min_duration` raise one alarm per congestion episode.
+using CongestionDetector =
+    SustainedConditionDetector<std::pair<std::int32_t, double>, PairKey,
+                               AvgBelow>;
+
+CongestionDetector& BuildCongestionQuery(
+    QueryGraph& graph, Source<TrafficReading>& readings,
+    std::int32_t direction, Timestamp avg_window, Timestamp avg_slide,
+    double speed_threshold, Timestamp min_duration);
+
+}  // namespace pipes::workloads
+
+#endif  // PIPES_WORKLOADS_TRAFFIC_QUERIES_H_

@@ -1,0 +1,140 @@
+// Tests for the common substrate: Status/Result, time intervals, and the
+// deterministic random distributions.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace pipes {
+namespace {
+
+TEST(Status, OkAndErrorStates) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+
+  const Status err = Status::NotFound("thing is gone");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: thing is gone");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Result<int> Chain(int v) {
+  PIPES_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  PIPES_ASSIGN_OR_RETURN(int quadrupled, ParsePositive(doubled));
+  return quadrupled;
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnMacroChains) {
+  EXPECT_EQ(*Chain(1), 4);
+  EXPECT_FALSE(Chain(0).ok());
+}
+
+TEST(TimeInterval, ContainsOverlapsIntersect) {
+  const TimeInterval a(0, 10);
+  const TimeInterval b(5, 15);
+  const TimeInterval c(10, 20);
+
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_TRUE(a.Contains(9));
+  EXPECT_FALSE(a.Contains(10));  // half-open
+
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));  // abutting is not overlapping
+  EXPECT_EQ(a.Intersect(b), TimeInterval(5, 10));
+  EXPECT_EQ(a.Length(), 10);
+  EXPECT_EQ(TimeInterval::Point(7), TimeInterval(7, 8));
+  EXPECT_EQ(ToString(TimeInterval(1, 2)), "[1, 2)");
+}
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(9), b(9), c(10);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Random, BoundedAndUniformRanges) {
+  Random rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = rng.UniformDouble(2.0, 4.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 4.0);
+  }
+}
+
+TEST(Random, DistributionsHaveExpectedMeans) {
+  Random rng(8);
+  double exp_sum = 0;
+  double gauss_sum = 0;
+  std::int64_t poisson_sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    exp_sum += rng.Exponential(0.5);  // mean 2
+    gauss_sum += rng.Gaussian();      // mean 0
+    poisson_sum += rng.Poisson(3.0);  // mean 3
+  }
+  EXPECT_NEAR(exp_sum / kSamples, 2.0, 0.1);
+  EXPECT_NEAR(gauss_sum / kSamples, 0.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(poisson_sum) / kSamples, 3.0, 0.1);
+}
+
+TEST(Random, BernoulliFrequency) {
+  Random rng(12);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Zipf, SkewsTowardSmallRanks) {
+  Random rng(15);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t v = zipf.Sample(rng);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // Rank 0 is the hottest; the tail is rare.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 10 * counts[99]);
+  // theta=0 is uniform-ish.
+  ZipfDistribution uniform(10, 0.0);
+  std::vector<int> ucounts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++ucounts[uniform.Sample(rng)];
+  for (int c : ucounts) EXPECT_NEAR(c, 2000, 300);
+}
+
+}  // namespace
+}  // namespace pipes

@@ -1,0 +1,358 @@
+// Tests for the publish-subscribe core: sources, ports, pipes, buffers,
+// generator sources, graph management, and the watermark/done protocol.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/filter.h"
+#include "src/algebra/map.h"
+#include "src/algebra/union.h"
+#include "src/core/buffer.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/ordered_buffer.h"
+#include "src/core/sink.h"
+#include "src/scheduler/scheduler.h"
+#include "src/scheduler/strategy.h"
+
+namespace pipes {
+namespace {
+
+using algebra::Filter;
+using algebra::Map;
+
+std::vector<StreamElement<int>> IntPoints(std::initializer_list<int> values) {
+  return VectorSource<int>::Points(std::vector<int>(values));
+}
+
+void Drain(QueryGraph& graph) {
+  scheduler::RoundRobinStrategy strategy;
+  scheduler::SingleThreadScheduler driver(graph, strategy);
+  driver.RunToCompletion();
+}
+
+TEST(Core, SourceDeliversDirectlyToSubscribedSink) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3}));
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(sink.input());
+
+  Drain(graph);
+
+  ASSERT_EQ(sink.elements().size(), 3u);
+  EXPECT_EQ(sink.elements()[0].payload, 1);
+  EXPECT_EQ(sink.elements()[0].interval, TimeInterval(0, 1));
+  EXPECT_EQ(sink.elements()[2].payload, 3);
+  EXPECT_TRUE(sink.done());
+}
+
+TEST(Core, MultipleSubscribersEachReceiveEveryElement) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({4, 5}));
+  auto& a = graph.Add<CollectorSink<int>>("a");
+  auto& b = graph.Add<CollectorSink<int>>("b");
+  source.SubscribeTo(a.input());
+  source.SubscribeTo(b.input());
+
+  Drain(graph);
+
+  EXPECT_EQ(a.elements().size(), 2u);
+  EXPECT_EQ(b.elements().size(), 2u);
+  EXPECT_EQ(source.num_subscribers(), 2u);
+}
+
+TEST(Core, UnsubscribeStopsDelivery) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4}));
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(sink.input());
+
+  scheduler::RoundRobinStrategy strategy;
+  scheduler::SingleThreadScheduler driver(graph, strategy, /*batch_size=*/2);
+  driver.Step();  // Delivers two elements.
+  ASSERT_EQ(sink.elements().size(), 2u);
+  ASSERT_TRUE(source.UnsubscribeFrom(sink.input()).ok());
+  driver.RunToCompletion();
+
+  EXPECT_EQ(sink.elements().size(), 2u);
+  EXPECT_TRUE(source.downstream().empty());
+  EXPECT_TRUE(sink.upstream().empty());
+}
+
+TEST(Core, UnsubscribeOfUnknownPortFails) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
+  auto& sink = graph.Add<CollectorSink<int>>();
+  EXPECT_EQ(source.UnsubscribeFrom(sink.input()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Core, PipeChainsRunInsideOneTransferCall) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4, 5, 6}));
+  auto even = [](int x) { return x % 2 == 0; };
+  auto& filter = graph.Add<Filter<int, decltype(even)>>(even);
+  auto doubled = [](int x) { return x * 2; };
+  auto& map = graph.Add<Map<int, int, decltype(doubled)>>(doubled);
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(filter.input());
+  filter.SubscribeTo(map.input());
+  map.SubscribeTo(sink.input());
+
+  Drain(graph);
+
+  ASSERT_EQ(sink.elements().size(), 3u);
+  EXPECT_EQ(sink.elements()[0].payload, 4);
+  EXPECT_EQ(sink.elements()[1].payload, 8);
+  EXPECT_EQ(sink.elements()[2].payload, 12);
+  // The filter saw 6, passed 3.
+  EXPECT_EQ(filter.elements_in(), 6u);
+  EXPECT_EQ(filter.elements_out(), 3u);
+}
+
+TEST(Core, BufferDecouplesAndPreservesOrderAndDone) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({7, 8, 9}));
+  auto& buffer = graph.Add<Buffer<int>>();
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(buffer.input());
+  buffer.SubscribeTo(sink.input());
+
+  // Drive only the source: elements park in the buffer.
+  while (source.HasWork()) source.DoWork(1);
+  EXPECT_GE(buffer.queue_size(), 3u);
+  EXPECT_TRUE(sink.elements().empty());
+
+  while (buffer.HasWork()) buffer.DoWork(1);
+  ASSERT_EQ(sink.elements().size(), 3u);
+  EXPECT_EQ(sink.elements()[2].payload, 9);
+  EXPECT_TRUE(sink.done());
+  EXPECT_TRUE(buffer.IsFinished());
+}
+
+TEST(Core, BufferCoalescesConsecutiveHeartbeats) {
+  QueryGraph graph;
+  auto& buffer = graph.Add<Buffer<int>>();
+  // A source that emits only heartbeats (no elements) must not grow the
+  // queue unboundedly.
+  class HeartbeatSource : public Source<int> {
+   public:
+    HeartbeatSource() : Source<int>("hb") {}
+    void Emit(Timestamp t) { TransferHeartbeat(t); }
+  };
+  auto& source = graph.Add<HeartbeatSource>();
+  source.SubscribeTo(buffer.input());
+
+  for (Timestamp t = 1; t <= 100; ++t) source.Emit(t);
+  EXPECT_LE(buffer.queue_size(), 1u);
+}
+
+TEST(Core, BoundedBufferShedsOldestElements) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4, 5}));
+  auto& buffer = graph.Add<Buffer<int>>("bounded", /*capacity=*/2);
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(buffer.input());
+  buffer.SubscribeTo(sink.input());
+
+  // Burst: the source outruns the buffer; only the 2 newest elements
+  // survive, and control signals (done) are never dropped.
+  while (source.HasWork()) source.DoWork(10);
+  EXPECT_EQ(buffer.dropped_count(), 3u);
+  while (buffer.HasWork()) buffer.DoWork(10);
+  ASSERT_EQ(sink.elements().size(), 2u);
+  EXPECT_EQ(sink.elements()[0].payload, 4);
+  EXPECT_EQ(sink.elements()[1].payload, 5);
+  EXPECT_TRUE(sink.done());
+}
+
+TEST(Core, BoundedBufferKeepsEverythingWhenDrainedInTime) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4, 5}));
+  auto& buffer = graph.Add<Buffer<int>>("bounded", /*capacity=*/2);
+  auto& sink = graph.Add<CountingSink<int>>();
+  source.SubscribeTo(buffer.input());
+  buffer.SubscribeTo(sink.input());
+  Drain(graph);  // round-robin alternates source and buffer
+  EXPECT_EQ(sink.count() + buffer.dropped_count(), 5u);
+  EXPECT_LT(buffer.dropped_count(), 5u);
+}
+
+TEST(Core, UnionPortAcceptsMultipleUpstreams) {
+  // An n-ary union without n operators: several sources subscribed to the
+  // same input port; the port merges their watermarks.
+  QueryGraph graph;
+  auto& a = graph.Add<VectorSource<int>>(
+      VectorSource<int>::Points({1, 2}, /*t0=*/0));
+  auto& b = graph.Add<VectorSource<int>>(
+      VectorSource<int>::Points({3, 4}, /*t0=*/0));
+  auto& c = graph.Add<VectorSource<int>>(
+      VectorSource<int>::Points({5, 6}, /*t0=*/0));
+  auto& u = graph.Add<algebra::Union<int>>();
+  auto& d = graph.Add<VectorSource<int>>(
+      VectorSource<int>::Points({7}, /*t0=*/0));
+  auto& sink = graph.Add<CollectorSink<int>>();
+  a.SubscribeTo(u.left());
+  b.SubscribeTo(u.left());
+  c.SubscribeTo(u.left());
+  d.SubscribeTo(u.right());
+  u.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_EQ(sink.elements().size(), 7u);
+  for (std::size_t i = 1; i < sink.elements().size(); ++i) {
+    EXPECT_LE(sink.elements()[i - 1].start(), sink.elements()[i].start());
+  }
+  EXPECT_TRUE(sink.done());
+}
+
+TEST(Core, PortMergesWatermarksOfMultipleUpstreams) {
+  QueryGraph graph;
+  auto& fast = graph.Add<VectorSource<int>>(
+      VectorSource<int>::Points({1, 2, 3}, /*t0=*/100));
+  auto& slow = graph.Add<VectorSource<int>>(
+      VectorSource<int>::Points({4, 5}, /*t0=*/10));
+  auto& sink = graph.Add<CollectorSink<int>>();
+  fast.SubscribeTo(sink.input());
+  slow.SubscribeTo(sink.input());
+
+  while (fast.HasWork()) fast.DoWork(1);
+  // Only the fast source has finished; the slow one still constrains the
+  // merged watermark (done upstreams stop constraining).
+  EXPECT_EQ(sink.watermark(), kMinTimestamp);
+  slow.DoWork(1);
+  EXPECT_EQ(sink.watermark(), 10);
+  slow.DoWork(10);
+  EXPECT_TRUE(sink.done());
+  EXPECT_EQ(sink.watermark(), kMaxTimestamp);
+}
+
+TEST(Core, LateSubscriberSeesCurrentProgress) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3}));
+  auto& early = graph.Add<CollectorSink<int>>("early");
+  source.SubscribeTo(early.input());
+  source.DoWork(2);
+
+  auto& late = graph.Add<CollectorSink<int>>("late");
+  source.SubscribeTo(late.input());
+  // The late subscriber's watermark reflects elapsed stream time.
+  EXPECT_EQ(late.watermark(), 1);
+
+  Drain(graph);
+  EXPECT_EQ(early.elements().size(), 3u);
+  EXPECT_EQ(late.elements().size(), 1u);
+  EXPECT_TRUE(late.done());
+}
+
+TEST(Core, SubscribingAfterDoneSignalsDoneImmediately) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
+  auto& early = graph.Add<CollectorSink<int>>("early");
+  source.SubscribeTo(early.input());
+  Drain(graph);
+
+  auto& late = graph.Add<CollectorSink<int>>("late");
+  source.SubscribeTo(late.input());
+  EXPECT_TRUE(late.done());
+}
+
+TEST(Core, GraphValidateAcceptsDagAndRejectsNothingHere) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
+  auto& a = graph.Add<Buffer<int>>("a");
+  auto& b = graph.Add<CollectorSink<int>>("b");
+  source.SubscribeTo(a.input());
+  a.SubscribeTo(b.input());
+  EXPECT_TRUE(graph.Validate().ok());
+}
+
+TEST(Core, GraphRemoveRequiresDetachedNode) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(sink.input());
+
+  EXPECT_EQ(graph.Remove(sink).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(source.UnsubscribeFrom(sink.input()).ok());
+  EXPECT_TRUE(graph.Remove(sink).ok());
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+TEST(Core, ToDotContainsNodesAndEdges) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1}), "src");
+  auto& sink = graph.Add<CollectorSink<int>>("snk");
+  source.SubscribeTo(sink.input());
+  const std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("src"), std::string::npos);
+  EXPECT_NE(dot.find("snk"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Core, FunctionSourceGeneratesUntilNullopt) {
+  QueryGraph graph;
+  int next = 0;
+  auto& source = graph.Add<FunctionSource<int>>(
+      [&]() -> std::optional<StreamElement<int>> {
+        if (next >= 5) return std::nullopt;
+        int v = next++;
+        return StreamElement<int>::Point(v, v);
+      });
+  auto& sink = graph.Add<CollectorSink<int>>();
+  source.SubscribeTo(sink.input());
+  Drain(graph);
+  EXPECT_EQ(sink.elements().size(), 5u);
+}
+
+TEST(Core, OrderedOutputBufferReleasesInStartOrder) {
+  OrderedOutputBuffer<int> buffer;
+  buffer.Push(StreamElement<int>::Point(3, 30));
+  buffer.Push(StreamElement<int>::Point(1, 10));
+  buffer.Push(StreamElement<int>::Point(2, 20));
+
+  std::vector<int> seen;
+  buffer.FlushUpTo(21, [&](const StreamElement<int>& e) {
+    seen.push_back(e.payload);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+  buffer.FlushAll(
+      [&](const StreamElement<int>& e) { seen.push_back(e.payload); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Core, CountingSinkCounts) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4}));
+  auto& sink = graph.Add<CountingSink<int>>();
+  source.SubscribeTo(sink.input());
+  Drain(graph);
+  EXPECT_EQ(sink.count(), 4u);
+}
+
+TEST(Core, CallbackSinkInvokesCallback) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<int>>(IntPoints({5}));
+  int sum = 0;
+  auto& sink = graph.Add<CallbackSink<int>>(
+      [&](const StreamElement<int>& e) { sum += e.payload; });
+  source.SubscribeTo(sink.input());
+  Drain(graph);
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(Core, NodeIdsAreUniqueAndNamed) {
+  QueryGraph graph;
+  auto& a = graph.Add<CollectorSink<int>>("first");
+  auto& b = graph.Add<CollectorSink<int>>("second");
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(a.name(), "first");
+  b.set_name("renamed");
+  EXPECT_EQ(b.name(), "renamed");
+}
+
+}  // namespace
+}  // namespace pipes

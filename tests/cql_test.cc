@@ -1,0 +1,233 @@
+// Tests for the CQL front end: lexer, parser, analyzer.
+
+#include <gtest/gtest.h>
+
+#include "src/cql/analyzer.h"
+#include "src/cql/catalog.h"
+#include "src/cql/lexer.h"
+#include "src/cql/parser.h"
+#include "src/optimizer/optimizer.h"
+
+namespace pipes::cql {
+namespace {
+
+using optimizer::LogicalOp;
+using optimizer::WindowKind;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+Schema BidSchema() {
+  return Schema({{"auction", ValueType::kInt},
+                 {"bidder", ValueType::kInt},
+                 {"price", ValueType::kDouble}});
+}
+
+Schema PersonSchema() {
+  return Schema({{"id", ValueType::kInt}, {"city", ValueType::kString}});
+}
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  PIPES_CHECK(catalog.RegisterStream("bids", BidSchema()).ok());
+  PIPES_CHECK(catalog.RegisterStream("persons", PersonSchema()).ok());
+  return catalog;
+}
+
+TEST(Lexer, TokenizesAllKinds) {
+  auto result = Tokenize("SELECT x1, 'str' 3 4.5 <= <> != [RANGE]");
+  ASSERT_TRUE(result.ok());
+  const auto& tokens = *result;
+  EXPECT_TRUE(tokens[0].Is("SELECT"));  // matcher pattern is uppercase
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "x1");
+  EXPECT_TRUE(tokens[2].IsSymbol(","));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "str");
+  EXPECT_EQ(tokens[4].int_value, 3);
+  EXPECT_DOUBLE_EQ(tokens[5].double_value, 4.5);
+  EXPECT_TRUE(tokens[6].IsSymbol("<="));
+  EXPECT_TRUE(tokens[7].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[8].IsSymbol("<>"));  // != normalizes
+  EXPECT_TRUE(tokens[9].IsSymbol("["));
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_EQ(Tokenize("SELECT 'unterminated").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("SELECT #").status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, ParsesWindowsAliasesWhereGroupBy) {
+  auto result = Parse(
+      "SELECT b.auction, MAX(b.price) AS top FROM bids [RANGE 10 MINUTES "
+      "SLIDE 2 MINUTES] AS b WHERE b.price > 5 GROUP BY b.auction");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryAst& query = *result;
+  ASSERT_EQ(query.select.size(), 2u);
+  EXPECT_EQ(query.select[1].alias, "top");
+  ASSERT_EQ(query.from.size(), 1u);
+  EXPECT_EQ(query.from[0].stream, "bids");
+  EXPECT_EQ(query.from[0].alias, "b");
+  EXPECT_EQ(query.from[0].window.kind, WindowKind::kRangeSlide);
+  EXPECT_EQ(query.from[0].window.range, 10ll * 60 * 1000);
+  EXPECT_EQ(query.from[0].window.slide, 2ll * 60 * 1000);
+  ASSERT_NE(query.where, nullptr);
+  ASSERT_EQ(query.group_by.size(), 1u);
+  EXPECT_EQ(query.group_by[0], "b.auction");
+}
+
+TEST(Parser, ParsesRowsNowUnboundedWindows) {
+  auto rows = Parse("SELECT * FROM bids [ROWS 100]");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->from[0].window.kind, WindowKind::kRows);
+  EXPECT_EQ(rows->from[0].window.rows, 100u);
+
+  auto now = Parse("SELECT * FROM bids [NOW]");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->from[0].window.kind, WindowKind::kNow);
+
+  auto unbounded = Parse("SELECT * FROM bids [UNBOUNDED]");
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_EQ(unbounded->from[0].window.kind, WindowKind::kUnbounded);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto result = Parse("SELECT a + b * 2 > 10 AND NOT c FROM bids");
+  ASSERT_TRUE(result.ok());
+  // (((a + (b * 2)) > 10) AND (NOT c))
+  EXPECT_EQ(result->select[0].expr->ToString(),
+            "(((a + (b * 2)) > 10) AND NOT c)");
+}
+
+TEST(Parser, ReportsErrors) {
+  EXPECT_FALSE(Parse("SELECT FROM bids").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM bids [RANGE]").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM bids WHERE").ok());
+  EXPECT_FALSE(Parse("FROM bids").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM bids extra tokens !").ok());
+}
+
+TEST(Analyzer, SelectStarIsScanOnly) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile("SELECT * FROM bids", catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kStreamScan);
+  EXPECT_EQ((*plan)->schema.arity(), 3u);
+  EXPECT_EQ((*plan)->schema.field(0).name, "bids.auction");
+}
+
+TEST(Analyzer, ProjectionAndFilter) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile(
+      "SELECT price * 2 AS double_price FROM bids WHERE price > 10",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kProject);
+  EXPECT_EQ((*plan)->schema.field(0).name, "double_price");
+  EXPECT_EQ((*plan)->schema.field(0).type, ValueType::kDouble);
+  EXPECT_EQ((*plan)->children[0]->kind, LogicalOp::Kind::kFilter);
+}
+
+TEST(Analyzer, GroupByWithAggregates) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile(
+      "SELECT auction, MAX(price) AS top, COUNT(*) AS n FROM bids [RANGE 10 "
+      "MINUTES] GROUP BY auction",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project(GroupAggregate(Scan))
+  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kProject);
+  const auto& agg = (*plan)->children[0];
+  EXPECT_EQ(agg->kind, LogicalOp::Kind::kGroupAggregate);
+  EXPECT_EQ(agg->group_fields.size(), 1u);
+  EXPECT_EQ(agg->aggs.size(), 2u);
+  EXPECT_EQ((*plan)->schema.field(1).name, "top");
+  EXPECT_EQ((*plan)->schema.field(2).type, ValueType::kInt);
+}
+
+TEST(Analyzer, JoinOfTwoStreams) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile(
+      "SELECT b.price, p.city FROM bids [RANGE 1 MINUTES] AS b, persons "
+      "[UNBOUNDED] AS p WHERE b.bidder = p.id",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Project(Filter(Join(scan, scan))) before optimization.
+  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kProject);
+  EXPECT_EQ((*plan)->children[0]->kind, LogicalOp::Kind::kFilter);
+  EXPECT_EQ((*plan)->children[0]->children[0]->kind, LogicalOp::Kind::kJoin);
+}
+
+TEST(Parser, JoinOnSyntaxDesugarsIntoWhere) {
+  auto result = Parse(
+      "SELECT b.price FROM bids [RANGE 1 MINUTES] AS b JOIN persons "
+      "[UNBOUNDED] AS p ON b.bidder = p.id WHERE b.price > 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->from.size(), 2u);
+  ASSERT_NE(result->where, nullptr);
+  // Both the WHERE predicate and the ON condition are present.
+  const std::string where = result->where->ToString();
+  EXPECT_NE(where.find("b.bidder = p.id"), std::string::npos);
+  EXPECT_NE(where.find("b.price > 5"), std::string::npos);
+
+  // Equivalent comma + WHERE formulation lowers to the same plan.
+  Catalog catalog = MakeCatalog();
+  auto join_on = Analyze(*result, catalog);
+  auto classic = Compile(
+      "SELECT b.price FROM bids [RANGE 1 MINUTES] AS b, persons "
+      "[UNBOUNDED] AS p WHERE b.price > 5 AND b.bidder = p.id",
+      catalog);
+  ASSERT_TRUE(join_on.ok() && classic.ok());
+  optimizer::Optimizer optimizer(&catalog);
+  EXPECT_EQ(optimizer.Optimize(*join_on).plan->Signature(),
+            optimizer.Optimize(*classic).plan->Signature());
+}
+
+TEST(Parser, JoinWithoutOnIsRejected) {
+  EXPECT_FALSE(Parse("SELECT 1 FROM bids JOIN persons").ok());
+}
+
+TEST(Analyzer, SemanticErrors) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_FALSE(Compile("SELECT * FROM nosuch", catalog).ok());
+  EXPECT_FALSE(Compile("SELECT nosuch FROM bids", catalog).ok());
+  // Ambiguous field across two streams.
+  EXPECT_FALSE(
+      Compile("SELECT auction FROM bids AS a, bids AS b", catalog).ok());
+  // Duplicate alias.
+  EXPECT_FALSE(
+      Compile("SELECT 1 FROM bids AS x, persons AS x", catalog).ok());
+  // Non-grouped field with aggregation.
+  EXPECT_FALSE(
+      Compile("SELECT bidder, MAX(price) FROM bids GROUP BY auction",
+              catalog)
+          .ok());
+  // SUM(*) is invalid.
+  EXPECT_FALSE(Compile("SELECT SUM(*) FROM bids", catalog).ok());
+  // Aggregate nested in expression.
+  EXPECT_FALSE(
+      Compile("SELECT 1 + MAX(price) FROM bids", catalog).ok());
+}
+
+TEST(Analyzer, DistinctAddsDistinctOp) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile("SELECT DISTINCT bidder FROM bids", catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kDistinct);
+  EXPECT_EQ((*plan)->children[0]->kind, LogicalOp::Kind::kProject);
+}
+
+TEST(Analyzer, SignatureStableAcrossEquivalentQueries) {
+  Catalog catalog = MakeCatalog();
+  auto a = Compile("SELECT price FROM bids WHERE price > 10", catalog);
+  auto b = Compile("select price from bids where price > 10", catalog);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->Signature(), (*b)->Signature());
+}
+
+}  // namespace
+}  // namespace pipes::cql

@@ -1,0 +1,130 @@
+// Tests for the adaptive memory manager and its assignment strategies.
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/memory/memory_manager.h"
+
+namespace pipes::memory {
+namespace {
+
+/// Scripted memory user for manager tests.
+class FakeUser : public MemoryUser {
+ public:
+  explicit FakeUser(std::size_t usage, std::size_t min_bytes = 0,
+                    std::size_t preferred =
+                        std::numeric_limits<std::size_t>::max())
+      : usage_(usage), min_(min_bytes), preferred_(preferred) {}
+
+  std::size_t MemoryUsage() const override { return usage_; }
+  void SetMemoryLimit(std::size_t bytes) override {
+    limit_ = bytes;
+    if (usage_ > bytes) usage_ = bytes;  // "shed" to fit
+  }
+  std::size_t MinMemoryBytes() const override { return min_; }
+  std::size_t PreferredMemoryBytes() const override { return preferred_; }
+
+  std::size_t limit() const { return limit_; }
+  void set_usage(std::size_t usage) { usage_ = usage; }
+
+ private:
+  std::size_t usage_;
+  std::size_t min_;
+  std::size_t preferred_;
+  std::size_t limit_ = std::numeric_limits<std::size_t>::max();
+};
+
+TEST(MemoryManager, UniformSplitsEvenly) {
+  MemoryManager manager(1000, std::make_unique<UniformStrategy>());
+  FakeUser a(0), b(0);
+  ASSERT_TRUE(manager.Register(a).ok());
+  ASSERT_TRUE(manager.Register(b).ok());
+  EXPECT_EQ(a.limit(), 500u);
+  EXPECT_EQ(b.limit(), 500u);
+}
+
+TEST(MemoryManager, UniformRespectsPreferredCapAndReoffers) {
+  MemoryManager manager(1000, std::make_unique<UniformStrategy>());
+  FakeUser capped(0, 0, /*preferred=*/100);
+  FakeUser hungry(0);
+  ASSERT_TRUE(manager.Register(capped).ok());
+  ASSERT_TRUE(manager.Register(hungry).ok());
+  EXPECT_EQ(capped.limit(), 100u);
+  EXPECT_EQ(hungry.limit(), 900u);
+}
+
+TEST(MemoryManager, MinimaAreGrantedEvenOverBudget) {
+  MemoryManager manager(100, std::make_unique<UniformStrategy>());
+  FakeUser a(0, /*min=*/80), b(0, /*min=*/80);
+  ASSERT_TRUE(manager.Register(a).ok());
+  ASSERT_TRUE(manager.Register(b).ok());
+  EXPECT_GE(a.limit(), 80u);
+  EXPECT_GE(b.limit(), 80u);
+}
+
+TEST(MemoryManager, ProportionalFollowsUsage) {
+  MemoryManager manager(900, std::make_unique<ProportionalStrategy>());
+  FakeUser big(600), small(200);
+  ASSERT_TRUE(manager.Register(big).ok());
+  ASSERT_TRUE(manager.Register(small).ok());
+  manager.Redistribute();
+  EXPECT_GT(big.limit(), small.limit());
+  // 3:1 usage ratio -> roughly 3:1 assignment.
+  EXPECT_NEAR(static_cast<double>(big.limit()) /
+                  static_cast<double>(small.limit()),
+              3.0, 0.2);
+}
+
+TEST(MemoryManager, PriorityFollowsWeights) {
+  MemoryManager manager(1000, std::make_unique<PriorityStrategy>());
+  FakeUser gold(0), bronze(0);
+  ASSERT_TRUE(manager.Register(gold, /*priority=*/4.0).ok());
+  ASSERT_TRUE(manager.Register(bronze, /*priority=*/1.0).ok());
+  EXPECT_EQ(gold.limit(), 800u);
+  EXPECT_EQ(bronze.limit(), 200u);
+}
+
+TEST(MemoryManager, DoubleRegisterFails) {
+  MemoryManager manager(1000, std::make_unique<UniformStrategy>());
+  FakeUser a(0);
+  ASSERT_TRUE(manager.Register(a).ok());
+  EXPECT_EQ(manager.Register(a).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MemoryManager, UnregisterLiftsLimitAndRedistributes) {
+  MemoryManager manager(1000, std::make_unique<UniformStrategy>());
+  FakeUser a(0), b(0);
+  ASSERT_TRUE(manager.Register(a).ok());
+  ASSERT_TRUE(manager.Register(b).ok());
+  ASSERT_TRUE(manager.Unregister(a).ok());
+  EXPECT_EQ(a.limit(), std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(b.limit(), 1000u);
+  EXPECT_EQ(manager.Unregister(a).code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryManager, ShrinkingBudgetShrinksAssignments) {
+  MemoryManager manager(1000, std::make_unique<UniformStrategy>());
+  FakeUser a(400), b(400);
+  ASSERT_TRUE(manager.Register(a).ok());
+  ASSERT_TRUE(manager.Register(b).ok());
+  manager.set_budget(400);
+  EXPECT_EQ(a.limit(), 200u);
+  EXPECT_EQ(b.limit(), 200u);
+  // FakeUser sheds to its limit.
+  EXPECT_LE(manager.TotalUsage(), 400u);
+}
+
+TEST(MemoryManager, StrategySwapTakesEffect) {
+  MemoryManager manager(1000, std::make_unique<UniformStrategy>());
+  FakeUser big(900), small(100);
+  ASSERT_TRUE(manager.Register(big).ok());
+  ASSERT_TRUE(manager.Register(small).ok());
+  EXPECT_EQ(big.limit(), small.limit());
+  manager.set_strategy(std::make_unique<ProportionalStrategy>());
+  EXPECT_GT(big.limit(), small.limit());
+}
+
+}  // namespace
+}  // namespace pipes::memory

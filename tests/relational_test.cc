@@ -1,0 +1,175 @@
+// Tests for the relational layer: values, tuples, schemas, expressions.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/relational/expression.h"
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+#include "src/relational/value.h"
+
+namespace pipes::relational {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(std::int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{3}).AsDouble(), 3.0);  // promotion
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(Value, EqualityWithNumericPromotion) {
+  EXPECT_EQ(Value(std::int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(std::int64_t{3}), Value(3.5));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(std::int64_t{0}));
+}
+
+TEST(Value, HashConsistentWithPromotionEquality) {
+  EXPECT_EQ(Value(std::int64_t{7}).Hash(), Value(7.0).Hash());
+}
+
+TEST(Value, Ordering) {
+  EXPECT_LT(Value(std::int64_t{1}), Value(2.5));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value::Null(), Value(std::int64_t{0}));
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_TRUE(Value(std::int64_t{1}).Truthy());
+  EXPECT_FALSE(Value(0.0).Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+}
+
+TEST(Tuple, FieldsConcatProject) {
+  Tuple t{Value(std::int64_t{1}), Value("x"), Value(2.5)};
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t.field(1).AsString(), "x");
+
+  Tuple u{Value(true)};
+  Tuple cat = t.Concat(u);
+  EXPECT_EQ(cat.arity(), 4u);
+  EXPECT_TRUE(cat.field(3).AsBool());
+
+  Tuple proj = t.Project({2, 0});
+  EXPECT_EQ(proj.arity(), 2u);
+  EXPECT_DOUBLE_EQ(proj.field(0).AsDouble(), 2.5);
+  EXPECT_EQ(proj.field(1).AsInt(), 1);
+}
+
+TEST(Tuple, HashAndEquality) {
+  Tuple a{Value(std::int64_t{1}), Value("x")};
+  Tuple b{Value(std::int64_t{1}), Value("x")};
+  Tuple c{Value(std::int64_t{2}), Value("x")};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(Schema, LookupQualifiedAndAmbiguous) {
+  Schema s({{"a.id", ValueType::kInt},
+            {"a.price", ValueType::kDouble},
+            {"b.id", ValueType::kInt}});
+  EXPECT_EQ(s.IndexOf("a.price"), 1u);
+  EXPECT_EQ(s.IndexOf("price"), 1u);           // unique suffix
+  EXPECT_EQ(s.IndexOf("id"), std::nullopt);    // ambiguous suffix
+  EXPECT_EQ(s.IndexOf("nope"), std::nullopt);  // unknown
+}
+
+TEST(Schema, PrefixAndConcat) {
+  Schema s({{"id", ValueType::kInt}});
+  Schema p = s.WithPrefix("bids");
+  EXPECT_EQ(p.field(0).name, "bids.id");
+  Schema both = p.Concat(s);
+  EXPECT_EQ(both.arity(), 2u);
+}
+
+TEST(Expression, ArithmeticIntAndDouble) {
+  Tuple t{Value(std::int64_t{7}), Value(2.0)};
+  auto seven = MakeField(0, "a");
+  auto two = MakeField(1, "b");
+  EXPECT_EQ(MakeBinary(BinaryOp::kAdd, seven, MakeLiteral(Value(std::int64_t{3})))
+                ->Eval(t)
+                .AsInt(),
+            10);
+  EXPECT_DOUBLE_EQ(MakeBinary(BinaryOp::kDiv, seven, two)->Eval(t).AsDouble(),
+                   3.5);
+  // Int division truncates.
+  EXPECT_EQ(MakeBinary(BinaryOp::kDiv, seven,
+                       MakeLiteral(Value(std::int64_t{2})))
+                ->Eval(t)
+                .AsInt(),
+            3);
+  // Division by zero yields NULL.
+  EXPECT_TRUE(MakeBinary(BinaryOp::kDiv, seven,
+                         MakeLiteral(Value(std::int64_t{0})))
+                  ->Eval(t)
+                  .is_null());
+}
+
+TEST(Expression, ComparisonsAndLogic) {
+  Tuple t{Value(std::int64_t{5})};
+  auto five = MakeField(0, "x");
+  auto lit3 = MakeLiteral(Value(std::int64_t{3}));
+  auto gt = MakeBinary(BinaryOp::kGt, five, lit3);
+  EXPECT_TRUE(gt->Eval(t).AsBool());
+  auto lt = MakeBinary(BinaryOp::kLt, five, lit3);
+  EXPECT_FALSE(lt->Eval(t).AsBool());
+  EXPECT_TRUE(MakeBinary(BinaryOp::kAnd, gt, MakeUnary(UnaryOp::kNot, lt))
+                  ->Eval(t)
+                  .AsBool());
+  EXPECT_TRUE(MakeBinary(BinaryOp::kOr, lt, gt)->Eval(t).AsBool());
+  // NULL comparisons are false.
+  auto null_cmp = MakeBinary(BinaryOp::kEq, five, MakeLiteral(Value::Null()));
+  EXPECT_FALSE(null_cmp->Eval(t).AsBool());
+}
+
+TEST(Expression, ConjunctSplitAndCombine) {
+  auto a = MakeBinary(BinaryOp::kGt, MakeField(0, "x"),
+                      MakeLiteral(Value(std::int64_t{1})));
+  auto b = MakeBinary(BinaryOp::kLt, MakeField(1, "y"),
+                      MakeLiteral(Value(std::int64_t{9})));
+  auto c = MakeBinary(BinaryOp::kEq, MakeField(2, "z"),
+                      MakeLiteral(Value(std::int64_t{5})));
+  auto all = MakeBinary(BinaryOp::kAnd, MakeBinary(BinaryOp::kAnd, a, b), c);
+
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(all, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+
+  auto combined = CombineConjuncts(conjuncts);
+  Tuple t{Value(std::int64_t{2}), Value(std::int64_t{3}),
+          Value(std::int64_t{5})};
+  EXPECT_TRUE(combined->Eval(t).AsBool());
+  EXPECT_TRUE(all->Eval(t).AsBool());
+}
+
+TEST(Expression, RemapFields) {
+  auto expr = MakeBinary(BinaryOp::kAdd, MakeField(2, "c"), MakeField(0, "a"));
+  // Fields 0 and 2 move to 1 and 0.
+  auto remapped = expr->RemapFields({1, -1, 0});
+  ASSERT_NE(remapped, nullptr);
+  Tuple t{Value(std::int64_t{10}), Value(std::int64_t{20})};
+  EXPECT_EQ(remapped->Eval(t).AsInt(), 30);
+
+  // Referencing an unavailable field fails the remap.
+  auto bad = expr->RemapFields({-1, 0, 1});
+  EXPECT_EQ(bad, nullptr);
+}
+
+TEST(Expression, CollectFieldRefs) {
+  auto expr = MakeBinary(
+      BinaryOp::kMul, MakeField(1, "x"),
+      MakeBinary(BinaryOp::kAdd, MakeField(3, "y"), MakeField(1, "x")));
+  std::vector<std::size_t> refs;
+  expr->CollectFieldRefs(&refs);
+  EXPECT_EQ(refs, (std::vector<std::size_t>{1, 3, 1}));
+}
+
+}  // namespace
+}  // namespace pipes::relational

@@ -1,0 +1,108 @@
+#ifndef PIPES_TESTS_SNAPSHOT_REFERENCE_H_
+#define PIPES_TESTS_SNAPSHOT_REFERENCE_H_
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/time.h"
+#include "src/core/element.h"
+
+/// \file
+/// Naive materializing reference executor for snapshot-equivalence property
+/// tests. The logical semantics of every operator in the temporal algebra
+/// is defined per snapshot: for each time t, the multiset of payloads valid
+/// at t. These helpers compute snapshots directly from element vectors so
+/// that physical operator output can be checked against the logical
+/// operator applied snapshot-by-snapshot — the central invariant of the
+/// algebra (DESIGN.md section 4).
+
+namespace pipes::testing {
+
+/// Multiset snapshot (sorted vector) of `elements` at time `t`.
+template <typename T>
+std::vector<T> SnapshotAt(const std::vector<StreamElement<T>>& elements,
+                          Timestamp t) {
+  std::vector<T> snapshot;
+  for (const StreamElement<T>& e : elements) {
+    if (e.interval.Contains(t)) snapshot.push_back(e.payload);
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+/// Smallest interval [lo, hi) covering every element's validity; empty
+/// streams give [0, 0).
+template <typename T>
+TimeInterval Horizon(const std::vector<StreamElement<T>>& elements) {
+  if (elements.empty()) return TimeInterval(0, 1);
+  Timestamp lo = kMaxTimestamp;
+  Timestamp hi = kMinTimestamp;
+  for (const StreamElement<T>& e : elements) {
+    lo = std::min(lo, e.start());
+    hi = std::max(hi, e.end());
+  }
+  return TimeInterval(lo, hi);
+}
+
+/// All instants worth checking: every interval endpoint and its
+/// predecessor (piecewise-constant snapshots change only at endpoints).
+template <typename T>
+std::vector<Timestamp> CriticalInstants(
+    const std::vector<StreamElement<T>>& elements) {
+  std::vector<Timestamp> instants;
+  for (const StreamElement<T>& e : elements) {
+    instants.push_back(e.start());
+    if (e.start() > kMinTimestamp) instants.push_back(e.start() - 1);
+    instants.push_back(e.end() - 1);
+    if (e.end() < kMaxTimestamp) instants.push_back(e.end());
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()),
+                 instants.end());
+  return instants;
+}
+
+/// Union of critical instants of several streams.
+template <typename T>
+std::vector<Timestamp> CriticalInstants(
+    std::initializer_list<const std::vector<StreamElement<T>>*> streams) {
+  std::vector<Timestamp> instants;
+  for (const auto* s : streams) {
+    auto part = CriticalInstants(*s);
+    instants.insert(instants.end(), part.begin(), part.end());
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()),
+                 instants.end());
+  return instants;
+}
+
+/// Random start-ordered stream of int payloads with point or short
+/// intervals — the raw material of the property tests.
+struct RandomStreamOptions {
+  std::size_t count = 200;
+  std::int64_t payload_domain = 8;  // payloads drawn from [0, domain)
+  Timestamp max_step = 3;           // gap between consecutive starts
+  Timestamp max_duration = 10;      // interval length in [1, max_duration]
+};
+
+inline std::vector<StreamElement<int>> RandomIntStream(
+    Random& rng, const RandomStreamOptions& options = {}) {
+  std::vector<StreamElement<int>> elements;
+  elements.reserve(options.count);
+  Timestamp t = 0;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    t += rng.UniformInt(0, options.max_step);
+    const Timestamp duration = rng.UniformInt(1, options.max_duration);
+    elements.push_back(StreamElement<int>(
+        static_cast<int>(rng.UniformInt(0, options.payload_domain - 1)), t,
+        t + duration));
+  }
+  return elements;
+}
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTS_SNAPSHOT_REFERENCE_H_

@@ -1,0 +1,345 @@
+// Tests for the workload query libraries: the traffic continuous queries
+// (including the sustained-condition incident detector) and the NEXMark
+// query fragments.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+#include "src/scheduler/scheduler.h"
+#include "src/workloads/nexmark_queries.h"
+#include "src/workloads/traffic_queries.h"
+
+namespace pipes::workloads {
+namespace {
+
+void Drain(QueryGraph& graph) {
+  scheduler::RoundRobinStrategy strategy;
+  scheduler::SingleThreadScheduler driver(graph, strategy, 512);
+  driver.RunToCompletion();
+}
+
+// --- SustainedConditionDetector ------------------------------------------------
+
+struct KeyOfPair {
+  int operator()(const std::pair<int, double>& p) const { return p.first; }
+};
+struct BelowTen {
+  bool operator()(const std::pair<int, double>& p) const {
+    return p.second < 10.0;
+  }
+};
+using PairDetector =
+    SustainedConditionDetector<std::pair<int, double>, KeyOfPair, BelowTen>;
+
+std::vector<StreamElement<std::pair<int, double>>> Segments(
+    std::initializer_list<std::tuple<int, double, Timestamp, Timestamp>>
+        rows) {
+  std::vector<StreamElement<std::pair<int, double>>> out;
+  for (const auto& [key, value, start, end] : rows) {
+    out.push_back(StreamElement<std::pair<int, double>>(
+        std::make_pair(key, value), start, end));
+  }
+  return out;
+}
+
+TEST(SustainedCondition, FiresOncePerLongEnoughRun) {
+  QueryGraph graph;
+  // Key 1: below threshold on [0,30) contiguously -> alarm at >= 20.
+  // Key 2: below only [0,10), gap, below [20,30) -> never 20 long.
+  auto& source = graph.Add<VectorSource<std::pair<int, double>>>(Segments({
+      {1, 5.0, 0, 10},
+      {2, 5.0, 0, 10},
+      {1, 7.0, 10, 20},
+      {2, 50.0, 10, 20},  // condition broken for key 2
+      {1, 6.0, 20, 30},
+      {2, 5.0, 20, 30},
+  }));
+  auto& detector = graph.Add<PairDetector>(KeyOfPair{}, BelowTen{},
+                                           /*min_duration=*/20);
+  auto& sink = graph.Add<CollectorSink<Sustained<int>>>();
+  source.SubscribeTo(detector.input());
+  detector.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_EQ(sink.elements().size(), 1u);
+  EXPECT_EQ(sink.elements()[0].payload.key, 1);
+  EXPECT_EQ(sink.elements()[0].payload.since, 0);
+  EXPECT_GE(sink.elements()[0].payload.duration, 20);
+}
+
+TEST(SustainedCondition, GapResetsRunAndNewRunCanFire) {
+  QueryGraph graph;
+  auto& source = graph.Add<VectorSource<std::pair<int, double>>>(Segments({
+      {1, 5.0, 0, 10},
+      {1, 5.0, 30, 45},  // gap: new run
+      {1, 5.0, 45, 60},  // run [30,60) reaches 25 >= 20
+  }));
+  auto& detector = graph.Add<PairDetector>(KeyOfPair{}, BelowTen{}, 20);
+  auto& sink = graph.Add<CollectorSink<Sustained<int>>>();
+  source.SubscribeTo(detector.input());
+  detector.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_EQ(sink.elements().size(), 1u);
+  EXPECT_EQ(sink.elements()[0].payload.since, 30);
+}
+
+// --- Traffic query fragments ----------------------------------------------------
+
+class TrafficQueriesTest : public ::testing::Test {
+ protected:
+  Source<TrafficReading>& MakeSource(QueryGraph& graph,
+                                     TrafficOptions options) {
+    auto generator = std::make_shared<TrafficGenerator>(std::move(options));
+    return graph.Add<FunctionSource<TrafficReading>>(
+        [generator]() -> std::optional<StreamElement<TrafficReading>> {
+          auto reading = generator->Next();
+          if (!reading.has_value()) return std::nullopt;
+          return StreamElement<TrafficReading>::Point(*reading,
+                                                      reading->timestamp);
+        },
+        "traffic");
+  }
+
+  TrafficOptions SmallOptions() {
+    TrafficOptions options;
+    options.num_detectors = 6;
+    options.num_lanes = 3;
+    options.duration_ms = 3600'000;  // one hour
+    options.base_rate_per_s = 0.1;
+    return options;
+  }
+};
+
+TEST_F(TrafficQueriesTest, HovAverageGroupsByDirection) {
+  QueryGraph graph;
+  auto& source = MakeSource(graph, SmallOptions());
+  auto& query = BuildHovAverageSpeedQuery(graph, source,
+                                          /*range=*/600'000,
+                                          /*slide=*/300'000);
+  auto& sink = graph.Add<CollectorSink<std::pair<std::int32_t, double>>>();
+  query.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_FALSE(sink.elements().empty());
+  std::set<std::int32_t> directions;
+  for (const auto& e : sink.elements()) {
+    directions.insert(e.payload.first);
+    // HOV speeds: base 100 + bonus 12 modulated by congestion and noise.
+    EXPECT_GT(e.payload.second, 40.0);
+    EXPECT_LT(e.payload.second, 180.0);
+  }
+  EXPECT_EQ(directions, (std::set<std::int32_t>{0, 1}));
+}
+
+TEST_F(TrafficQueriesTest, CongestionQueryFindsInjectedIncidentOnly) {
+  TrafficOptions options = SmallOptions();
+  TrafficIncident incident;
+  incident.begin = 600'000;
+  incident.end = 1'800'000;  // 20 minutes of jam
+  incident.detector = 4;
+  incident.direction = 0;
+  incident.speed_factor = 0.2;
+  incident.upstream_reach = 1;
+  options.incidents = {incident};
+
+  QueryGraph graph;
+  auto& source = MakeSource(graph, options);
+  auto& query = BuildCongestionQuery(graph, source, /*direction=*/0,
+                                     /*avg_window=*/300'000,
+                                     /*avg_slide=*/60'000,
+                                     /*speed_threshold=*/40.0,
+                                     /*min_duration=*/600'000);
+  auto& sink = graph.Add<CollectorSink<Sustained<std::int32_t>>>();
+  query.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_FALSE(sink.elements().empty());
+  for (const auto& e : sink.elements()) {
+    // Alarms only at the incident's detectors (4 and its neighbor 3) and
+    // roughly within the incident window.
+    EXPECT_GE(e.payload.key, 3);
+    EXPECT_LE(e.payload.key, 4);
+    EXPECT_GE(e.payload.since, incident.begin - 300'000);
+    EXPECT_LE(e.payload.since + e.payload.duration,
+              incident.end + 600'000);
+  }
+}
+
+// --- NEXMark query fragments ------------------------------------------------------
+
+Source<NexmarkEvent>& MakeNexmarkSource(QueryGraph& graph,
+                                        std::size_t num_events) {
+  NexmarkOptions options;
+  options.num_events = num_events;
+  auto generator = std::make_shared<NexmarkGenerator>(options);
+  return graph.Add<FunctionSource<NexmarkEvent>>(
+      [generator]() -> std::optional<StreamElement<NexmarkEvent>> {
+        auto event = generator->Next();
+        if (!event.has_value()) return std::nullopt;
+        const Timestamp t = event->time;
+        return StreamElement<NexmarkEvent>::Point(std::move(*event), t);
+      },
+      "nexmark");
+}
+
+TEST(NexmarkQueries, SplitStreamsPartitionTheEvents) {
+  QueryGraph graph;
+  auto& events = MakeNexmarkSource(graph, 1000);
+  auto& bids = BuildBidStream(graph, events);
+  auto& auctions = BuildAuctionStream(graph, events);
+  auto& persons = BuildPersonStream(graph, events);
+  auto& bid_sink = graph.Add<CountingSink<Bid>>();
+  auto& auction_sink = graph.Add<CountingSink<Auction>>();
+  auto& person_sink = graph.Add<CountingSink<Person>>();
+  bids.SubscribeTo(bid_sink.input());
+  auctions.SubscribeTo(auction_sink.input());
+  persons.SubscribeTo(person_sink.input());
+  Drain(graph);
+
+  EXPECT_EQ(bid_sink.count() + auction_sink.count() + person_sink.count(),
+            1000u);
+  EXPECT_EQ(person_sink.count(), 20u);    // 1 in 50
+  EXPECT_EQ(auction_sink.count(), 60u);   // 3 in 50
+}
+
+TEST(NexmarkQueries, CurrencyConversionScalesPrices) {
+  QueryGraph graph;
+  auto& events = MakeNexmarkSource(graph, 500);
+  auto& bids = BuildBidStream(graph, events);
+  auto& euros = BuildCurrencyConversion(graph, bids, 0.5);
+  std::vector<double> original;
+  std::vector<double> converted;
+  auto& bid_sink = graph.Add<CallbackSink<Bid>>(
+      [&](const StreamElement<Bid>& e) {
+        original.push_back(e.payload.price);
+      });
+  auto& euro_sink = graph.Add<CallbackSink<Bid>>(
+      [&](const StreamElement<Bid>& e) {
+        converted.push_back(e.payload.price);
+      });
+  bids.SubscribeTo(bid_sink.input());
+  euros.SubscribeTo(euro_sink.input());
+  Drain(graph);
+
+  ASSERT_EQ(original.size(), converted.size());
+  ASSERT_FALSE(original.empty());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(converted[i], original[i] * 0.5);
+  }
+}
+
+TEST(NexmarkQueries, HighestBidTumblesAndNeverDecreasesWithinWindow) {
+  QueryGraph graph;
+  auto& events = MakeNexmarkSource(graph, 5000);
+  auto& bids = BuildBidStream(graph, events);
+  auto& highest = BuildHighestBidQuery(graph, bids, /*period=*/10'000);
+  auto& sink = graph.Add<CollectorSink<double>>();
+  highest.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_FALSE(sink.elements().empty());
+  for (const auto& e : sink.elements()) {
+    // Tumbling windows: results live on period-aligned segments.
+    EXPECT_EQ(e.start() % 10'000, 0);
+    EXPECT_GT(e.payload, 0.0);
+  }
+}
+
+TEST(NexmarkQueries, BidsPerAuctionCountsMatchManualCount) {
+  QueryGraph graph;
+  auto& events = MakeNexmarkSource(graph, 2000);
+  auto& bids = BuildBidStream(graph, events);
+  auto& counts = BuildBidsPerAuctionQuery(graph, bids, /*range=*/20'000,
+                                          /*slide=*/20'000);
+  auto& count_sink =
+      graph.Add<CollectorSink<std::pair<std::int64_t, std::uint64_t>>>();
+  std::map<std::pair<Timestamp, std::int64_t>, std::uint64_t> manual;
+  auto& manual_sink = graph.Add<CallbackSink<Bid>>(
+      [&](const StreamElement<Bid>& e) {
+        // Tumbling bucket of this bid (aligned like the slide window).
+        const Timestamp bucket = ((e.start() / 20'000) + 1) * 20'000;
+        ++manual[{bucket, e.payload.auction}];
+      });
+  counts.SubscribeTo(count_sink.input());
+  bids.SubscribeTo(manual_sink.input());
+  Drain(graph);
+
+  ASSERT_FALSE(count_sink.elements().empty());
+  for (const auto& e : count_sink.elements()) {
+    const auto key = std::make_pair(e.start(), e.payload.first);
+    auto it = manual.find(key);
+    // Every reported count matches the manual tumbling-bucket count.
+    if (e.start() % 20'000 == 0 && it != manual.end()) {
+      EXPECT_EQ(e.payload.second, it->second)
+          << "auction " << e.payload.first << " at " << e.start();
+    }
+  }
+}
+
+TEST(NexmarkQueries, OpenAuctionJoinMatchesOnlyOpenAuctions) {
+  QueryGraph graph;
+  // Auction 1 open [0, 100); auction 2 open [50, 200).
+  Auction a1;
+  a1.id = 1;
+  a1.open_time = 0;
+  a1.expires = 100;
+  Auction a2;
+  a2.id = 2;
+  a2.open_time = 50;
+  a2.expires = 200;
+  AuctionValidity validity;
+  std::vector<StreamElement<Auction>> auctions = {
+      StreamElement<Auction>(a1, validity(a1)),
+      StreamElement<Auction>(a2, validity(a2))};
+  auto& auction_source = graph.Add<VectorSource<Auction>>(auctions);
+
+  auto make_bid = [](std::int64_t auction, Timestamp t) {
+    Bid b;
+    b.auction = auction;
+    b.time = t;
+    b.price = 10;
+    return StreamElement<Bid>::Point(b, t);
+  };
+  std::vector<StreamElement<Bid>> bids = {
+      make_bid(1, 10),    // auction 1 open -> match
+      make_bid(2, 20),    // auction 2 not open yet -> no match
+      make_bid(1, 150),   // auction 1 already closed -> no match
+      make_bid(2, 150),   // auction 2 open -> match
+  };
+  auto& bid_source = graph.Add<VectorSource<Bid>>(bids);
+
+  auto& join = BuildOpenAuctionJoin(graph, bid_source, auction_source);
+  auto& sink = graph.Add<CollectorSink<BidWithAuction>>();
+  join.SubscribeTo(sink.input());
+  Drain(graph);
+
+  ASSERT_EQ(sink.elements().size(), 2u);
+  EXPECT_EQ(sink.elements()[0].payload.bid.time, 10);
+  EXPECT_EQ(sink.elements()[0].payload.auction.id, 1);
+  EXPECT_EQ(sink.elements()[1].payload.bid.time, 150);
+  EXPECT_EQ(sink.elements()[1].payload.auction.id, 2);
+}
+
+TEST(NexmarkQueries, BidSelectionKeepsOnlyMatchingAuctions) {
+  QueryGraph graph;
+  auto& events = MakeNexmarkSource(graph, 1000);
+  auto& bids = BuildBidStream(graph, events);
+  auto& selected = BuildBidSelection(graph, bids, /*modulus=*/2);
+  auto& sink = graph.Add<CallbackSink<Bid>>(
+      [](const StreamElement<Bid>& e) {
+        EXPECT_EQ(e.payload.auction % 2, 0);
+      });
+  selected.SubscribeTo(sink.input());
+  Drain(graph);
+}
+
+}  // namespace
+}  // namespace pipes::workloads

@@ -1,0 +1,183 @@
+// Tests for the demo workload generators: FSP-style traffic and NEXMark.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/nexmark.h"
+#include "src/workloads/traffic.h"
+
+namespace pipes::workloads {
+namespace {
+
+TrafficOptions SmallTraffic() {
+  TrafficOptions options;
+  options.num_detectors = 4;
+  options.num_lanes = 3;
+  options.duration_ms = 60 * 1000;  // one minute
+  options.base_rate_per_s = 2.0;
+  return options;
+}
+
+TEST(Traffic, ProducesOrderedReadingsWithinBounds) {
+  TrafficGenerator gen(SmallTraffic());
+  Timestamp last = 0;
+  int count = 0;
+  while (auto reading = gen.Next()) {
+    ++count;
+    EXPECT_GE(reading->timestamp, last);
+    last = reading->timestamp;
+    EXPECT_GE(reading->detector, 0);
+    EXPECT_LT(reading->detector, 4);
+    EXPECT_GE(reading->lane, 0);
+    EXPECT_LT(reading->lane, 3);
+    EXPECT_GE(reading->direction, 0);
+    EXPECT_LE(reading->direction, 1);
+    EXPECT_LT(reading->timestamp, 60 * 1000);
+    EXPECT_GT(reading->speed_kmh, 0);
+    EXPECT_GT(reading->length_m, 3.0);
+  }
+  // 4 detectors x 3 lanes x 2 directions x ~2/s x 60 s ~= 2880.
+  EXPECT_GT(count, 1000);
+  EXPECT_LT(count, 10000);
+}
+
+TEST(Traffic, DeterministicForSameSeed) {
+  TrafficGenerator a(SmallTraffic());
+  TrafficGenerator b(SmallTraffic());
+  for (int i = 0; i < 100; ++i) {
+    auto ra = a.Next();
+    auto rb = b.Next();
+    ASSERT_TRUE(ra.has_value() && rb.has_value());
+    EXPECT_EQ(*ra, *rb);
+  }
+}
+
+TEST(Traffic, RushHourRaisesRate) {
+  TrafficOptions options = SmallTraffic();
+  options.duration_ms = 24ll * 3600 * 1000;
+  TrafficGenerator gen(options);
+  const Timestamp hour = 3600 * 1000;
+  // 8:00 is a rush peak; 3:00 is off-peak.
+  EXPECT_GT(gen.RateMultiplier(8 * hour), 2.5);
+  EXPECT_NEAR(gen.RateMultiplier(3 * hour), 1.0, 0.1);
+}
+
+TEST(Traffic, IncidentCollapsesSpeedUpstream) {
+  TrafficOptions options = SmallTraffic();
+  TrafficIncident incident;
+  incident.begin = 10000;
+  incident.end = 50000;
+  incident.detector = 3;
+  incident.direction = 0;
+  incident.speed_factor = 0.2;
+  incident.upstream_reach = 2;
+  options.incidents = {incident};
+  TrafficGenerator gen(options);
+
+  EXPECT_TRUE(gen.IncidentActive(3, 0, 20000));
+  EXPECT_TRUE(gen.IncidentActive(1, 0, 20000));   // upstream within reach
+  EXPECT_FALSE(gen.IncidentActive(0, 0, 20000));  // beyond reach
+  EXPECT_FALSE(gen.IncidentActive(3, 1, 20000));  // other direction
+  EXPECT_FALSE(gen.IncidentActive(3, 0, 60000));  // after clearance
+
+  // Measured speeds at affected detectors during the incident drop well
+  // below the unaffected ones.
+  std::map<bool, std::pair<double, int>> speed_sum;  // affected -> (sum, n)
+  while (auto r = gen.Next()) {
+    if (r->direction != 0) continue;
+    const bool affected = gen.IncidentActive(r->detector, 0, r->timestamp);
+    speed_sum[affected].first += r->speed_kmh;
+    speed_sum[affected].second += 1;
+  }
+  ASSERT_GT(speed_sum[true].second, 10);
+  ASSERT_GT(speed_sum[false].second, 10);
+  const double affected_avg =
+      speed_sum[true].first / speed_sum[true].second;
+  const double normal_avg =
+      speed_sum[false].first / speed_sum[false].second;
+  EXPECT_LT(affected_avg, 0.5 * normal_avg);
+}
+
+TEST(Nexmark, EventMixMatchesBenchmarkRatios) {
+  NexmarkOptions options;
+  options.num_events = 5000;
+  NexmarkGenerator gen(options);
+  std::map<NexmarkKind, int> counts;
+  Timestamp last = 0;
+  while (auto event = gen.Next()) {
+    ++counts[event->kind];
+    EXPECT_GE(event->time, last);
+    last = event->time;
+  }
+  EXPECT_EQ(counts[NexmarkKind::kPerson], 100);
+  EXPECT_EQ(counts[NexmarkKind::kAuction], 300);
+  EXPECT_EQ(counts[NexmarkKind::kBid], 4600);
+}
+
+TEST(Nexmark, BidsReferenceExistingEntitiesAndRaisePrices) {
+  NexmarkOptions options;
+  options.num_events = 2000;
+  NexmarkGenerator gen(options);
+  std::map<std::int64_t, double> last_price;
+  while (auto event = gen.Next()) {
+    if (event->kind != NexmarkKind::kBid) continue;
+    const Bid& bid = event->bid;
+    EXPECT_GE(bid.auction, 0);
+    EXPECT_LT(bid.auction, gen.auctions_generated());
+    EXPECT_GE(bid.bidder, 0);
+    EXPECT_LT(bid.bidder, gen.persons_generated());
+    auto it = last_price.find(bid.auction);
+    if (it != last_price.end()) {
+      EXPECT_GT(bid.price, it->second);  // prices only rise
+    }
+    last_price[bid.auction] = bid.price;
+  }
+}
+
+TEST(Nexmark, SkewPrefersRecentAuctions) {
+  NexmarkOptions options;
+  options.num_events = 20000;
+  options.auction_zipf_theta = 1.0;
+  NexmarkGenerator gen(options);
+  std::int64_t recent_hits = 0;
+  std::int64_t total = 0;
+  std::vector<NexmarkEvent> events;
+  while (auto event = gen.Next()) events.push_back(*event);
+  std::int64_t auctions_so_far = 1;
+  for (const auto& event : events) {
+    if (event.kind == NexmarkKind::kAuction) {
+      ++auctions_so_far;
+    } else if (event.kind == NexmarkKind::kBid) {
+      ++total;
+      // "Recent" = newest 20% of auctions at bid time.
+      if (event.bid.auction >= auctions_so_far * 4 / 5) ++recent_hits;
+    }
+  }
+  // Under uniform choice the newest 20% would receive ~20% of the bids;
+  // skew must push this way up.
+  EXPECT_GT(static_cast<double>(recent_hits) / static_cast<double>(total),
+            0.4);
+}
+
+TEST(Nexmark, DeterministicForSameSeed) {
+  NexmarkOptions options;
+  options.num_events = 500;
+  NexmarkGenerator a(options);
+  NexmarkGenerator b(options);
+  while (true) {
+    auto ea = a.Next();
+    auto eb = b.Next();
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (!ea.has_value()) break;
+    EXPECT_EQ(ea->kind, eb->kind);
+    EXPECT_EQ(ea->time, eb->time);
+    if (ea->kind == NexmarkKind::kBid) {
+      EXPECT_EQ(ea->bid, eb->bid);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipes::workloads
