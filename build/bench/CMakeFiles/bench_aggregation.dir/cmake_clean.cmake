@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregation.dir/bench_aggregation.cc.o"
+  "CMakeFiles/bench_aggregation.dir/bench_aggregation.cc.o.d"
+  "bench_aggregation"
+  "bench_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loadshed.dir/bench_loadshed.cc.o"
+  "CMakeFiles/bench_loadshed.dir/bench_loadshed.cc.o.d"
+  "bench_loadshed"
+  "bench_loadshed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loadshed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

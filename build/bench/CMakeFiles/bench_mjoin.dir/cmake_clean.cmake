@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mjoin.dir/bench_mjoin.cc.o"
+  "CMakeFiles/bench_mjoin.dir/bench_mjoin.cc.o.d"
+  "bench_mjoin"
+  "bench_mjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mqo.dir/bench_mqo.cc.o"
+  "CMakeFiles/bench_mqo.dir/bench_mqo.cc.o.d"
+  "bench_mqo"
+  "bench_mqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pubsub.dir/bench_pubsub.cc.o"
+  "CMakeFiles/bench_pubsub.dir/bench_pubsub.cc.o.d"
+  "bench_pubsub"
+  "bench_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cql_demo.dir/cql_demo.cpp.o"
+  "CMakeFiles/example_cql_demo.dir/cql_demo.cpp.o.d"
+  "example_cql_demo"
+  "example_cql_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cql_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_query.dir/hybrid_query.cpp.o"
+  "CMakeFiles/example_hybrid_query.dir/hybrid_query.cpp.o.d"
+  "example_hybrid_query"
+  "example_hybrid_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

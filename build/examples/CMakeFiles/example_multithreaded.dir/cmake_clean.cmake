@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multithreaded.dir/multithreaded.cpp.o"
+  "CMakeFiles/example_multithreaded.dir/multithreaded.cpp.o.d"
+  "example_multithreaded"
+  "example_multithreaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

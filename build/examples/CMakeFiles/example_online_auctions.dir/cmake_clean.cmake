@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_auctions.dir/online_auctions.cpp.o"
+  "CMakeFiles/example_online_auctions.dir/online_auctions.cpp.o.d"
+  "example_online_auctions"
+  "example_online_auctions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_auctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

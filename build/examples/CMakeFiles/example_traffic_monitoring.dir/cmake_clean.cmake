@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_monitoring.dir/traffic_monitoring.cpp.o"
+  "CMakeFiles/example_traffic_monitoring.dir/traffic_monitoring.cpp.o.d"
+  "example_traffic_monitoring"
+  "example_traffic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

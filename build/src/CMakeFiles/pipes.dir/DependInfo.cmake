@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/pipes.dir/common/random.cc.o" "gcc" "src/CMakeFiles/pipes.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pipes.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pipes.dir/common/status.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/pipes.dir/common/time.cc.o" "gcc" "src/CMakeFiles/pipes.dir/common/time.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/CMakeFiles/pipes.dir/core/graph.cc.o" "gcc" "src/CMakeFiles/pipes.dir/core/graph.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/CMakeFiles/pipes.dir/core/node.cc.o" "gcc" "src/CMakeFiles/pipes.dir/core/node.cc.o.d"
+  "/root/repo/src/cql/analyzer.cc" "src/CMakeFiles/pipes.dir/cql/analyzer.cc.o" "gcc" "src/CMakeFiles/pipes.dir/cql/analyzer.cc.o.d"
+  "/root/repo/src/cql/ast.cc" "src/CMakeFiles/pipes.dir/cql/ast.cc.o" "gcc" "src/CMakeFiles/pipes.dir/cql/ast.cc.o.d"
+  "/root/repo/src/cql/catalog.cc" "src/CMakeFiles/pipes.dir/cql/catalog.cc.o" "gcc" "src/CMakeFiles/pipes.dir/cql/catalog.cc.o.d"
+  "/root/repo/src/cql/lexer.cc" "src/CMakeFiles/pipes.dir/cql/lexer.cc.o" "gcc" "src/CMakeFiles/pipes.dir/cql/lexer.cc.o.d"
+  "/root/repo/src/cql/parser.cc" "src/CMakeFiles/pipes.dir/cql/parser.cc.o" "gcc" "src/CMakeFiles/pipes.dir/cql/parser.cc.o.d"
+  "/root/repo/src/memory/memory_manager.cc" "src/CMakeFiles/pipes.dir/memory/memory_manager.cc.o" "gcc" "src/CMakeFiles/pipes.dir/memory/memory_manager.cc.o.d"
+  "/root/repo/src/metadata/monitor.cc" "src/CMakeFiles/pipes.dir/metadata/monitor.cc.o" "gcc" "src/CMakeFiles/pipes.dir/metadata/monitor.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/CMakeFiles/pipes.dir/optimizer/cost.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/cost.cc.o.d"
+  "/root/repo/src/optimizer/logical_plan.cc" "src/CMakeFiles/pipes.dir/optimizer/logical_plan.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/logical_plan.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/pipes.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/physical.cc" "src/CMakeFiles/pipes.dir/optimizer/physical.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/physical.cc.o.d"
+  "/root/repo/src/optimizer/plan_manager.cc" "src/CMakeFiles/pipes.dir/optimizer/plan_manager.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/plan_manager.cc.o.d"
+  "/root/repo/src/optimizer/plan_xml.cc" "src/CMakeFiles/pipes.dir/optimizer/plan_xml.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/plan_xml.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/pipes.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/pipes.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/CMakeFiles/pipes.dir/relational/expression.cc.o" "gcc" "src/CMakeFiles/pipes.dir/relational/expression.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/pipes.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/pipes.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/pipes.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/pipes.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/pipes.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/pipes.dir/relational/value.cc.o.d"
+  "/root/repo/src/scheduler/scheduler.cc" "src/CMakeFiles/pipes.dir/scheduler/scheduler.cc.o" "gcc" "src/CMakeFiles/pipes.dir/scheduler/scheduler.cc.o.d"
+  "/root/repo/src/scheduler/strategy.cc" "src/CMakeFiles/pipes.dir/scheduler/strategy.cc.o" "gcc" "src/CMakeFiles/pipes.dir/scheduler/strategy.cc.o.d"
+  "/root/repo/src/workloads/nexmark.cc" "src/CMakeFiles/pipes.dir/workloads/nexmark.cc.o" "gcc" "src/CMakeFiles/pipes.dir/workloads/nexmark.cc.o.d"
+  "/root/repo/src/workloads/nexmark_queries.cc" "src/CMakeFiles/pipes.dir/workloads/nexmark_queries.cc.o" "gcc" "src/CMakeFiles/pipes.dir/workloads/nexmark_queries.cc.o.d"
+  "/root/repo/src/workloads/traffic.cc" "src/CMakeFiles/pipes.dir/workloads/traffic.cc.o" "gcc" "src/CMakeFiles/pipes.dir/workloads/traffic.cc.o.d"
+  "/root/repo/src/workloads/traffic_queries.cc" "src/CMakeFiles/pipes.dir/workloads/traffic_queries.cc.o" "gcc" "src/CMakeFiles/pipes.dir/workloads/traffic_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

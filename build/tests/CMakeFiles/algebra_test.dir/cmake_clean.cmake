@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_test.dir/algebra_test.cc.o"
+  "CMakeFiles/algebra_test.dir/algebra_test.cc.o.d"
+  "algebra_test"
+  "algebra_test.pdb"
+  "algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

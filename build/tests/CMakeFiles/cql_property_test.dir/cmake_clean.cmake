@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cql_property_test.dir/cql_property_test.cc.o"
+  "CMakeFiles/cql_property_test.dir/cql_property_test.cc.o.d"
+  "cql_property_test"
+  "cql_property_test.pdb"
+  "cql_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cql_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cursors_test.dir/cursors_test.cc.o"
+  "CMakeFiles/cursors_test.dir/cursors_test.cc.o.d"
+  "cursors_test"
+  "cursors_test.pdb"
+  "cursors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cursors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_xml_test.dir/plan_xml_test.cc.o"
+  "CMakeFiles/plan_xml_test.dir/plan_xml_test.cc.o.d"
+  "plan_xml_test"
+  "plan_xml_test.pdb"
+  "plan_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_property_test.dir/snapshot_property_test.cc.o"
+  "CMakeFiles/snapshot_property_test.dir/snapshot_property_test.cc.o.d"
+  "snapshot_property_test"
+  "snapshot_property_test.pdb"
+  "snapshot_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

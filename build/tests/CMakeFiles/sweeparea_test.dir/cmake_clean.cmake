@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweeparea_test.dir/sweeparea_test.cc.o"
+  "CMakeFiles/sweeparea_test.dir/sweeparea_test.cc.o.d"
+  "sweeparea_test"
+  "sweeparea_test.pdb"
+  "sweeparea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweeparea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

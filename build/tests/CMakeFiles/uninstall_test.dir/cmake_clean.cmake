@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uninstall_test.dir/uninstall_test.cc.o"
+  "CMakeFiles/uninstall_test.dir/uninstall_test.cc.o.d"
+  "uninstall_test"
+  "uninstall_test.pdb"
+  "uninstall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uninstall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/alternatives_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/cql_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cql_streams_test[1]_include.cmake")
+include("/root/repo/build/tests/cql_test[1]_include.cmake")
+include("/root/repo/build/tests/cursors_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_xml_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sweeparea_test[1]_include.cmake")
+include("/root/repo/build/tests/uninstall_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_queries_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Integration.PrototypeDsmsEndToEnd]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=Integration.PrototypeDsmsEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Integration.PrototypeDsmsEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS Integration.PrototypeDsmsEndToEnd)
