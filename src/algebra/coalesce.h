@@ -2,8 +2,10 @@
 #define PIPES_ALGEBRA_COALESCE_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/pipe.h"
 
@@ -42,6 +44,27 @@ class Coalesce : public UnaryPipe<T, T> {
     held_ = e;
   }
 
+  /// Batch kernel: runs the merge loop over the whole batch against the
+  /// held element and emits every released element as one downstream batch
+  /// (released elements leave in arrival order, which is start order).
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    out_.clear();
+    for (const StreamElement<T>& e : batch) {
+      if (held_.has_value()) {
+        if (held_->payload == e.payload && e.start() <= held_->end() &&
+            e.end() >= held_->start()) {
+          held_->interval.end = std::max(held_->end(), e.end());
+          ++merged_;
+          continue;
+        }
+        out_.push_back(*held_);
+      }
+      held_ = e;
+    }
+    this->TransferBatch(out_);
+  }
+
   void PortProgress(int /*port_id*/, Timestamp watermark) override {
     // The held element can still be extended by an element starting at or
     // before its end; it is safe to release once the watermark passes that.
@@ -69,6 +92,7 @@ class Coalesce : public UnaryPipe<T, T> {
  private:
   std::optional<StreamElement<T>> held_;
   std::uint64_t merged_ = 0;
+  std::vector<StreamElement<T>> out_;
 };
 
 }  // namespace pipes::algebra

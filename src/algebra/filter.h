@@ -1,8 +1,10 @@
 #ifndef PIPES_ALGEBRA_FILTER_H_
 #define PIPES_ALGEBRA_FILTER_H_
 
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/pipe.h"
 
@@ -29,8 +31,20 @@ class Filter : public UnaryPipe<T, T> {
     }
   }
 
+  /// Batch kernel: evaluate the predicate in a tight loop, forward the
+  /// survivors as one downstream batch (order is inherited from the input).
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    out_.clear();
+    for (const StreamElement<T>& e : batch) {
+      if (pred_(e.payload)) out_.push_back(e);
+    }
+    this->TransferBatch(out_);
+  }
+
  private:
   Pred pred_;
+  std::vector<StreamElement<T>> out_;
 };
 
 /// Deduction helper: `auto& f = graph.Add<Filter<T, decltype(pred)>>(...)`

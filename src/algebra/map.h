@@ -1,8 +1,10 @@
 #ifndef PIPES_ALGEBRA_MAP_H_
 #define PIPES_ALGEBRA_MAP_H_
 
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/pipe.h"
 
@@ -24,8 +26,21 @@ class Map : public UnaryPipe<In, Out> {
     this->Transfer(StreamElement<Out>(fn_(e.payload), e.interval));
   }
 
+  /// Batch kernel: transform payloads in a tight loop, forward one output
+  /// batch (intervals pass through, so order is inherited from the input).
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<In>> batch) override {
+    out_.clear();
+    out_.reserve(batch.size());
+    for (const StreamElement<In>& e : batch) {
+      out_.emplace_back(fn_(e.payload), e.interval);
+    }
+    this->TransferBatch(out_);
+  }
+
  private:
   Fn fn_;
+  std::vector<StreamElement<Out>> out_;
 };
 
 }  // namespace pipes::algebra

@@ -1,8 +1,12 @@
 #ifndef PIPES_ALGEBRA_UNION_H_
 #define PIPES_ALGEBRA_UNION_H_
 
+#include <cstdint>
+#include <deque>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/ordered_buffer.h"
 #include "src/core/pipe.h"
@@ -10,15 +14,23 @@
 /// \file
 /// Multiset union. The logical operator simply merges the snapshots of both
 /// inputs; physically the only work is re-establishing the global
-/// start-order of the output, which is done with an ordered staging buffer
-/// released by the combined watermark. Non-blocking: elements leave as soon
-/// as both inputs have progressed past their start.
+/// start-order of the output, released by the combined watermark.
+/// Non-blocking: elements leave as soon as both inputs have progressed past
+/// their start.
 
 namespace pipes::algebra {
 
 /// Order-preserving union of two streams of the same payload type. For an
 /// n-ary union, chain instances or subscribe several sources to `left()` —
 /// the input port merges the progress of all its upstreams.
+///
+/// Staging is a pair of per-side FIFO queues: with one upstream per port
+/// each side arrives in non-decreasing start order, so the globally next
+/// element (smallest (start, arrival)) is always at one of the two fronts
+/// and release is a plain two-way merge — O(1) per element, no heap. If a
+/// side ever observes an out-of-order arrival (several upstreams fanned in
+/// to one port), the queues are spilled — in arrival order, preserving the
+/// release order exactly — into an ordered heap used from then on.
 template <typename T>
 class Union : public BinaryPipe<T, T, T> {
  public:
@@ -26,13 +38,21 @@ class Union : public BinaryPipe<T, T, T> {
       : BinaryPipe<T, T, T>(std::move(name)) {}
 
  protected:
-  void OnElementLeft(const StreamElement<T>& e) override { Stage(e); }
-  void OnElementRight(const StreamElement<T>& e) override { Stage(e); }
+  void OnElementLeft(const StreamElement<T>& e) override { Stage(0, e); }
+  void OnElementRight(const StreamElement<T>& e) override { Stage(1, e); }
+
+  /// Batch kernels: stage the whole run; the single per-batch progress
+  /// notification that follows does one flush instead of one per element.
+  void OnBatchLeft(std::span<const StreamElement<T>> batch) override {
+    for (const StreamElement<T>& e : batch) Stage(0, e);
+  }
+  void OnBatchRight(std::span<const StreamElement<T>> batch) override {
+    for (const StreamElement<T>& e : batch) Stage(1, e);
+  }
 
   void OnProgressSide(int /*side*/, Timestamp /*watermark*/) override {
     const Timestamp combined = this->CombinedWatermark();
-    staged_.FlushUpTo(combined,
-                      [this](const StreamElement<T>& e) { this->Transfer(e); });
+    FlushBatched(combined);
     if (combined < kMaxTimestamp) {
       this->TransferHeartbeat(combined);
     }
@@ -40,8 +60,7 @@ class Union : public BinaryPipe<T, T, T> {
 
   void OnDoneSide(int /*side*/) override {
     if (this->BothDone()) {
-      staged_.FlushAll(
-          [this](const StreamElement<T>& e) { this->Transfer(e); });
+      FlushBatched(kMaxTimestamp);
       this->TransferDone();
     } else {
       // One side finished: progress is now governed by the other side only.
@@ -50,9 +69,78 @@ class Union : public BinaryPipe<T, T, T> {
   }
 
  private:
-  void Stage(const StreamElement<T>& e) { staged_.Push(e); }
+  struct Pending {
+    StreamElement<T> element;
+    std::uint64_t seq;
+  };
 
+  void Stage(int side, const StreamElement<T>& e) {
+    if (!spilled_) {
+      std::deque<Pending>& q = queue_[side];
+      if (q.empty() || q.back().element.start() <= e.start()) {
+        q.push_back(Pending{e, next_seq_++});
+        return;
+      }
+      SpillToHeap();
+    }
+    staged_.Push(e);
+  }
+
+  /// Fan-in broke a side's start order: move everything into the heap, in
+  /// arrival (seq) order so release order among equal starts is unchanged.
+  void SpillToHeap() {
+    spilled_ = true;
+    std::deque<Pending>& l = queue_[0];
+    std::deque<Pending>& r = queue_[1];
+    while (!l.empty() || !r.empty()) {
+      std::deque<Pending>& q =
+          r.empty() || (!l.empty() && l.front().seq < r.front().seq) ? l : r;
+      staged_.Push(std::move(q.front().element));
+      q.pop_front();
+    }
+  }
+
+  /// Releases everything ripe below `watermark` as one downstream batch.
+  void FlushBatched(Timestamp watermark) {
+    out_.clear();
+    if (spilled_) {
+      staged_.FlushUpTo(watermark, [this](const StreamElement<T>& e) {
+        out_.push_back(e);
+      });
+    } else {
+      std::deque<Pending>& l = queue_[0];
+      std::deque<Pending>& r = queue_[1];
+      while (true) {
+        const bool l_ripe = !l.empty() && l.front().element.start() < watermark;
+        const bool r_ripe = !r.empty() && r.front().element.start() < watermark;
+        std::deque<Pending>* q = nullptr;
+        if (l_ripe && r_ripe) {
+          const Pending& a = l.front();
+          const Pending& b = r.front();
+          const bool left_first =
+              a.element.start() != b.element.start()
+                  ? a.element.start() < b.element.start()
+                  : a.seq < b.seq;
+          q = left_first ? &l : &r;
+        } else if (l_ripe) {
+          q = &l;
+        } else if (r_ripe) {
+          q = &r;
+        } else {
+          break;
+        }
+        out_.push_back(std::move(q->front().element));
+        q->pop_front();
+      }
+    }
+    this->TransferBatch(out_);
+  }
+
+  std::deque<Pending> queue_[2];
+  std::uint64_t next_seq_ = 0;
+  bool spilled_ = false;
   OrderedOutputBuffer<T> staged_;
+  std::vector<StreamElement<T>> out_;
 };
 
 }  // namespace pipes::algebra

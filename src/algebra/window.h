@@ -3,10 +3,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/common/macros.h"
 #include "src/core/ordered_buffer.h"
@@ -48,8 +50,21 @@ class TimeWindow : public UnaryPipe<T, T> {
         StreamElement<T>(e.payload, e.start(), e.start() + size_));
   }
 
+  /// Batch kernel: widen intervals in a tight loop; starts are untouched,
+  /// so the input's order carries over to the output batch.
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    out_.clear();
+    out_.reserve(batch.size());
+    for (const StreamElement<T>& e : batch) {
+      out_.emplace_back(e.payload, e.start(), e.start() + size_);
+    }
+    this->TransferBatch(out_);
+  }
+
  private:
   Timestamp size_;
+  std::vector<StreamElement<T>> out_;
 };
 
 /// Time-based hopping window (CQL `[RANGE w SLIDE s]`): results are only
@@ -82,6 +97,22 @@ class SlideWindow : public UnaryPipe<T, T> {
     // ever observes it. (Cannot happen when size_ >= slide_.)
   }
 
+  /// Batch kernel. AlignUp is monotone in the start, so aligned starts stay
+  /// non-decreasing and the output batch keeps the ordering invariant.
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    out_.clear();
+    out_.reserve(batch.size());
+    for (const StreamElement<T>& e : batch) {
+      const Timestamp first = AlignUp(e.start());
+      const Timestamp last = AlignUp(e.start() + size_);
+      if (first < last) {
+        out_.emplace_back(e.payload, first, last);
+      }
+    }
+    this->TransferBatch(out_);
+  }
+
  private:
   Timestamp AlignUp(Timestamp t) const {
     // Smallest multiple of slide_ that is >= t (timestamps are >= 0 in all
@@ -91,6 +122,7 @@ class SlideWindow : public UnaryPipe<T, T> {
 
   Timestamp size_;
   Timestamp slide_;
+  std::vector<StreamElement<T>> out_;
 };
 
 /// Unbounded window (CQL `[UNBOUNDED]`): every element stays valid forever
@@ -107,6 +139,19 @@ class UnboundedWindow : public UnaryPipe<T, T> {
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     this->Transfer(StreamElement<T>(e.payload, e.start(), kMaxTimestamp));
   }
+
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    out_.clear();
+    out_.reserve(batch.size());
+    for (const StreamElement<T>& e : batch) {
+      out_.emplace_back(e.payload, e.start(), kMaxTimestamp);
+    }
+    this->TransferBatch(out_);
+  }
+
+ private:
+  std::vector<StreamElement<T>> out_;
 };
 
 /// Count-based window (CQL `[ROWS n]`): each element stays valid until `n`

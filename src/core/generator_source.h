@@ -20,10 +20,25 @@ namespace pipes {
 
 /// Base class for sources that produce elements on demand. Subclasses
 /// implement `Generate`; returning nullopt ends the stream.
+///
+/// With `batch_size` > 1 the source accumulates up to that many elements
+/// per scheduler invocation and emits them with a single `TransferBatch` —
+/// the batching knob of the workload generators (DESIGN.md "Batched
+/// delivery"). The default of 1 keeps the original per-element `Transfer`
+/// path, byte-for-byte.
 template <typename T>
 class GeneratorSource : public Source<T> {
  public:
-  explicit GeneratorSource(std::string name) : Source<T>(std::move(name)) {}
+  explicit GeneratorSource(std::string name, std::size_t batch_size = 1)
+      : Source<T>(std::move(name)), batch_size_(batch_size) {
+    PIPES_CHECK(batch_size >= 1);
+  }
+
+  std::size_t batch_size() const { return batch_size_; }
+  void set_batch_size(std::size_t batch_size) {
+    PIPES_CHECK(batch_size >= 1);
+    batch_size_ = batch_size;
+  }
 
   bool is_active() const override { return true; }
   bool HasWork() const override { return !exhausted_; }
@@ -31,15 +46,34 @@ class GeneratorSource : public Source<T> {
 
   std::size_t DoWork(std::size_t max_units) override {
     std::size_t n = 0;
-    while (n < max_units && !exhausted_) {
-      std::optional<StreamElement<T>> element = Generate();
-      ++n;
-      if (!element.has_value()) {
-        exhausted_ = true;
-        this->TransferDone();
-        break;
+    if (batch_size_ <= 1) {
+      while (n < max_units && !exhausted_) {
+        std::optional<StreamElement<T>> element = Generate();
+        ++n;
+        if (!element.has_value()) {
+          exhausted_ = true;
+          this->TransferDone();
+          break;
+        }
+        this->Transfer(*element);
       }
-      this->Transfer(*element);
+      return n;
+    }
+    while (n < max_units && !exhausted_) {
+      batch_.clear();
+      const std::size_t want = std::min(batch_size_, max_units - n);
+      while (batch_.size() < want) {
+        std::optional<StreamElement<T>> element = Generate();
+        if (!element.has_value()) {
+          exhausted_ = true;
+          ++n;  // the end-of-stream signal counts as one unit of work
+          break;
+        }
+        batch_.push_back(std::move(*element));
+      }
+      n += batch_.size();
+      this->TransferBatch(batch_);
+      if (exhausted_) this->TransferDone();
     }
     return n;
   }
@@ -50,6 +84,8 @@ class GeneratorSource : public Source<T> {
   virtual std::optional<StreamElement<T>> Generate() = 0;
 
  private:
+  std::size_t batch_size_;
+  std::vector<StreamElement<T>> batch_;
   bool exhausted_ = false;
 };
 
@@ -59,8 +95,9 @@ template <typename T>
 class VectorSource : public GeneratorSource<T> {
  public:
   VectorSource(std::vector<StreamElement<T>> elements,
-               std::string name = "vector-source")
-      : GeneratorSource<T>(std::move(name)), elements_(std::move(elements)) {
+               std::string name = "vector-source", std::size_t batch_size = 1)
+      : GeneratorSource<T>(std::move(name), batch_size),
+        elements_(std::move(elements)) {
     for (std::size_t i = 1; i < elements_.size(); ++i) {
       PIPES_CHECK_MSG(elements_[i - 1].start() <= elements_[i].start(),
                       "VectorSource input must be ordered by start");
@@ -97,8 +134,9 @@ class FunctionSource : public GeneratorSource<T> {
  public:
   using Generator = std::function<std::optional<StreamElement<T>>()>;
 
-  FunctionSource(Generator generator, std::string name = "function-source")
-      : GeneratorSource<T>(std::move(name)),
+  FunctionSource(Generator generator, std::string name = "function-source",
+                 std::size_t batch_size = 1)
+      : GeneratorSource<T>(std::move(name), batch_size),
         generator_(std::move(generator)) {}
 
  protected:

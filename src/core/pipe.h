@@ -2,6 +2,7 @@
 #define PIPES_CORE_PIPE_H_
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -58,6 +59,14 @@ class BinaryDispatch : public PortOwner<L>, public PortOwner<R> {
 
   virtual void OnElementLeft(const StreamElement<L>& element) = 0;
   virtual void OnElementRight(const StreamElement<R>& element) = 0;
+  /// Batched variants; the defaults replay the batch element-by-element, so
+  /// binary operators keep working unmodified on the batched path.
+  virtual void OnBatchLeft(std::span<const StreamElement<L>> batch) {
+    for (const StreamElement<L>& e : batch) OnElementLeft(e);
+  }
+  virtual void OnBatchRight(std::span<const StreamElement<R>> batch) {
+    for (const StreamElement<R>& e : batch) OnElementRight(e);
+  }
   virtual void OnProgressSide(int side, Timestamp watermark) = 0;
   virtual void OnDoneSide(int side) = 0;
 
@@ -67,6 +76,12 @@ class BinaryDispatch : public PortOwner<L>, public PortOwner<R> {
   }
   void PortElement(int /*port_id*/, const StreamElement<R>& e) final {
     OnElementRight(e);
+  }
+  void PortBatch(int /*port_id*/, std::span<const StreamElement<L>> b) final {
+    OnBatchLeft(b);
+  }
+  void PortBatch(int /*port_id*/, std::span<const StreamElement<R>> b) final {
+    OnBatchRight(b);
   }
   // Identical signature in both bases: this single override covers both.
   void PortProgress(int port_id, Timestamp watermark) final {
@@ -83,6 +98,12 @@ class BinaryDispatch<T, T> : public PortOwner<T> {
 
   virtual void OnElementLeft(const StreamElement<T>& element) = 0;
   virtual void OnElementRight(const StreamElement<T>& element) = 0;
+  virtual void OnBatchLeft(std::span<const StreamElement<T>> batch) {
+    for (const StreamElement<T>& e : batch) OnElementLeft(e);
+  }
+  virtual void OnBatchRight(std::span<const StreamElement<T>> batch) {
+    for (const StreamElement<T>& e : batch) OnElementRight(e);
+  }
   virtual void OnProgressSide(int side, Timestamp watermark) = 0;
   virtual void OnDoneSide(int side) = 0;
 
@@ -92,6 +113,13 @@ class BinaryDispatch<T, T> : public PortOwner<T> {
       OnElementLeft(e);
     } else {
       OnElementRight(e);
+    }
+  }
+  void PortBatch(int port_id, std::span<const StreamElement<T>> b) final {
+    if (port_id == kLeft) {
+      OnBatchLeft(b);
+    } else {
+      OnBatchRight(b);
     }
   }
   void PortProgress(int port_id, Timestamp watermark) final {

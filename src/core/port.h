@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/common/macros.h"
@@ -39,6 +40,18 @@ class PortOwner {
   /// `PortProgress` for a cross-upstream ordering guarantee.
   virtual void PortElement(int port_id, const StreamElement<T>& element) = 0;
 
+  /// A batch of elements arrived on port `port_id` — a non-empty run from
+  /// one upstream, ordered by non-decreasing start, carrying no control
+  /// signals. The default delegates to `PortElement` element-by-element, so
+  /// owners that never override this behave exactly as on the per-element
+  /// path; cheap stateless operators override it with a tight kernel that
+  /// forwards one output batch downstream (DESIGN.md "Batched delivery").
+  virtual void PortBatch(int port_id, std::span<const StreamElement<T>> batch) {
+    for (const StreamElement<T>& e : batch) {
+      PortElement(port_id, e);
+    }
+  }
+
   /// The port's merged watermark advanced to `watermark`: no future element
   /// on this port will have `start() < watermark`.
   virtual void PortProgress(int port_id, Timestamp watermark) = 0;
@@ -67,7 +80,9 @@ class InputPort {
 
   /// Watermark merged over all upstreams; `kMinTimestamp` until every
   /// upstream has reported progress, `kMaxTimestamp` once all are done.
-  Timestamp watermark() const { return MergedWatermark(); }
+  /// O(1): the merge is cached and maintained incrementally, so per-element
+  /// delivery does not rescan all upstream slots.
+  Timestamp watermark() const { return merged_cache_; }
 
   /// True once every upstream signalled done (and at least one was ever
   /// subscribed).
@@ -84,6 +99,8 @@ class InputPort {
     slots_.push_back(up);
     ++live_upstreams_;
     done_delivered_ = false;
+    // The new upstream has reported no progress yet: it pins the merge.
+    merged_cache_ = kMinTimestamp;
     return static_cast<int>(slots_.size()) - 1;
   }
 
@@ -93,6 +110,7 @@ class InputPort {
     PIPES_CHECK(ValidSlot(slot) && slots_[slot].live);
     slots_[slot].live = false;
     --live_upstreams_;
+    RecomputeMergedWatermark();
     NotifyProgress();
     MaybeNotifyDone();
   }
@@ -102,9 +120,39 @@ class InputPort {
     Upstream& up = slots_[slot];
     PIPES_DCHECK(element.start() >= up.watermark ||
                  up.watermark == kMinTimestamp);
-    up.watermark = std::max(up.watermark, element.start());
+    RaiseSlotWatermark(up, element.start());
     owner_node_->CountIn();
     owner_->PortElement(port_id_, element);
+    NotifyProgress();
+  }
+
+  /// Batched delivery: `batch` is a non-empty run from one upstream,
+  /// ordered by non-decreasing start. Order is validated once, and exactly
+  /// one merge + progress notification happens per batch (after the owner
+  /// saw the elements, mirroring the element-then-progress order of
+  /// `Receive`).
+  ///
+  /// The slot watermark is raised in two steps: to the *front* start before
+  /// delivery (which the front element itself proves) and to the *back*
+  /// start only afterwards. Raising to the back up front would let a
+  /// stateful owner that consults `watermark()` while consuming the batch
+  /// (e.g. a join flushing its ordered staging buffer per element) release
+  /// results that later elements of the same batch can still precede.
+  void ReceiveBatch(int slot, std::span<const StreamElement<T>> batch) {
+    if (batch.empty()) return;
+    PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
+    Upstream& up = slots_[slot];
+    PIPES_DCHECK(batch.front().start() >= up.watermark ||
+                 up.watermark == kMinTimestamp);
+    PIPES_DCHECK(std::is_sorted(
+        batch.begin(), batch.end(),
+        [](const StreamElement<T>& a, const StreamElement<T>& b) {
+          return a.start() < b.start();
+        }));
+    RaiseSlotWatermark(up, batch.front().start());
+    owner_node_->CountIn(batch.size());
+    owner_->PortBatch(port_id_, batch);
+    RaiseSlotWatermark(up, batch.back().start());
     NotifyProgress();
   }
 
@@ -112,7 +160,7 @@ class InputPort {
     PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
     Upstream& up = slots_[slot];
     if (t > up.watermark) {
-      up.watermark = t;
+      RaiseSlotWatermark(up, t);
       NotifyProgress();
     }
   }
@@ -120,6 +168,7 @@ class InputPort {
   void ReceiveDone(int slot) {
     PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
     slots_[slot].done = true;
+    RecomputeMergedWatermark();
     NotifyProgress();
     MaybeNotifyDone();
   }
@@ -135,7 +184,18 @@ class InputPort {
     return slot >= 0 && slot < static_cast<int>(slots_.size());
   }
 
-  Timestamp MergedWatermark() const {
+  /// Raises `up.watermark` to `t` and keeps the cached merge consistent.
+  /// A full rescan is needed only when the raised slot was (one of) the
+  /// minimum — for single-upstream ports the rescan is trivially cheap, and
+  /// for fan-in ports the non-minimum upstreams update in O(1).
+  void RaiseSlotWatermark(Upstream& up, Timestamp t) {
+    if (t <= up.watermark) return;
+    const Timestamp old = up.watermark;
+    up.watermark = t;
+    if (old <= merged_cache_) RecomputeMergedWatermark();
+  }
+
+  void RecomputeMergedWatermark() {
     Timestamp min_wm = kMaxTimestamp;
     bool any = false;
     for (const Upstream& up : slots_) {
@@ -143,15 +203,12 @@ class InputPort {
       any = true;
       min_wm = std::min(min_wm, up.watermark);
     }
-    if (!any) {
-      // All upstreams done (or none subscribed): time is exhausted.
-      return kMaxTimestamp;
-    }
-    return min_wm;
+    // No live, unfinished upstream (or none subscribed): time is exhausted.
+    merged_cache_ = any ? min_wm : kMaxTimestamp;
   }
 
   void NotifyProgress() {
-    const Timestamp merged = MergedWatermark();
+    const Timestamp merged = merged_cache_;
     if (merged > last_notified_) {
       last_notified_ = merged;
       owner_->PortProgress(port_id_, merged);
@@ -179,6 +236,8 @@ class InputPort {
   int port_id_;
   std::vector<Upstream> slots_;
   std::size_t live_upstreams_ = 0;
+  /// min over live, unfinished slots; kMaxTimestamp when there are none.
+  Timestamp merged_cache_ = kMaxTimestamp;
   Timestamp last_notified_ = kMinTimestamp;
   bool done_delivered_ = false;
 };

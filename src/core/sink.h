@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,11 @@ class CollectorSink : public Sink<T> {
     elements_.push_back(e);
   }
 
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    elements_.insert(elements_.end(), batch.begin(), batch.end());
+  }
+
  private:
   std::vector<StreamElement<T>> elements_;
 };
@@ -77,6 +83,14 @@ class CountingSink : public Sink<T> {
     ++count_;
     // Defeat dead-code elimination of the whole upstream pipeline.
     checksum_ ^= static_cast<std::uint64_t>(e.start());
+  }
+
+  void PortBatch(int /*port_id*/,
+                 std::span<const StreamElement<T>> batch) override {
+    count_ += batch.size();
+    for (const StreamElement<T>& e : batch) {
+      checksum_ ^= static_cast<std::uint64_t>(e.start());
+    }
   }
 
  private:

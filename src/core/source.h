@@ -2,6 +2,7 @@
 #define PIPES_CORE_SOURCE_H_
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,6 +89,30 @@ class Source : public Node {
     CountOut();
     for (const Subscription& s : subscriptions_) {
       s.port->Receive(s.slot, element);
+    }
+  }
+
+  /// Delivers a whole run of elements to all subscribers in one call.
+  /// `batch` must be ordered by non-decreasing start and must not start
+  /// before anything already transferred; control signals never ride inside
+  /// a batch (use TransferHeartbeat / TransferDone). Bookkeeping
+  /// (`last_start_`, counters) updates once per batch, and each subscriber
+  /// pays one virtual dispatch + one watermark merge instead of one per
+  /// element. `TransferBatch` on a single-element span is semantically
+  /// identical to `Transfer`.
+  void TransferBatch(std::span<const Element> batch) {
+    if (batch.empty()) return;
+    PIPES_DCHECK(!done_);
+    PIPES_DCHECK(batch.front().start() >= last_start_ ||
+                 last_start_ == kMinTimestamp);
+    PIPES_DCHECK(std::is_sorted(batch.begin(), batch.end(),
+                                [](const Element& a, const Element& b) {
+                                  return a.start() < b.start();
+                                }));
+    last_start_ = std::max(last_start_, batch.back().start());
+    CountOut(batch.size());
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveBatch(s.slot, batch);
     }
   }
 

@@ -1,8 +1,23 @@
 #include <algorithm>
+#include <memory>
 
 #include "src/workloads/nexmark_queries.h"
 
 namespace pipes::workloads {
+
+FunctionSource<NexmarkEvent>& AddNexmarkSource(QueryGraph& graph,
+                                               NexmarkOptions options,
+                                               std::size_t batch_size) {
+  auto generator = std::make_shared<NexmarkGenerator>(options);
+  return graph.Add<FunctionSource<NexmarkEvent>>(
+      [generator]() -> std::optional<StreamElement<NexmarkEvent>> {
+        auto event = generator->Next();
+        if (!event.has_value()) return std::nullopt;
+        const Timestamp t = event->time;
+        return StreamElement<NexmarkEvent>::Point(std::move(*event), t);
+      },
+      "nexmark", batch_size);
+}
 
 BidStream& BuildBidStream(QueryGraph& graph, Source<NexmarkEvent>& events) {
   auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsBidEvent>>(

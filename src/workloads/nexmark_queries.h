@@ -10,6 +10,7 @@
 #include "src/algebra/join.h"
 #include "src/algebra/map.h"
 #include "src/algebra/window.h"
+#include "src/core/generator_source.h"
 #include "src/core/graph.h"
 #include "src/workloads/nexmark.h"
 
@@ -24,6 +25,13 @@
 ///  * per-auction bid statistics.
 
 namespace pipes::workloads {
+
+/// Wraps a `NexmarkGenerator` into an active source of point elements.
+/// `batch_size` > 1 makes the source emit that many events per
+/// `TransferBatch` — the batching knob for the auction workload.
+FunctionSource<NexmarkEvent>& AddNexmarkSource(QueryGraph& graph,
+                                               NexmarkOptions options,
+                                               std::size_t batch_size = 1);
 
 // --- Event-stream splitting ----------------------------------------------------
 

@@ -1,6 +1,22 @@
 #include "src/workloads/traffic_queries.h"
 
+#include <memory>
+
 namespace pipes::workloads {
+
+FunctionSource<TrafficReading>& AddTrafficSource(QueryGraph& graph,
+                                                 TrafficOptions options,
+                                                 std::size_t batch_size) {
+  auto generator = std::make_shared<TrafficGenerator>(std::move(options));
+  return graph.Add<FunctionSource<TrafficReading>>(
+      [generator]() -> std::optional<StreamElement<TrafficReading>> {
+        auto reading = generator->Next();
+        if (!reading.has_value()) return std::nullopt;
+        const Timestamp t = reading->timestamp;
+        return StreamElement<TrafficReading>::Point(std::move(*reading), t);
+      },
+      "traffic", batch_size);
+}
 
 HovAverageSpeed& BuildHovAverageSpeedQuery(QueryGraph& graph,
                                            Source<TrafficReading>& readings,

@@ -8,6 +8,7 @@
 #include "src/algebra/aggregate.h"
 #include "src/algebra/filter.h"
 #include "src/algebra/window.h"
+#include "src/core/generator_source.h"
 #include "src/core/graph.h"
 #include "src/workloads/traffic.h"
 
@@ -96,6 +97,14 @@ class SustainedConditionDetector
   Timestamp min_duration_;
   std::unordered_map<Key, Run> runs_;
 };
+
+/// Wraps a `TrafficGenerator` into an active source of point elements
+/// (validity [timestamp, timestamp+1)). `batch_size` > 1 makes the source
+/// emit that many readings per `TransferBatch` — the batching knob for the
+/// traffic workload.
+FunctionSource<TrafficReading>& AddTrafficSource(QueryGraph& graph,
+                                                 TrafficOptions options,
+                                                 std::size_t batch_size = 1);
 
 // --- Plan fragments for the demo queries --------------------------------------
 

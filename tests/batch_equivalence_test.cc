@@ -1,0 +1,343 @@
+// Property tests for the batched transfer path: a graph run with
+// `TransferBatch` (source batch sizes > 1) must be indistinguishable at the
+// sink from the same graph run per-element — the same elements in the same
+// order, the same done signal, and the same final watermark. Progress
+// notifications may be coarser (one merge per batch instead of one per
+// element) but must be a monotone subsequence of the per-element sequence:
+// batching may skip intermediate watermarks, never invent or reorder them.
+//
+// Chains cover the operators with dedicated batch kernels (filter, map,
+// union, windows, coalesce), the default replay path (join, count window),
+// and a mixed-path graph (batched source -> non-overriding operator ->
+// buffer), per DESIGN.md "Batched delivery".
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/coalesce.h"
+#include "src/algebra/filter.h"
+#include "src/algebra/join.h"
+#include "src/algebra/map.h"
+#include "src/algebra/union.h"
+#include "src/algebra/window.h"
+#include "src/core/buffer.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+#include "src/scheduler/scheduler.h"
+#include "tests/snapshot_reference.h"
+
+namespace pipes {
+namespace {
+
+using namespace pipes::algebra;  // NOLINT: test-local convenience
+using namespace pipes::testing;  // NOLINT: test-local convenience
+
+/// Everything observable at the end of a run, from the sink's perspective.
+struct Observation {
+  std::vector<StreamElement<int>> elements;
+  std::vector<Timestamp> progress;
+  bool done = false;
+  Timestamp final_watermark = kMinTimestamp;
+};
+
+/// Sink that records every callback the port delivers.
+class ProbeSink : public Sink<int> {
+ public:
+  explicit ProbeSink(std::string name = "probe") : Sink<int>(std::move(name)) {}
+
+  std::vector<StreamElement<int>> elements;
+  std::vector<Timestamp> progress;
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<int>& e) override {
+    elements.push_back(e);
+  }
+  void PortProgress(int port_id, Timestamp watermark) override {
+    progress.push_back(watermark);
+    Sink<int>::PortProgress(port_id, watermark);
+  }
+};
+
+/// Builds a graph around pre-built input streams and returns what the probe
+/// saw. The builder wires sources (created with `batch_size`) to the probe.
+using BuildFn = std::function<void(
+    QueryGraph&, const std::vector<std::vector<StreamElement<int>>>&,
+    std::size_t batch_size, ProbeSink&)>;
+
+Observation RunGraph(const std::vector<std::vector<StreamElement<int>>>& inputs,
+                std::size_t batch_size, std::size_t train_size,
+                const BuildFn& build) {
+  QueryGraph graph;
+  auto& probe = graph.Add<ProbeSink>();
+  build(graph, inputs, batch_size, probe);
+  scheduler::RoundRobinStrategy strategy;
+  scheduler::SingleThreadScheduler driver(graph, strategy, train_size);
+  driver.RunToCompletion();
+  Observation obs;
+  obs.elements = probe.elements;
+  obs.progress = probe.progress;
+  obs.done = probe.done();
+  obs.final_watermark = probe.watermark();
+  return obs;
+}
+
+bool IsSubsequence(const std::vector<Timestamp>& sub,
+                   const std::vector<Timestamp>& full) {
+  std::size_t i = 0;
+  for (Timestamp t : full) {
+    if (i < sub.size() && sub[i] == t) ++i;
+  }
+  return i == sub.size();
+}
+
+/// Whether the stricter progress check applies. Downstream of a `Buffer`
+/// the batch = 1 reference is itself re-batched by the train drain, and the
+/// train boundaries shift with the number of queued heartbeat entries — so
+/// only direct (buffer-free) paths guarantee the subsequence relation.
+enum class ProgressCheck { kSubsequenceOfReference, kMonotoneOnly };
+
+/// Core assertion: for every batch size, the run is element-for-element
+/// identical to the per-element (batch = 1) run and finishes with the same
+/// done/watermark state. Progress values are always sorted; on buffer-free
+/// paths they must additionally be a subsequence of the per-element run's
+/// progress values (batching samples the same watermark trajectory at
+/// coarser points — it may skip values, never invent or reorder them).
+void ExpectBatchedEqualsPerElement(
+    const std::vector<std::vector<StreamElement<int>>>& inputs,
+    std::size_t train_size, const BuildFn& build,
+    ProgressCheck progress_check = ProgressCheck::kSubsequenceOfReference) {
+  const Observation reference = RunGraph(inputs, /*batch_size=*/1, train_size,
+                                    build);
+  EXPECT_TRUE(reference.done);
+  for (std::size_t batch_size : {2u, 7u, 32u, 512u}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size) +
+                 " train_size=" + std::to_string(train_size));
+    const Observation batched = RunGraph(inputs, batch_size, train_size, build);
+    EXPECT_EQ(batched.elements, reference.elements);
+    EXPECT_EQ(batched.done, reference.done);
+    EXPECT_EQ(batched.final_watermark, reference.final_watermark);
+    EXPECT_TRUE(std::is_sorted(batched.progress.begin(),
+                               batched.progress.end()));
+    if (progress_check == ProgressCheck::kSubsequenceOfReference) {
+      EXPECT_TRUE(IsSubsequence(batched.progress, reference.progress))
+          << "batched progress is not a subsequence of per-element progress";
+    }
+  }
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<StreamElement<int>> Stream(RandomStreamOptions options = {}) {
+    Random rng(GetParam() * 7919 + streams_drawn_++);
+    return RandomIntStream(rng, options);
+  }
+  std::size_t TrainSize() const { return 1 + GetParam() % 17; }
+
+ private:
+  std::uint64_t streams_drawn_ = 0;
+};
+
+TEST_P(BatchEquivalence, FilterMapChain) {
+  const auto input = Stream();
+  ExpectBatchedEqualsPerElement(
+      {input}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& source = graph.Add<VectorSource<int>>(inputs[0], "source",
+                                                    batch_size);
+        auto pred = [](int v) { return v % 3 != 0; };
+        auto& filter = graph.Add<Filter<int, decltype(pred)>>(pred);
+        auto fn = [](int v) { return v * 2 + 1; };
+        auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
+        source.SubscribeTo(filter.input());
+        filter.SubscribeTo(map.input());
+        map.SubscribeTo(probe.input());
+      });
+}
+
+TEST_P(BatchEquivalence, WindowedCoalesceChain) {
+  RandomStreamOptions options;
+  options.payload_domain = 3;  // frequent equal payloads to coalesce
+  options.max_duration = 1;    // raw point stream
+  const auto input = Stream(options);
+  ExpectBatchedEqualsPerElement(
+      {input}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& source = graph.Add<VectorSource<int>>(inputs[0], "source",
+                                                    batch_size);
+        auto& window = graph.Add<TimeWindow<int>>(/*size=*/8);
+        auto& coalesce = graph.Add<Coalesce<int>>();
+        source.SubscribeTo(window.input());
+        window.SubscribeTo(coalesce.input());
+        coalesce.SubscribeTo(probe.input());
+      });
+}
+
+TEST_P(BatchEquivalence, UnionOfTwoBatchedSources) {
+  const auto a = Stream();
+  const auto b = Stream();
+  ExpectBatchedEqualsPerElement(
+      {a, b}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& sa = graph.Add<VectorSource<int>>(inputs[0], "a", batch_size);
+        auto& sb = graph.Add<VectorSource<int>>(inputs[1], "b", batch_size);
+        auto& u = graph.Add<Union<int>>();
+        sa.SubscribeTo(u.left());
+        sb.SubscribeTo(u.right());
+        u.SubscribeTo(probe.input());
+      });
+}
+
+// The join has no batch kernel: its elements arrive through the default
+// per-element replay. This is the regression test for the watermark raise
+// order in ReceiveBatch — an eagerly raised watermark would let the join
+// flush staged results ahead of later elements of the same input batch.
+TEST_P(BatchEquivalence, HashJoinViaDefaultReplay) {
+  RandomStreamOptions options;
+  options.count = 120;
+  options.payload_domain = 5;  // frequent key collisions
+  const auto left = Stream(options);
+  const auto right = Stream(options);
+  ExpectBatchedEqualsPerElement(
+      {left, right}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& sl = graph.Add<VectorSource<int>>(inputs[0], "l", batch_size);
+        auto& sr = graph.Add<VectorSource<int>>(inputs[1], "r", batch_size);
+        auto identity = [](int v) { return v; };
+        auto combine = [](int a, int b) { return a * 100 + b; };
+        auto& join = graph.AddNode(
+            MakeHashJoin<int, int>(identity, identity, combine));
+        sl.SubscribeTo(join.left());
+        sr.SubscribeTo(join.right());
+        join.SubscribeTo(probe.input());
+      });
+}
+
+// Mixed-path graph: batched source -> operator without a batch kernel
+// (CountWindow uses the default replay) -> batched buffer drain. Exercises
+// batch -> per-element -> batch transitions across one chain. The buffer's
+// train drain coarsens progress in the reference run too, at boundaries
+// that depend on queued heartbeats, so only monotonicity is asserted.
+TEST_P(BatchEquivalence, MixedPathThroughCountWindowAndBuffer) {
+  RandomStreamOptions options;
+  options.max_duration = 1;
+  const auto input = Stream(options);
+  ExpectBatchedEqualsPerElement(
+      {input}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& source = graph.Add<VectorSource<int>>(inputs[0], "source",
+                                                    batch_size);
+        auto& window = graph.Add<CountWindow<int>>(/*rows=*/5);
+        auto& buffer = graph.Add<Buffer<int>>();
+        auto fn = [](int v) { return v - 3; };
+        auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
+        source.SubscribeTo(window.input());
+        window.SubscribeTo(buffer.input());
+        buffer.SubscribeTo(map.input());
+        map.SubscribeTo(probe.input());
+      },
+      ProgressCheck::kMonotoneOnly);
+}
+
+// Filter -> map -> union -> buffer: the bench_batch chain, checked for
+// semantics here so the bench can claim pure-performance differences.
+TEST_P(BatchEquivalence, FilterMapUnionBufferChain) {
+  const auto a = Stream();
+  const auto b = Stream();
+  ExpectBatchedEqualsPerElement(
+      {a, b}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& sa = graph.Add<VectorSource<int>>(inputs[0], "a", batch_size);
+        auto& sb = graph.Add<VectorSource<int>>(inputs[1], "b", batch_size);
+        auto pred = [](int v) { return v % 2 == 0; };
+        auto& filter = graph.Add<Filter<int, decltype(pred)>>(pred);
+        auto fn = [](int v) { return v + 100; };
+        auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
+        auto& u = graph.Add<Union<int>>();
+        auto& buffer = graph.Add<Buffer<int>>();
+        sa.SubscribeTo(filter.input());
+        filter.SubscribeTo(map.input());
+        map.SubscribeTo(u.left());
+        sb.SubscribeTo(u.right());
+        u.SubscribeTo(buffer.input());
+        buffer.SubscribeTo(probe.input());
+      },
+      ProgressCheck::kMonotoneOnly);
+}
+
+// Two sources fanned in to the union's *left* port: per-port arrival order
+// breaks, forcing the union off its two-queue fast path onto the spilled
+// heap. Batched and per-element runs must still agree element-for-element
+// (the spill preserves (start, arrival) release order exactly).
+TEST_P(BatchEquivalence, UnionFanInSpillPath) {
+  const auto a = Stream();
+  const auto b = Stream();
+  const auto c = Stream();
+  ExpectBatchedEqualsPerElement(
+      {a, b, c}, TrainSize(),
+      [](QueryGraph& graph, const auto& inputs, std::size_t batch_size,
+         ProbeSink& probe) {
+        auto& sa = graph.Add<VectorSource<int>>(inputs[0], "a", batch_size);
+        auto& sb = graph.Add<VectorSource<int>>(inputs[1], "b", batch_size);
+        auto& sc = graph.Add<VectorSource<int>>(inputs[2], "c", batch_size);
+        auto& u = graph.Add<Union<int>>();
+        sa.SubscribeTo(u.left());
+        sb.SubscribeTo(u.left());
+        sc.SubscribeTo(u.right());
+        u.SubscribeTo(probe.input());
+      });
+}
+
+// Cross-thread edge: batched source -> ConcurrentBuffer -> map, driven by
+// the ThreadScheduler. Thread interleaving makes intermediate progress
+// nondeterministic, so only the end state is compared against the
+// single-threaded per-element reference.
+TEST_P(BatchEquivalence, ConcurrentBufferTrainDrainUnderThreadScheduler) {
+  const auto input = Stream();
+  const BuildFn build = [](QueryGraph& graph, const auto& inputs,
+                           std::size_t batch_size, ProbeSink& probe) {
+    auto& source = graph.Add<VectorSource<int>>(inputs[0], "source",
+                                                batch_size);
+    auto& buffer = graph.Add<ConcurrentBuffer<int>>();
+    auto fn = [](int v) { return v * 5; };
+    auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
+    source.SubscribeTo(buffer.input());
+    buffer.SubscribeTo(map.input());
+    map.SubscribeTo(probe.input());
+  };
+  const Observation reference = RunGraph({input}, /*batch_size=*/1, TrainSize(),
+                                    build);
+  for (std::size_t batch_size : {1u, 32u}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    QueryGraph graph;
+    auto& probe = graph.Add<ProbeSink>();
+    build(graph, {input}, batch_size, probe);
+    scheduler::ThreadScheduler driver(
+        graph, /*num_threads=*/2,
+        [] { return std::make_unique<scheduler::RoundRobinStrategy>(); },
+        /*assignment=*/{}, /*batch_size=*/64);
+    driver.RunToCompletion();
+    EXPECT_EQ(probe.elements, reference.elements);
+    EXPECT_TRUE(probe.done());
+    EXPECT_EQ(probe.watermark(), reference.final_watermark);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace pipes
