@@ -50,8 +50,8 @@ void BM_SweepLineAggregate(benchmark::State& state) {
         graph.Add<algebra::TemporalAggregate<int, algebra::SumAgg<int>,
                                              decltype(value)>>(value);
     auto& sink = graph.Add<CountingSink<int>>();
-    source.SubscribeTo(agg.input());
-    agg.SubscribeTo(sink.input());
+    source.AddSubscriber(agg.input());
+    agg.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);
     driver.RunToCompletion();

@@ -78,8 +78,8 @@ void BM_HighestBid(benchmark::State& state) {
     auto& agg = graph.Add<algebra::GroupedAggregate<
         BidRecord, algebra::MaxAgg<double>, decltype(key), decltype(value)>>(
         key, value);
-    source.SubscribeTo(window.input());
-    window.SubscribeTo(agg.input());
+    source.AddSubscriber(window.input());
+    window.AddSubscriber(agg.input());
 
     std::uint64_t count = 0;
     if (coalesce) {
@@ -87,14 +87,14 @@ void BM_HighestBid(benchmark::State& state) {
           algebra::Coalesce<std::pair<std::int64_t, double>>>();
       auto& sink =
           graph.Add<CountingSink<std::pair<std::int64_t, double>>>();
-      agg.SubscribeTo(merge.input());
-      merge.SubscribeTo(sink.input());
+      agg.AddSubscriber(merge.input());
+      merge.AddSubscriber(sink.input());
       RunGraph(graph);
       count = sink.count();
     } else {
       auto& sink =
           graph.Add<CountingSink<std::pair<std::int64_t, double>>>();
-      agg.SubscribeTo(sink.input());
+      agg.AddSubscriber(sink.input());
       RunGraph(graph);
       count = sink.count();
     }

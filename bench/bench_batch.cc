@@ -71,12 +71,12 @@ void BM_FilterMapUnionBufferChain(benchmark::State& state) {
     auto& u = graph.Add<algebra::Union<int>>();
     auto& buffer = graph.Add<Buffer<int>>();
     auto& sink = graph.Add<CountingSink<int>>();
-    sa.SubscribeTo(filter.input());
-    filter.SubscribeTo(map.input());
-    map.SubscribeTo(u.left());
-    sb.SubscribeTo(u.right());
-    u.SubscribeTo(buffer.input());
-    buffer.SubscribeTo(sink.input());
+    sa.AddSubscriber(filter.input());
+    filter.AddSubscriber(map.input());
+    map.AddSubscriber(u.left());
+    sb.AddSubscriber(u.right());
+    u.AddSubscriber(buffer.input());
+    buffer.AddSubscriber(sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy,
@@ -103,9 +103,9 @@ void BM_TrafficWorkload(benchmark::State& state) {
     auto& window =
         graph.Add<algebra::TimeWindow<workloads::TrafficReading>>(60'000);
     auto& sink = graph.Add<CountingSink<workloads::TrafficReading>>();
-    source.SubscribeTo(hov.input());
-    hov.SubscribeTo(window.input());
-    window.SubscribeTo(sink.input());
+    source.AddSubscriber(hov.input());
+    hov.AddSubscriber(window.input());
+    window.AddSubscriber(sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy,
@@ -129,9 +129,9 @@ void BM_ConcurrentBufferEdge(benchmark::State& state) {
     auto& buffer = graph.Add<ConcurrentBuffer<int>>();
     auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
     auto& sink = graph.Add<CountingSink<int>>();
-    source.SubscribeTo(buffer.input());
-    buffer.SubscribeTo(map.input());
-    map.SubscribeTo(sink.input());
+    source.AddSubscriber(buffer.input());
+    buffer.AddSubscriber(map.input());
+    map.AddSubscriber(sink.input());
 
     scheduler::ThreadScheduler driver(
         graph, /*num_threads=*/2,

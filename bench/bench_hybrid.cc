@@ -74,8 +74,8 @@ void BM_CursorProbeJoin(benchmark::State& state) {
         BidRecord, std::int64_t, PersonRecord, decltype(key),
         decltype(combine)>>(&persons, key, combine);
     auto& sink = graph.Add<CountingSink<std::pair<std::int64_t, double>>>();
-    source.SubscribeTo(join.input());
-    join.SubscribeTo(sink.input());
+    source.AddSubscriber(join.input());
+    join.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);
     driver.RunToCompletion();
@@ -109,13 +109,13 @@ void BM_AllStreamJoin(benchmark::State& state) {
     auto combine = [](const BidRecord& b, const PersonRecord& p) {
       return std::make_pair(p.id, b.price);
     };
-    auto& join = graph.AddNode(
+    auto& join = graph.Add(
         algebra::MakeHashJoin<BidRecord, PersonRecord>(bid_key, person_key,
                                                        combine));
     auto& sink = graph.Add<CountingSink<std::pair<std::int64_t, double>>>();
-    bid_source.SubscribeTo(join.left());
-    person_source.SubscribeTo(join.right());
-    join.SubscribeTo(sink.input());
+    bid_source.AddSubscriber(join.left());
+    person_source.AddSubscriber(join.right());
+    join.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);
     driver.RunToCompletion();

@@ -49,11 +49,11 @@ void RunJoin(benchmark::State& state, Timestamp window, JoinPtr (*make)()) {
     QueryGraph graph;
     auto& l = graph.Add<VectorSource<int>>(left);
     auto& r = graph.Add<VectorSource<int>>(right);
-    auto& join = graph.AddNode(make());
+    auto& join = graph.Add(make());
     auto& sink = graph.Add<CountingSink<int>>();
-    l.SubscribeTo(join.left());
-    r.SubscribeTo(join.right());
-    join.SubscribeTo(sink.input());
+    l.AddSubscriber(join.left());
+    r.AddSubscriber(join.right());
+    join.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 64);
     driver.RunToCompletion();

@@ -49,12 +49,12 @@ std::uint64_t RunOnce(std::size_t budget_bytes, std::size_t* peak_bytes,
   QueryGraph graph;
   auto& l = graph.Add<VectorSource<int>>(MakeStream(1));
   auto& r = graph.Add<VectorSource<int>>(MakeStream(2));
-  auto& join = graph.AddNode(
+  auto& join = graph.Add(
       algebra::MakeHashJoin<int, int>(Identity, Identity, Combine));
   auto& sink = graph.Add<CountingSink<int>>();
-  l.SubscribeTo(join.left());
-  r.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  l.AddSubscriber(join.left());
+  r.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
 
   memory::MemoryManager manager(budget_bytes,
                                 std::make_unique<memory::UniformStrategy>());

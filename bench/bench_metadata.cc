@@ -46,12 +46,12 @@ void BM_MetadataDecoration(benchmark::State& state) {
     std::vector<Node*> chain;
     for (int d = 0; d < kDepth; ++d) {
       auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
-      upstream->SubscribeTo(map.input());
+      upstream->AddSubscriber(map.input());
       upstream = &map;
       chain.push_back(&map);
     }
     auto& sink = graph.Add<CountingSink<int>>();
-    upstream->SubscribeTo(sink.input());
+    upstream->AddSubscriber(sink.input());
 
     metadata::Monitor monitor;
     for (int d = 0; d < decorated; ++d) {

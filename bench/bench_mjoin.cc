@@ -56,10 +56,10 @@ void BM_MultiwayJoin(benchmark::State& state) {
         n, &Key);
     for (std::size_t i = 0; i < n; ++i) {
       auto& source = graph.Add<VectorSource<int>>(inputs[i]);
-      source.SubscribeTo(join.input(i));
+      source.AddSubscriber(join.input(i));
     }
     auto& sink = graph.Add<CountingSink<std::vector<int>>>();
-    join.SubscribeTo(sink.input());
+    join.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 64);
     driver.RunToCompletion();
@@ -87,22 +87,22 @@ void BM_BinaryCascade3Way(benchmark::State& state) {
     auto& sb = graph.Add<VectorSource<int>>(b);
     auto& sc = graph.Add<VectorSource<int>>(c);
     auto pair_combine = [](int l, int r) { return std::make_pair(l, r); };
-    auto& join_ab = graph.AddNode(algebra::MakeHashJoin<int, int>(
+    auto& join_ab = graph.Add(algebra::MakeHashJoin<int, int>(
         &Key, &Key, pair_combine, "ab"));
     auto pair_key = [](const std::pair<int, int>& p) { return p.first; };
     auto triple_combine = [](const std::pair<int, int>& p, int r) {
       return std::make_pair(p, r);
     };
-    auto& join_abc = graph.AddNode(
+    auto& join_abc = graph.Add(
         algebra::MakeHashJoin<std::pair<int, int>, int>(
             pair_key, &Key, triple_combine, "abc"));
     auto& sink =
         graph.Add<CountingSink<std::pair<std::pair<int, int>, int>>>();
-    sa.SubscribeTo(join_ab.left());
-    sb.SubscribeTo(join_ab.right());
-    join_ab.SubscribeTo(join_abc.left());
-    sc.SubscribeTo(join_abc.right());
-    join_abc.SubscribeTo(sink.input());
+    sa.AddSubscriber(join_ab.left());
+    sb.AddSubscriber(join_ab.right());
+    join_ab.AddSubscriber(join_abc.left());
+    sc.AddSubscriber(join_abc.right());
+    join_abc.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 64);
     driver.RunToCompletion();

@@ -80,7 +80,7 @@ void RunMqo(benchmark::State& state, bool sharing) {
       auto installed = manager.InstallQuery(QueryText(q));
       PIPES_CHECK_MSG(installed.ok(), installed.status().ToString().c_str());
       auto& sink = graph.Add<CountingSink<Tuple>>();
-      installed->output->SubscribeTo(sink.input());
+      installed->output->AddSubscriber(sink.input());
     }
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);

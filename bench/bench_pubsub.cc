@@ -46,11 +46,11 @@ void BM_DirectChain(benchmark::State& state) {
     Source<int>* upstream = &source;
     for (int d = 0; d < depth; ++d) {
       auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
-      upstream->SubscribeTo(map.input());
+      upstream->AddSubscriber(map.input());
       upstream = &map;
     }
     auto& sink = graph.Add<CountingSink<int>>();
-    upstream->SubscribeTo(sink.input());
+    upstream->AddSubscriber(sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);
@@ -69,13 +69,13 @@ void BM_QueuedChain(benchmark::State& state) {
     Source<int>* upstream = &source;
     for (int d = 0; d < depth; ++d) {
       auto& buffer = graph.Add<Buffer<int>>();
-      upstream->SubscribeTo(buffer.input());
+      upstream->AddSubscriber(buffer.input());
       auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
-      buffer.SubscribeTo(map.input());
+      buffer.AddSubscriber(map.input());
       upstream = &map;
     }
     auto& sink = graph.Add<CountingSink<int>>();
-    upstream->SubscribeTo(sink.input());
+    upstream->AddSubscriber(sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);
@@ -96,13 +96,13 @@ void BM_ConcurrentQueuedChain(benchmark::State& state) {
     Source<int>* upstream = &source;
     for (int d = 0; d < depth; ++d) {
       auto& buffer = graph.Add<ConcurrentBuffer<int>>();
-      upstream->SubscribeTo(buffer.input());
+      upstream->AddSubscriber(buffer.input());
       auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
-      buffer.SubscribeTo(map.input());
+      buffer.AddSubscriber(map.input());
       upstream = &map;
     }
     auto& sink = graph.Add<CountingSink<int>>();
-    upstream->SubscribeTo(sink.input());
+    upstream->AddSubscriber(sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);
@@ -126,11 +126,11 @@ void BM_DirectChainBatched(benchmark::State& state) {
     Source<int>* upstream = &source;
     for (int d = 0; d < depth; ++d) {
       auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
-      upstream->SubscribeTo(map.input());
+      upstream->AddSubscriber(map.input());
       upstream = &map;
     }
     auto& sink = graph.Add<CountingSink<int>>();
-    upstream->SubscribeTo(sink.input());
+    upstream->AddSubscriber(sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 256);

@@ -54,9 +54,9 @@ void RunWithStrategy(benchmark::State& state,
       auto& filter =
           graph.Add<algebra::Filter<int, decltype(pred)>>(pred);
       auto& sink = graph.Add<CountingSink<int>>();
-      source.SubscribeTo(buffer.input());
-      buffer.SubscribeTo(filter.input());
-      filter.SubscribeTo(sink.input());
+      source.AddSubscriber(buffer.input());
+      buffer.AddSubscriber(filter.input());
+      filter.AddSubscriber(sink.input());
     }
     scheduler::SingleThreadScheduler driver(graph, strategy,
                                             /*batch_size=*/64);

@@ -88,7 +88,7 @@ void BM_TrafficQueries(benchmark::State& state) {
         "direction");
     PIPES_CHECK_MSG(q1.ok(), q1.status().ToString().c_str());
     auto& q1_sink = graph.Add<CountingSink<Tuple>>();
-    q1->output->SubscribeTo(q1_sink.input());
+    q1->output->AddSubscriber(q1_sink.input());
 
     auto q2 = manager.InstallQuery(
         "SELECT detector, AVG(speed) AS avg_speed FROM traffic "
@@ -100,7 +100,7 @@ void BM_TrafficQueries(benchmark::State& state) {
         [&alert_count](const StreamElement<Tuple>& e) {
           if (e.payload.field(1).AsDouble() < 40.0) ++alert_count;
         });
-    q2->output->SubscribeTo(q2_sink.input());
+    q2->output->AddSubscriber(q2_sink.input());
 
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, 1024);

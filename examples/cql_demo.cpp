@@ -95,8 +95,8 @@ int main() {
 
   auto& vwap_sink = graph.Add<CollectorSink<Tuple>>("vwap-results");
   auto& high_sink = graph.Add<CollectorSink<Tuple>>("high-results");
-  q1->output->SubscribeTo(vwap_sink.input());
-  q2->output->SubscribeTo(high_sink.input());
+  q1->output->AddSubscriber(vwap_sink.input());
+  q2->output->AddSubscriber(high_sink.input());
 
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy, 1024);

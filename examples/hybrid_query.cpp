@@ -65,8 +65,8 @@ int main() {
   // push -> pull: buffer results for on-demand consumption.
   auto& buffer = graph.Add<cursors::StreamBufferSink<Order>>("result-buffer");
 
-  source.SubscribeTo(filter.input());
-  filter.SubscribeTo(buffer.input());
+  source.AddSubscriber(filter.input());
+  filter.AddSubscriber(buffer.input());
 
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy);

@@ -48,7 +48,7 @@ int main() {
   // virtual-node boundary the two workers will hand elements across.
   auto& traffic_boundary =
       graph.Add<ConcurrentBuffer<TrafficReading>>("traffic-boundary");
-  readings.SubscribeTo(traffic_boundary.input());
+  readings.AddSubscriber(traffic_boundary.input());
 
   auto& congestion = BuildCongestionQuery(graph, traffic_boundary,
                                           /*direction=*/0,
@@ -57,7 +57,7 @@ int main() {
                                           /*speed_threshold=*/40.0,
                                           /*min_duration=*/600'000);
   auto& alarm_sink = graph.Add<CollectorSink<Sustained<std::int32_t>>>();
-  congestion.SubscribeTo(alarm_sink.input());
+  congestion.AddSubscriber(alarm_sink.input());
 
   // --- Chain 2: NEXMark highest bid ----------------------------------------
   NexmarkOptions auction_options;
@@ -74,12 +74,12 @@ int main() {
       "auction-events");
   auto& nexmark_boundary =
       graph.Add<ConcurrentBuffer<NexmarkEvent>>("nexmark-boundary");
-  events.SubscribeTo(nexmark_boundary.input());
+  events.AddSubscriber(nexmark_boundary.input());
 
   auto& bids = BuildBidStream(graph, nexmark_boundary);
   auto& highest = BuildHighestBidQuery(graph, bids, /*period=*/600'000);
   auto& bid_sink = graph.Add<CollectorSink<double>>();
-  highest.SubscribeTo(bid_sink.input());
+  highest.AddSubscriber(bid_sink.input());
 
   // --- Layer 3: two workers; each chain's active nodes stay together.
   // Active nodes in insertion order: readings, traffic-buffer, events,

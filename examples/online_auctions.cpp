@@ -77,8 +77,8 @@ int main() {
   auto& bid_tuples =
       graph.Add<algebra::Map<NexmarkEvent, Tuple, decltype(to_tuple)>>(
           to_tuple, "bid-tuples");
-  events.SubscribeTo(bid_filter.input());
-  bid_filter.SubscribeTo(bid_tuples.input());
+  events.AddSubscriber(bid_filter.input());
+  bid_filter.AddSubscriber(bid_tuples.input());
 
   cursors::IndexedRelation<std::int64_t, Person> persons;
   auto& person_loader = graph.Add<CallbackSink<NexmarkEvent>>(
@@ -88,7 +88,7 @@ int main() {
         }
       },
       "person-loader");
-  events.SubscribeTo(person_loader.input());
+  events.AddSubscriber(person_loader.input());
 
   cql::Catalog catalog;
   PIPES_CHECK(
@@ -108,14 +108,14 @@ int main() {
                     e.payload.field(0).AsDouble());
       },
       "highest-bid-display");
-  q1->output->SubscribeTo(high_sink.input());
+  q1->output->AddSubscriber(high_sink.input());
 
   // Q2: currency conversion (shares the bids scan with Q1 via MQO).
   auto q2 = manager.InstallQuery(
       "SELECT auction, price * 0.89 AS eur FROM bids WHERE price > 500");
   PIPES_CHECK_MSG(q2.ok(), q2.status().ToString().c_str());
   auto& eur_count = graph.Add<CountingSink<Tuple>>("eur-count");
-  q2->output->SubscribeTo(eur_count.input());
+  q2->output->AddSubscriber(eur_count.input());
 
   // Q3: hybrid stream-relation join via the cursor interface.
   auto bidder_key = [](const Tuple& t) { return t.field(1).AsInt(); };
@@ -127,9 +127,9 @@ int main() {
       cursors::StreamRelationJoin<Tuple, std::int64_t, Person,
                                   decltype(bidder_key), decltype(enrich)>>(
       &persons, bidder_key, enrich, "bids-x-persons");
-  bid_tuples.SubscribeTo(hybrid.input());
+  bid_tuples.AddSubscriber(hybrid.input());
   auto& enriched_count = graph.Add<CountingSink<std::string>>("enriched");
-  hybrid.SubscribeTo(enriched_count.input());
+  hybrid.AddSubscriber(enriched_count.input());
 
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy, 1024);

@@ -1,21 +1,22 @@
-// Quickstart: build a query graph by hand with the generic operator
-// algebra, run it with a scheduler, and observe windowed aggregates.
+// Quickstart: build a query with the fluent pipeline API, run it with a
+// scheduler, and observe windowed aggregates.
 //
 //   temperature readings -> filter (valid range) -> 10s time window
 //                        -> average -> print
 //
-// Demonstrates the publish-subscribe core: operators connect directly (no
-// queues), results stream out incrementally as watermarks advance.
+// Each `|` stage adds one operator to the graph and subscribes it to the
+// previous stage — sugar over the publish-subscribe core, where operators
+// connect directly (no queues) and results stream out incrementally as
+// watermarks advance.
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 
-#include "src/algebra/aggregate.h"
-#include "src/algebra/filter.h"
-#include "src/algebra/window.h"
 #include "src/common/random.h"
 #include "src/core/generator_source.h"
 #include "src/core/graph.h"
+#include "src/core/pipeline.h"
 #include "src/core/sink.h"
 #include "src/scheduler/scheduler.h"
 
@@ -49,38 +50,32 @@ int main() {
       },
       "thermometer");
 
-  auto valid = [](const Reading& r) { return r.celsius > -50; };
-  auto& filter =
-      graph.Add<algebra::Filter<Reading, decltype(valid)>>(valid, "valid");
-
-  auto& window = graph.Add<algebra::TimeWindow<Reading>>(10'000, "10s");
-
-  auto value = [](const Reading& r) { return r.celsius; };
-  auto& average = graph.Add<algebra::TemporalAggregate<
-      Reading, algebra::AvgAgg<double>, decltype(value)>>(value, "avg");
-
-  auto& printer = graph.Add<CallbackSink<double>>(
-      [](const StreamElement<double>& e) {
-        std::printf("avg over [%6lld ms, %6lld ms) = %5.2f C\n",
-                    static_cast<long long>(e.start()),
-                    static_cast<long long>(e.end()), e.payload);
-      },
-      "printer");
-
-  sensor.SubscribeTo(filter.input());
-  filter.SubscribeTo(window.input());
-  window.SubscribeTo(average.input());
-  average.SubscribeTo(printer.input());
+  dsl::From(graph, sensor)
+      | dsl::Filter([](const Reading& r) { return r.celsius > -50; }, "valid")
+      | dsl::TimeWindow(10'000, "10s")
+      | dsl::Average([](const Reading& r) { return r.celsius; })
+      | dsl::Into(std::make_unique<CallbackSink<double>>(
+            [](const StreamElement<double>& e) {
+              std::printf("avg over [%6lld ms, %6lld ms) = %5.2f C\n",
+                          static_cast<long long>(e.start()),
+                          static_cast<long long>(e.end()), e.payload);
+            },
+            "printer"));
 
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy);
   const scheduler::RunStats stats = driver.RunToCompletion();
 
+  const Node* filter = nullptr;
+  for (const Node* node : graph.nodes()) {
+    if (node->name() == "valid") filter = node;
+  }
+
   std::printf("--\nprocessed %llu work units in %llu scheduling steps\n",
               static_cast<unsigned long long>(stats.units),
               static_cast<unsigned long long>(stats.iterations));
   std::printf("filter passed %llu of %llu readings\n",
-              static_cast<unsigned long long>(filter.elements_out()),
-              static_cast<unsigned long long>(filter.elements_in()));
+              static_cast<unsigned long long>(filter->elements_out()),
+              static_cast<unsigned long long>(filter->elements_in()));
   return 0;
 }

@@ -108,7 +108,7 @@ int main() {
                     static_cast<long long>(e.end() / 60000));
       },
       "hov-display");
-  q1->output->SubscribeTo(hov_sink.input());
+  q1->output->AddSubscriber(hov_sink.input());
 
   int alarms = 0;
   auto& congestion_sink = graph.Add<CallbackSink<Tuple>>(
@@ -125,7 +125,7 @@ int main() {
         }
       },
       "congestion-display");
-  q2->output->SubscribeTo(congestion_sink.input());
+  q2->output->AddSubscriber(congestion_sink.input());
 
   // --- Secondary metadata ----------------------------------------------------
   metadata::Monitor monitor;

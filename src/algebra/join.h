@@ -153,7 +153,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
 
 // --- Convenience factories --------------------------------------------------
 // The SweepArea types are inferred from the parameter functions; use
-// `QueryGraph::AddNode(MakeHashJoin(...))` to put the result in a graph.
+// `QueryGraph::Add(MakeHashJoin(...))` to put the result in a graph.
 
 /// Equi-join on `key_l(l) == key_r(r)` with hash SweepAreas on both sides.
 template <typename L, typename R, typename KeyL, typename KeyR,

@@ -21,6 +21,12 @@ Status QueryGraph::Remove(Node& node) {
   return Status::OK();
 }
 
+bool QueryGraph::Contains(const Node& node) const {
+  return std::any_of(
+      nodes_.begin(), nodes_.end(),
+      [&](const std::unique_ptr<Node>& n) { return n.get() == &node; });
+}
+
 std::vector<Node*> QueryGraph::nodes() const {
   std::vector<Node*> out;
   out.reserve(nodes_.size());

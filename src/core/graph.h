@@ -22,7 +22,8 @@ namespace pipes {
 ///
 /// Nodes are created through `Add` and live until the graph is destroyed or
 /// they are explicitly removed. Edges are formed by
-/// `Source<T>::SubscribeTo(port)` on the nodes themselves.
+/// `InputPort<T>::SubscribeTo(source)` (equivalently
+/// `Source<T>::AddSubscriber(port)`) on the nodes themselves.
 class QueryGraph {
  public:
   QueryGraph() = default;
@@ -41,16 +42,31 @@ class QueryGraph {
 
   /// Adopts an externally constructed node (e.g. from the MakeHashJoin
   /// factory, whose exact type is deduced) and returns a reference to it.
+  /// Part of the same overload set as the in-place `Add`: partial ordering
+  /// prefers this overload for unique_ptr arguments.
   template <typename NodeT>
-  NodeT& AddNode(std::unique_ptr<NodeT> node) {
+  NodeT& Add(std::unique_ptr<NodeT> node) {
     NodeT& ref = *node;
     nodes_.push_back(std::move(node));
     return ref;
   }
 
+  /// Deprecated spelling of the adopting `Add` overload.
+  template <typename NodeT>
+  [[deprecated("use Add(std::unique_ptr<NodeT>)")]]
+  NodeT& AddNode(std::unique_ptr<NodeT> node) {
+    return Add(std::move(node));
+  }
+
   /// Removes `node` from the graph. Fails with FailedPrecondition while the
   /// node still has edges (unsubscribe first), NotFound if not owned here.
+  /// This is the single removal API: callers (the optimizer's PlanManager,
+  /// tests) detach all subscriptions first, then Remove — partial removal
+  /// never happens.
   Status Remove(Node& node);
+
+  /// True if `node` is owned by this graph.
+  bool Contains(const Node& node) const;
 
   /// All nodes, in insertion order.
   std::vector<Node*> nodes() const;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/time.h"
+#include "src/core/metrics.h"
 #include "src/metadata/registry.h"
 
 /// \file
@@ -72,6 +74,10 @@ class Node {
   virtual std::size_t ApproxMemoryBytes() const { return 0; }
 
   // --- Secondary metadata ---------------------------------------------------
+  // Hot-path counters: relaxed atomics written from inside the transfer
+  // path, read by the metadata monitor and `metadata::MetricsSnapshot`.
+  // Individual counters are never torn; cross-counter consistency is
+  // monitoring-grade (each counter is independently monotone).
 
   /// Total elements received on all input ports.
   std::uint64_t elements_in() const {
@@ -81,6 +87,16 @@ class Node {
   std::uint64_t elements_out() const {
     return elements_out_.load(std::memory_order_relaxed);
   }
+  /// Batched deliveries received on all input ports (`ReceiveBatch` calls;
+  /// the per-element path counts none, so batches_in <= elements_in and the
+  /// mean input batch length is elements_in / max(1, batches_in)).
+  std::uint64_t batches_in() const {
+    return batches_in_.load(std::memory_order_relaxed);
+  }
+  /// Batched transfers to subscribers (`TransferBatch` calls).
+  std::uint64_t batches_out() const {
+    return batches_out_.load(std::memory_order_relaxed);
+  }
 
   void CountIn(std::uint64_t n = 1) {
     elements_in_.fetch_add(n, std::memory_order_relaxed);
@@ -88,6 +104,37 @@ class Node {
   void CountOut(std::uint64_t n = 1) {
     elements_out_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountBatchIn() {
+    batches_in_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountBatchOut() {
+    batches_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The node's progress clock: the largest timestamp this node is known to
+  /// have advanced to — for operators the latest merged input watermark
+  /// notified on any port, for sources the largest element start
+  /// transferred. Snapshots turn the spread of progress clocks across a
+  /// graph into per-node *watermark lag*.
+  Timestamp progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// Raises the progress clock to `t` (monotone; callers may race, losing a
+  /// concurrent raise to a larger value only momentarily).
+  void AdvanceProgress(Timestamp t) {
+    if (t > progress_.load(std::memory_order_relaxed)) {
+      progress_.store(t, std::memory_order_relaxed);
+    }
+  }
+
+  /// Per-delivery service-time histogram, sampled on the port path while
+  /// `obs::MetricsEnabled()` (one sample per `obs::kLatencySamplePeriod`
+  /// deliveries).
+  const obs::LatencyHistogram& service_histogram() const {
+    return service_histogram_;
+  }
+  obs::LatencyHistogram& service_histogram() { return service_histogram_; }
 
   /// Named gauges/estimators attached by the metadata factory at runtime.
   metadata::Registry& metadata() { return metadata_; }
@@ -107,6 +154,10 @@ class Node {
   std::vector<Node*> downstream_;
   std::atomic<std::uint64_t> elements_in_{0};
   std::atomic<std::uint64_t> elements_out_{0};
+  std::atomic<std::uint64_t> batches_in_{0};
+  std::atomic<std::uint64_t> batches_out_{0};
+  std::atomic<Timestamp> progress_{kMinTimestamp};
+  obs::LatencyHistogram service_histogram_;
   metadata::Registry metadata_;
 };
 

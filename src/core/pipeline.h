@@ -1,0 +1,280 @@
+#ifndef PIPES_CORE_PIPELINE_H_
+#define PIPES_CORE_PIPELINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/filter.h"
+#include "src/algebra/map.h"
+#include "src/algebra/window.h"
+#include "src/core/buffer.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+#include "src/core/source.h"
+
+/// \file
+/// Fluent pipeline-construction API. Linear chains — the overwhelmingly
+/// common case — read left-to-right instead of inside-out:
+///
+///     auto& sink = dsl::From(graph, std::make_unique<VectorSource<int>>(...))
+///                | dsl::Filter([](int v) { return v > 0; })
+///                | dsl::TimeWindow(10)
+///                | dsl::Into(std::make_unique<CollectorSink<int>>());
+///
+/// Every stage is sugar over the two primitives it always was: the node is
+/// `QueryGraph::Add`-ed (the graph owns it) and the upstream source
+/// `AddSubscriber`s the new node's input port. Nothing is deferred — after
+/// each `|` the graph is already wired, so a partially built chain is a
+/// valid (if dangling) graph, and fan-out falls out naturally: keep the
+/// `Stage` and pipe it twice. Non-linear shapes (joins, unions) take a
+/// stage's `source()` and wire ports explicitly.
+
+namespace pipes::dsl {
+
+/// A cursor into a graph under construction: the node whose output stream
+/// (of `T`) the next `|` stage will consume. Cheap to copy; copies share
+/// the same underlying node, which is how fan-out is expressed.
+template <typename T>
+class Stage {
+ public:
+  Stage(QueryGraph& graph, Source<T>& source)
+      : graph_(&graph), source_(&source) {}
+
+  QueryGraph& graph() const { return *graph_; }
+  /// The current head of the chain, for manual wiring (joins, unions).
+  Source<T>& source() const { return *source_; }
+
+ private:
+  QueryGraph* graph_;
+  Source<T>* source_;
+};
+
+/// Starts a chain from a source that is already owned by `graph`.
+/// `T` is deduced from the `Source<T>` base.
+template <typename T>
+Stage<T> From(QueryGraph& graph, Source<T>& source) {
+  return Stage<T>(graph, source);
+}
+
+/// Starts a chain by transferring `source` into `graph`.
+template <typename SourceT>
+auto From(QueryGraph& graph, std::unique_ptr<SourceT> source) {
+  return From(graph, graph.Add(std::move(source)));
+}
+
+// --- Stage specs -----------------------------------------------------------
+//
+// Each factory returns a small value object describing one operator; the
+// matching `operator|` materializes it into the graph. Specs are inert —
+// they can be stored and reused (each use creates a fresh node).
+
+template <typename Pred>
+struct FilterSpec {
+  Pred pred;
+  std::string name;
+};
+
+/// Keeps elements whose payload satisfies `pred`.
+template <typename Pred>
+FilterSpec<std::decay_t<Pred>> Filter(Pred&& pred,
+                                      std::string name = "filter") {
+  return {std::forward<Pred>(pred), std::move(name)};
+}
+
+template <typename Fn>
+struct MapSpec {
+  Fn fn;
+  std::string name;
+};
+
+/// Transforms payloads; the output type is deduced from `fn`.
+template <typename Fn>
+MapSpec<std::decay_t<Fn>> Map(Fn&& fn, std::string name = "map") {
+  return {std::forward<Fn>(fn), std::move(name)};
+}
+
+struct TimeWindowSpec {
+  Timestamp size;
+  std::string name;
+};
+
+/// Sliding time window of `size` time units (see algebra::TimeWindow).
+inline TimeWindowSpec TimeWindow(Timestamp size,
+                                 std::string name = "time-window") {
+  return {size, std::move(name)};
+}
+
+struct SlideWindowSpec {
+  Timestamp size;
+  Timestamp slide;
+  std::string name;
+};
+
+/// Hopping window: `size` wide, advancing by `slide`.
+inline SlideWindowSpec SlideWindow(Timestamp size, Timestamp slide,
+                                   std::string name = "slide-window") {
+  return {size, slide, std::move(name)};
+}
+
+struct CountWindowSpec {
+  std::size_t rows;
+  std::string name;
+};
+
+/// Count-based window over the last `rows` elements.
+inline CountWindowSpec CountWindow(std::size_t rows,
+                                   std::string name = "count-window") {
+  return {rows, std::move(name)};
+}
+
+template <typename Agg, typename ValueFn>
+struct AggregateSpec {
+  ValueFn value;
+  std::string name;
+};
+
+/// Temporal aggregation with an explicit aggregate functor (see
+/// algebra::TemporalAggregate): `Aggregate<algebra::SumAgg<double>>(value)`.
+template <typename Agg, typename ValueFn>
+AggregateSpec<Agg, std::decay_t<ValueFn>> Aggregate(
+    ValueFn&& value, std::string name = "aggregate") {
+  return {std::forward<ValueFn>(value), std::move(name)};
+}
+
+template <typename ValueFn>
+struct AverageSpec {
+  ValueFn value;
+  std::string name;
+};
+
+/// Temporal average of `value(payload)`; the value type is deduced at
+/// materialization time (when the input type is known).
+template <typename ValueFn>
+AverageSpec<std::decay_t<ValueFn>> Average(ValueFn&& value,
+                                           std::string name = "avg") {
+  return {std::forward<ValueFn>(value), std::move(name)};
+}
+
+struct DetachSpec {
+  std::string name;
+  std::size_t capacity;
+};
+
+/// Inserts a `BasicBuffer`, turning the chain's tail into a scheduler-driven
+/// (virtual) node boundary. `capacity` 0 = unbounded.
+inline DetachSpec Detach(std::string name = "buffer",
+                         std::size_t capacity = 0) {
+  return {std::move(name), capacity};
+}
+
+template <typename SinkT>
+struct IntoSinkSpec {
+  std::unique_ptr<SinkT> sink;
+};
+
+/// Terminates the chain: `sink` is added to the graph and subscribed to the
+/// chain's output. `operator|` returns the added sink by reference.
+template <typename SinkT>
+IntoSinkSpec<SinkT> Into(std::unique_ptr<SinkT> sink) {
+  return {std::move(sink)};
+}
+
+template <typename T>
+struct IntoPortSpec {
+  InputPort<T>* port;
+};
+
+/// Terminates the chain into an existing input port (e.g. one side of a
+/// join that was constructed manually).
+template <typename T>
+IntoPortSpec<T> Into(InputPort<T>& port) {
+  return {&port};
+}
+
+// --- operator| — materialization -------------------------------------------
+
+template <typename T, typename Pred>
+Stage<T> operator|(Stage<T> stage, FilterSpec<Pred> spec) {
+  auto& node = stage.graph().template Add<algebra::Filter<T, Pred>>(
+      std::move(spec.pred), std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T, typename Fn>
+auto operator|(Stage<T> stage, MapSpec<Fn> spec) {
+  using Out = std::decay_t<std::invoke_result_t<Fn&, const T&>>;
+  auto& node = stage.graph().template Add<algebra::Map<T, Out, Fn>>(
+      std::move(spec.fn), std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<Out>(stage.graph(), node);
+}
+
+template <typename T>
+Stage<T> operator|(Stage<T> stage, TimeWindowSpec spec) {
+  auto& node = stage.graph().template Add<algebra::TimeWindow<T>>(
+      spec.size, std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T>
+Stage<T> operator|(Stage<T> stage, SlideWindowSpec spec) {
+  auto& node = stage.graph().template Add<algebra::SlideWindow<T>>(
+      spec.size, spec.slide, std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T>
+Stage<T> operator|(Stage<T> stage, CountWindowSpec spec) {
+  auto& node = stage.graph().template Add<algebra::CountWindow<T>>(
+      spec.rows, std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T, typename Agg, typename ValueFn>
+auto operator|(Stage<T> stage, AggregateSpec<Agg, ValueFn> spec) {
+  auto& node =
+      stage.graph().template Add<algebra::TemporalAggregate<T, Agg, ValueFn>>(
+          std::move(spec.value), std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<typename Agg::Output>(stage.graph(), node);
+}
+
+template <typename T, typename ValueFn>
+auto operator|(Stage<T> stage, AverageSpec<ValueFn> spec) {
+  using Value = std::decay_t<std::invoke_result_t<ValueFn&, const T&>>;
+  return stage | AggregateSpec<algebra::AvgAgg<Value>, ValueFn>{
+                     std::move(spec.value), std::move(spec.name)};
+}
+
+template <typename T>
+Stage<T> operator|(Stage<T> stage, DetachSpec spec) {
+  auto& node = stage.graph().template Add<BasicBuffer<T>>(
+      std::move(spec.name), spec.capacity);
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T, typename SinkT>
+SinkT& operator|(Stage<T> stage, IntoSinkSpec<SinkT> spec) {
+  SinkT& sink = stage.graph().Add(std::move(spec.sink));
+  stage.source().AddSubscriber(sink.input());
+  return sink;
+}
+
+template <typename T>
+InputPort<T>& operator|(Stage<T> stage, IntoPortSpec<T> spec) {
+  stage.source().AddSubscriber(*spec.port);
+  return *spec.port;
+}
+
+}  // namespace pipes::dsl
+
+#endif  // PIPES_CORE_PIPELINE_H_

@@ -9,7 +9,9 @@
 #include "src/common/macros.h"
 #include "src/common/time.h"
 #include "src/core/element.h"
+#include "src/core/metrics.h"
 #include "src/core/node.h"
+#include "src/core/trace.h"
 
 /// \file
 /// Input ports: the sink half of the publish-subscribe architecture.
@@ -25,6 +27,9 @@
 /// and a port. Queues exist only inside explicit `Buffer` nodes.
 
 namespace pipes {
+
+template <typename T>
+class Source;
 
 /// Callback interface a port owner implements, one instantiation per input
 /// element type. Multi-input operators with equal input types share one
@@ -60,8 +65,9 @@ class PortOwner {
   virtual void PortDone(int port_id) = 0;
 };
 
-/// One logical input of an operator. Created by the owning node; sources
-/// attach to it via `Source<T>::SubscribeTo`.
+/// One logical input of an operator. Created by the owning node; edges are
+/// formed by `InputPort<T>::SubscribeTo(source)` (equivalently
+/// `Source<T>::AddSubscriber(port)`).
 template <typename T>
 class InputPort {
  public:
@@ -89,6 +95,12 @@ class InputPort {
   bool done() const { return done_delivered_; }
 
   std::size_t num_upstreams() const { return live_upstreams_; }
+
+  /// Subscribes this port to `source`: the port will see every element the
+  /// source transfers from now on. This is the documented spelling — it
+  /// reads in dataflow direction (the *consumer* subscribes to the
+  /// *producer*'s output). Defined in source.h.
+  void SubscribeTo(Source<T>& source);
 
   // --- Called by Source<T> --------------------------------------------------
 
@@ -122,7 +134,16 @@ class InputPort {
                  up.watermark == kMinTimestamp);
     RaiseSlotWatermark(up, element.start());
     owner_node_->CountIn();
-    owner_->PortElement(port_id_, element);
+    trace::RecordHop(owner_node_->id(), element.start(), trace::Hop::kReceive);
+    if (obs::MetricsEnabled() && --latency_countdown_ == 0) {
+      latency_countdown_ = obs::kLatencySamplePeriod;
+      const std::int64_t t0 = obs::SteadyNowNs();
+      owner_->PortElement(port_id_, element);
+      owner_node_->service_histogram().Record(
+          static_cast<std::uint64_t>(obs::SteadyNowNs() - t0));
+    } else {
+      owner_->PortElement(port_id_, element);
+    }
     NotifyProgress();
   }
 
@@ -151,7 +172,18 @@ class InputPort {
         }));
     RaiseSlotWatermark(up, batch.front().start());
     owner_node_->CountIn(batch.size());
-    owner_->PortBatch(port_id_, batch);
+    owner_node_->CountBatchIn();
+    trace::RecordBatchHops(owner_node_->id(), batch.data(), batch.size(),
+                           trace::Hop::kReceive);
+    if (obs::MetricsEnabled() && --latency_countdown_ == 0) {
+      latency_countdown_ = obs::kLatencySamplePeriod;
+      const std::int64_t t0 = obs::SteadyNowNs();
+      owner_->PortBatch(port_id_, batch);
+      owner_node_->service_histogram().Record(
+          static_cast<std::uint64_t>(obs::SteadyNowNs() - t0));
+    } else {
+      owner_->PortBatch(port_id_, batch);
+    }
     RaiseSlotWatermark(up, batch.back().start());
     NotifyProgress();
   }
@@ -211,6 +243,7 @@ class InputPort {
     const Timestamp merged = merged_cache_;
     if (merged > last_notified_) {
       last_notified_ = merged;
+      owner_node_->AdvanceProgress(merged);
       owner_->PortProgress(port_id_, merged);
     }
   }
@@ -234,6 +267,10 @@ class InputPort {
   PortOwner<T>* owner_;
   Node* owner_node_;
   int port_id_;
+  /// Deliveries until the next service-time sample. Plain member: delivery
+  /// into one port is single-threaded (cross-thread edges go through
+  /// `ConcurrentBuffer`), and snapshots never read it.
+  std::uint32_t latency_countdown_ = 1;
   std::vector<Upstream> slots_;
   std::size_t live_upstreams_ = 0;
   /// min over live, unfinished slots; kMaxTimestamp when there are none.

@@ -13,6 +13,7 @@
 #include "src/core/element.h"
 #include "src/core/node.h"
 #include "src/core/port.h"
+#include "src/core/trace.h"
 
 /// \file
 /// The source half of the publish-subscribe architecture: a node that
@@ -39,8 +40,9 @@ class Source : public Node {
   explicit Source(std::string name) : Node(std::move(name)) {}
 
   /// Subscribes `port` to this source. The subscriber will see all elements
-  /// transferred from now on.
-  void SubscribeTo(InputPort<T>& port) {
+  /// transferred from now on. Equivalent to `port.SubscribeTo(*this)`,
+  /// which is the spelling that reads in dataflow direction.
+  void AddSubscriber(InputPort<T>& port) {
     const int slot = port.AddUpstream();
     subscriptions_.push_back({&port, slot});
     downstream_.push_back(port.owner_node());
@@ -53,6 +55,14 @@ class Source : public Node {
     if (done_) {
       port.ReceiveDone(slot);
     }
+  }
+
+  /// Deprecated spelling of `AddSubscriber`: it read backwards (the
+  /// *consumer* subscribes to the *producer*, but the receiver here is the
+  /// producer). Use `AddSubscriber(port)` or `port.SubscribeTo(source)`.
+  [[deprecated("use AddSubscriber(port) or InputPort::SubscribeTo(source)")]]
+  void SubscribeTo(InputPort<T>& port) {
+    AddSubscriber(port);
   }
 
   /// Cancels the subscription of `port`. No-op status if not subscribed.
@@ -87,6 +97,8 @@ class Source : public Node {
                  last_start_ == kMinTimestamp);
     last_start_ = std::max(last_start_, element.start());
     CountOut();
+    this->AdvanceProgress(last_start_);
+    trace::RecordHop(this->id(), element.start(), trace::Hop::kEmit);
     for (const Subscription& s : subscriptions_) {
       s.port->Receive(s.slot, element);
     }
@@ -111,6 +123,10 @@ class Source : public Node {
                                 }));
     last_start_ = std::max(last_start_, batch.back().start());
     CountOut(batch.size());
+    this->CountBatchOut();
+    this->AdvanceProgress(last_start_);
+    trace::RecordBatchHops(this->id(), batch.data(), batch.size(),
+                           trace::Hop::kEmit);
     for (const Subscription& s : subscriptions_) {
       s.port->ReceiveBatch(s.slot, batch);
     }
@@ -121,6 +137,7 @@ class Source : public Node {
     PIPES_DCHECK(!done_);
     if (t <= last_start_) return;
     last_start_ = t;
+    this->AdvanceProgress(t);
     for (const Subscription& s : subscriptions_) {
       s.port->ReceiveHeartbeat(s.slot, t);
     }
@@ -130,6 +147,10 @@ class Source : public Node {
   void TransferDone() {
     if (done_) return;
     done_ = true;
+    // End-of-stream pins this node's progress clock at +inf, matching the
+    // kMaxTimestamp watermark the subscribers will report — a drained graph
+    // shows zero watermark lag everywhere.
+    this->AdvanceProgress(kMaxTimestamp);
     for (const Subscription& s : subscriptions_) {
       s.port->ReceiveDone(s.slot);
     }
@@ -153,6 +174,13 @@ class Source : public Node {
   Timestamp last_start_ = kMinTimestamp;
   bool done_ = false;
 };
+
+// Out-of-line so port.h (which source.h includes) only needs the forward
+// declaration of Source<T>.
+template <typename T>
+void InputPort<T>::SubscribeTo(Source<T>& source) {
+  source.AddSubscriber(*this);
+}
 
 }  // namespace pipes
 

@@ -1,0 +1,134 @@
+#ifndef PIPES_METADATA_SNAPSHOT_H_
+#define PIPES_METADATA_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/graph.h"
+#include "src/core/metrics.h"
+#include "src/memory/memory_manager.h"
+#include "src/scheduler/profiler.h"
+
+/// \file
+/// `MetricsSnapshot`: one consistent-enough view of everything a running
+/// query graph exposes — per-node hot-path counters (elements, batches,
+/// selectivity, progress/watermark lag, service-time histogram), queue and
+/// state sizes (SweepAreas report through `Node::ApproxMemoryBytes`),
+/// topology, optional memory-manager gauges, and optional scheduler
+/// profiles. Capturing walks the graph reading relaxed atomics only, so it
+/// is safe concurrently with a running scheduler and never perturbs the
+/// dataflow. Exporters: JSON (with a round-trip parser), a Graphviz DOT
+/// overlay with rates and selectivities on edges (the paper's monitoring
+/// screenshots in text form), and the `pipes_top` dashboard built on top.
+
+namespace pipes::metadata {
+
+/// Metrics of one node at capture time.
+struct NodeSnapshot {
+  std::uint64_t id = 0;
+  std::string name;
+  bool active = false;
+
+  std::uint64_t elements_in = 0;
+  std::uint64_t elements_out = 0;
+  std::uint64_t batches_in = 0;
+  std::uint64_t batches_out = 0;
+  /// Cumulative elements_out / elements_in; 0 when nothing was consumed.
+  double selectivity = 0.0;
+
+  std::uint64_t queue_size = 0;
+  /// Approximate bytes of operator state (SweepAreas, sweep-line segments,
+  /// buffer queues).
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t subscribers = 0;
+
+  /// The node's progress clock (see Node::progress); valid iff
+  /// `has_progress`.
+  bool has_progress = false;
+  Timestamp progress = 0;
+  /// `high_watermark - progress`: how far this node trails the most
+  /// advanced node in the graph. 0 when the node has no progress yet.
+  Timestamp watermark_lag = 0;
+
+  obs::HistogramSnapshot service;
+
+  /// Scheduler profile (all zero unless a Profiler was attached and passed
+  /// to CaptureSnapshot).
+  std::uint64_t sched_quanta = 0;
+  std::uint64_t sched_units = 0;
+  std::uint64_t sched_service_ns = 0;
+
+  friend bool operator==(const NodeSnapshot&, const NodeSnapshot&) = default;
+};
+
+/// One subscription edge (parallel edges appear once per subscription).
+struct EdgeSnapshot {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+
+  friend bool operator==(const EdgeSnapshot&, const EdgeSnapshot&) = default;
+};
+
+/// Memory-manager gauges (absent unless a manager was passed).
+struct MemoryGauges {
+  bool present = false;
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t usage_bytes = 0;
+  std::uint64_t users = 0;
+
+  friend bool operator==(const MemoryGauges&, const MemoryGauges&) = default;
+};
+
+struct MetricsSnapshot {
+  /// Max progress clock over all nodes; kMinTimestamp when nothing moved.
+  Timestamp high_watermark = kMinTimestamp;
+  std::vector<NodeSnapshot> nodes;
+  std::vector<EdgeSnapshot> edges;
+  MemoryGauges memory;
+
+  const NodeSnapshot* FindNode(std::uint64_t id) const;
+  const NodeSnapshot* FindNode(const std::string& name) const;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+struct CaptureOptions {
+  const memory::MemoryManager* memory_manager = nullptr;
+  const scheduler::Profiler* profiler = nullptr;
+};
+
+/// Walks `graph` and reads every node's counters. Relaxed-atomic reads
+/// only: concurrent schedulers keep running, counters are monotone across
+/// repeated captures, and the dataflow output is unchanged by capturing.
+MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
+                                const CaptureOptions& options = {});
+
+/// JSON document (single object; keys are stable, doubles round-trip
+/// exactly).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Parses a document produced by `ToJson`. Round-trip guarantee:
+/// `SnapshotFromJson(ToJson(s)) == s`.
+Result<MetricsSnapshot> SnapshotFromJson(const std::string& json);
+
+struct DotOptions {
+  /// With a previous snapshot and the elapsed seconds between the two,
+  /// edges carry rates (elements/sec) instead of cumulative counts.
+  const MetricsSnapshot* previous = nullptr;
+  double elapsed_seconds = 0.0;
+};
+
+/// Graphviz rendering with the monitoring overlay: nodes show element
+/// counts, queue/state sizes, and watermark lag; edges show the producing
+/// node's output volume (or rate) and selectivity — the paper's visual
+/// monitoring tool as a DOT document.
+std::string ToDot(const MetricsSnapshot& snapshot,
+                  const DotOptions& options = {});
+
+}  // namespace pipes::metadata
+
+#endif  // PIPES_METADATA_SNAPSHOT_H_

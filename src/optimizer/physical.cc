@@ -175,7 +175,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
       }
       Source<Tuple>* source = info->source;
       auto attach = [&](auto& window) {
-        source->SubscribeTo(window.input());
+        source->AddSubscriber(window.input());
         ++stats->operators_created;
         entry.nodes.push_back(&window);
         entry.disconnects.push_back([source, op = &window]() {
@@ -224,7 +224,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
       auto& filter = graph_->Add<algebra::Filter<Tuple, ExprPredicate>>(
           ExprPredicate{plan->predicate},
           "filter[" + plan->predicate->ToString() + "]");
-      child->SubscribeTo(filter.input());
+      child->AddSubscriber(filter.input());
       ++stats->operators_created;
       entry.nodes.push_back(&filter);
       entry.disconnects.push_back([child, op = &filter]() {
@@ -241,7 +241,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
                     used_set));
       auto& project = graph_->Add<algebra::Map<Tuple, Tuple, ExprProjector>>(
           ExprProjector{plan->exprs}, "project");
-      child->SubscribeTo(project.input());
+      child->AddSubscriber(project.input());
       ++stats->operators_created;
       entry.nodes.push_back(&project);
       entry.disconnects.push_back([child, op = &project]() {
@@ -270,9 +270,9 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
         }
         auto join = algebra::MakeHashJoin<Tuple, Tuple>(
             left_key, right_key, TupleConcatCombine{}, "hash-join");
-        auto& node = graph_->AddNode(std::move(join));
-        left->SubscribeTo(node.left());
-        right->SubscribeTo(node.right());
+        auto& node = graph_->Add(std::move(join));
+        left->AddSubscriber(node.left());
+        right->AddSubscriber(node.right());
         ++stats->operators_created;
         entry.nodes.push_back(&node);
         entry.disconnects.push_back([left, op = &node]() {
@@ -286,7 +286,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
           auto& residual =
               graph_->Add<algebra::Filter<Tuple, ExprPredicate>>(
                   ExprPredicate{plan->predicate}, "join-residual");
-          join_out->SubscribeTo(residual.input());
+          join_out->AddSubscriber(residual.input());
           ++stats->operators_created;
           entry.nodes.push_back(&residual);
           Source<Tuple>* raw = join_out;
@@ -299,9 +299,9 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
         auto join = algebra::MakeNestedLoopsJoin<Tuple, Tuple>(
             ConcatPredicate{plan->predicate}, TupleConcatCombine{},
             plan->predicate == nullptr ? "cross-join" : "nl-join");
-        auto& node = graph_->AddNode(std::move(join));
-        left->SubscribeTo(node.left());
-        right->SubscribeTo(node.right());
+        auto& node = graph_->Add(std::move(join));
+        left->AddSubscriber(node.left());
+        right->AddSubscriber(node.right());
         ++stats->operators_created;
         entry.nodes.push_back(&node);
         entry.disconnects.push_back([left, op = &node]() {
@@ -329,7 +329,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
       auto& grouped = graph_->Add<Grouped>(
           FieldsKey{plan->group_fields}, TupleIdentity{}, "group-aggregate",
           TupleAggPolicy(plan->aggs));
-      child->SubscribeTo(grouped.input());
+      child->AddSubscriber(grouped.input());
       ++stats->operators_created;
 
       // (group key, agg results) -> flat output tuple.
@@ -341,7 +341,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
       auto& flatten = graph_->Add<
           algebra::Map<std::pair<Tuple, Tuple>, Tuple, PairConcat>>(
           PairConcat{}, "flatten-groups");
-      grouped.SubscribeTo(flatten.input());
+      grouped.AddSubscriber(flatten.input());
       ++stats->operators_created;
 
       entry.nodes.push_back(&grouped);
@@ -362,7 +362,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
           BuildNode(plan->children[0], registry, stats, used_postorder,
                     used_set));
       auto& distinct = graph_->Add<algebra::Distinct<Tuple>>("distinct");
-      child->SubscribeTo(distinct.input());
+      child->AddSubscriber(distinct.input());
       ++stats->operators_created;
       entry.nodes.push_back(&distinct);
       entry.disconnects.push_back([child, op = &distinct]() {
@@ -382,8 +382,8 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
           BuildNode(plan->children[1], registry, stats, used_postorder,
                     used_set));
       auto& unite = graph_->Add<algebra::Union<Tuple>>("union");
-      left->SubscribeTo(unite.left());
-      right->SubscribeTo(unite.right());
+      left->AddSubscriber(unite.left());
+      right->AddSubscriber(unite.right());
       ++stats->operators_created;
       entry.nodes.push_back(&unite);
       entry.disconnects.push_back([left, op = &unite]() {
@@ -405,7 +405,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
       Source<Tuple>* out = nullptr;
       if (plan->kind == LogicalOp::Kind::kIStream) {
         auto& node = graph_->Add<algebra::IStream<Tuple>>("istream");
-        child->SubscribeTo(node.input());
+        child->AddSubscriber(node.input());
         entry.disconnects.push_back([child, op = &node]() {
           return child->UnsubscribeFrom(op->input());
         });
@@ -413,7 +413,7 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
         out = &node;
       } else {
         auto& node = graph_->Add<algebra::DStream<Tuple>>("dstream");
-        child->SubscribeTo(node.input());
+        child->AddSubscriber(node.input());
         entry.disconnects.push_back([child, op = &node]() {
           return child->UnsubscribeFrom(op->input());
         });

@@ -26,8 +26,8 @@ Result<Buffer<T>*> SpliceBuffer(QueryGraph& graph, Source<T>& source,
                                 std::string name = "boundary") {
   PIPES_RETURN_IF_ERROR(source.UnsubscribeFrom(port));
   auto& buffer = graph.Add<Buffer<T>>(std::move(name));
-  source.SubscribeTo(buffer.input());
-  buffer.SubscribeTo(port);
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(port);
   return &buffer;
 }
 
@@ -38,8 +38,8 @@ Result<ConcurrentBuffer<T>*> SpliceConcurrentBuffer(
     std::string name = "thread-boundary") {
   PIPES_RETURN_IF_ERROR(source.UnsubscribeFrom(port));
   auto& buffer = graph.Add<ConcurrentBuffer<T>>(std::move(name));
-  source.SubscribeTo(buffer.input());
-  buffer.SubscribeTo(port);
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(port);
   return &buffer;
 }
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "src/common/macros.h"
+#include "src/core/metrics.h"
 
 namespace pipes::scheduler {
 
@@ -28,7 +30,16 @@ bool SingleThreadScheduler::Step() {
 
   const std::size_t pick = strategy_.Select(candidates);
   PIPES_CHECK(pick < candidates.size());
-  stats_.units += candidates[pick]->DoWork(batch_size_);
+  if (profiler_ != nullptr) {
+    const std::int64_t t0 = obs::SteadyNowNs();
+    const std::size_t units = candidates[pick]->DoWork(batch_size_);
+    const std::int64_t t1 = obs::SteadyNowNs();
+    profiler_->RecordQuantum(*candidates[pick], candidates.size(), units,
+                             static_cast<std::uint64_t>(t1 - t0));
+    stats_.units += units;
+  } else {
+    stats_.units += candidates[pick]->DoWork(batch_size_);
+  }
   ++stats_.iterations;
   return true;
 }
@@ -69,7 +80,20 @@ RunStats ThreadScheduler::RunToCompletion() {
   }
 
   std::atomic<bool> all_finished{false};
+  // One monotone latch per worker: "everything in my partition is
+  // finished". Workers may only inspect nodes of their own partition —
+  // a foreign source's exhausted flag is plain (unsynchronized) state —
+  // so global termination is detected by aggregating these latches
+  // instead of walking all active nodes from one thread. The latches
+  // never revert: IsFinished is monotone by the Node contract.
+  const auto partition_finished =
+      std::make_unique<std::atomic<bool>[]>(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    partition_finished[i].store(false, std::memory_order_relaxed);
+  }
   std::vector<RunStats> per_thread(num_threads_);
+  std::vector<Profiler> per_thread_profile(
+      profiler_ != nullptr ? num_threads_ : 0);
   std::vector<std::thread> workers;
   workers.reserve(num_threads_);
 
@@ -77,6 +101,8 @@ RunStats ThreadScheduler::RunToCompletion() {
     workers.emplace_back([&, w]() {
       std::unique_ptr<Strategy> strategy = strategy_factory_();
       RunStats& stats = per_thread[w];
+      Profiler* profiler =
+          profiler_ != nullptr ? &per_thread_profile[w] : nullptr;
       std::vector<Node*> candidates;
       while (!all_finished.load(std::memory_order_acquire)) {
         candidates.clear();
@@ -89,12 +115,25 @@ RunStats ThreadScheduler::RunToCompletion() {
             std::max(stats.peak_total_queue, total_queue);
         stats.accumulated_queue += total_queue;
         if (candidates.empty()) {
-          // This worker is idle; check global termination. The first
-          // worker doubles as the termination detector.
+          // This worker is idle; publish whether its partition has
+          // drained. The first worker doubles as the global termination
+          // detector by aggregating all latches.
+          if (!partition_finished[w].load(std::memory_order_relaxed)) {
+            bool mine = true;
+            for (Node* node : partitions[w]) {
+              if (!node->IsFinished()) {
+                mine = false;
+                break;
+              }
+            }
+            if (mine) {
+              partition_finished[w].store(true, std::memory_order_release);
+            }
+          }
           if (w == 0) {
             bool finished = true;
-            for (Node* node : active) {
-              if (!node->IsFinished()) {
+            for (int i = 0; i < num_threads_; ++i) {
+              if (!partition_finished[i].load(std::memory_order_acquire)) {
                 finished = false;
                 break;
               }
@@ -108,7 +147,16 @@ RunStats ThreadScheduler::RunToCompletion() {
           continue;
         }
         const std::size_t pick = strategy->Select(candidates);
-        stats.units += candidates[pick]->DoWork(batch_size_);
+        if (profiler != nullptr) {
+          const std::int64_t t0 = obs::SteadyNowNs();
+          const std::size_t units = candidates[pick]->DoWork(batch_size_);
+          const std::int64_t t1 = obs::SteadyNowNs();
+          profiler->RecordQuantum(*candidates[pick], candidates.size(),
+                                  units, static_cast<std::uint64_t>(t1 - t0));
+          stats.units += units;
+        } else {
+          stats.units += candidates[pick]->DoWork(batch_size_);
+        }
         ++stats.iterations;
       }
     });
@@ -121,6 +169,9 @@ RunStats ThreadScheduler::RunToCompletion() {
     merged.units += s.units;
     merged.peak_total_queue += s.peak_total_queue;
     merged.accumulated_queue += s.accumulated_queue;
+  }
+  for (const Profiler& p : per_thread_profile) {
+    profiler_->Merge(p);
   }
   return merged;
 }

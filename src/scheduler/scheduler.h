@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/graph.h"
+#include "src/scheduler/profiler.h"
 #include "src/scheduler/strategy.h"
 
 /// \file
@@ -54,11 +55,17 @@ class SingleThreadScheduler {
 
   const RunStats& stats() const { return stats_; }
 
+  /// Attaches a profiler: every subsequent scheduling decision is recorded
+  /// (service time, train length, candidates). nullptr detaches; unprofiled
+  /// runs pay nothing.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
  private:
   QueryGraph& graph_;
   Strategy& strategy_;
   std::size_t batch_size_;
   RunStats stats_;
+  Profiler* profiler_ = nullptr;
 };
 
 /// Layer 3: fixed partitioning of active nodes onto worker threads. Each
@@ -79,12 +86,18 @@ class ThreadScheduler {
   /// Runs worker threads until the graph is drained; returns merged stats.
   RunStats RunToCompletion();
 
+  /// Attaches a profiler. Each worker records into a private instance; the
+  /// merged result is folded into `profiler` when RunToCompletion returns
+  /// (so the target needs no synchronization).
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
  private:
   QueryGraph& graph_;
   int num_threads_;
   StrategyFactory strategy_factory_;
   std::vector<int> assignment_;
   std::size_t batch_size_;
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pipes::scheduler

@@ -23,8 +23,8 @@ BidStream& BuildBidStream(QueryGraph& graph, Source<NexmarkEvent>& events) {
   auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsBidEvent>>(
       IsBidEvent{}, "bids-only");
   auto& map = graph.Add<BidStream>(BidOfEvent{}, "bid-stream");
-  events.SubscribeTo(filter.input());
-  filter.SubscribeTo(map.input());
+  events.AddSubscriber(filter.input());
+  filter.AddSubscriber(map.input());
   return map;
 }
 
@@ -33,8 +33,8 @@ AuctionStream& BuildAuctionStream(QueryGraph& graph,
   auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsAuctionEvent>>(
       IsAuctionEvent{}, "auctions-only");
   auto& map = graph.Add<AuctionStream>(AuctionOfEvent{}, "auction-stream");
-  events.SubscribeTo(filter.input());
-  filter.SubscribeTo(map.input());
+  events.AddSubscriber(filter.input());
+  filter.AddSubscriber(map.input());
   return map;
 }
 
@@ -43,8 +43,8 @@ PersonStream& BuildPersonStream(QueryGraph& graph,
   auto& filter = graph.Add<algebra::Filter<NexmarkEvent, IsPersonEvent>>(
       IsPersonEvent{}, "persons-only");
   auto& map = graph.Add<PersonStream>(PersonOfEvent{}, "person-stream");
-  events.SubscribeTo(filter.input());
-  filter.SubscribeTo(map.input());
+  events.AddSubscriber(filter.input());
+  filter.AddSubscriber(map.input());
   return map;
 }
 
@@ -52,7 +52,7 @@ CurrencyConversion& BuildCurrencyConversion(QueryGraph& graph,
                                             Source<Bid>& bids, double rate) {
   auto& conversion = graph.Add<CurrencyConversion>(ConvertCurrency{rate},
                                                    "currency-conversion");
-  bids.SubscribeTo(conversion.input());
+  bids.AddSubscriber(conversion.input());
   return conversion;
 }
 
@@ -60,7 +60,7 @@ BidSelection& BuildBidSelection(QueryGraph& graph, Source<Bid>& bids,
                                 std::int64_t modulus) {
   auto& selection = graph.Add<BidSelection>(AuctionIdModulo{modulus},
                                             "bid-selection");
-  bids.SubscribeTo(selection.input());
+  bids.AddSubscriber(selection.input());
   return selection;
 }
 
@@ -69,8 +69,8 @@ HighestBid& BuildHighestBidQuery(QueryGraph& graph, Source<Bid>& bids,
   auto& window = graph.Add<algebra::SlideWindow<Bid>>(period, period,
                                                       "tumbling-window");
   auto& highest = graph.Add<HighestBid>(PriceOf{}, "highest-bid");
-  bids.SubscribeTo(window.input());
-  window.SubscribeTo(highest.input());
+  bids.AddSubscriber(window.input());
+  window.AddSubscriber(highest.input());
   return highest;
 }
 
@@ -87,9 +87,9 @@ Source<BidWithAuction>& BuildOpenAuctionJoin(QueryGraph& graph,
                                              Source<Auction>& open_auctions) {
   auto join = algebra::MakeHashJoin<Bid, Auction>(
       BidAuctionKey{}, AuctionId{}, CombineBidAuction{}, "bids-x-open-auctions");
-  auto& node = graph.AddNode(std::move(join));
-  bids.SubscribeTo(node.left());
-  open_auctions.SubscribeTo(node.right());
+  auto& node = graph.Add(std::move(join));
+  bids.AddSubscriber(node.left());
+  open_auctions.AddSubscriber(node.right());
   return node;
 }
 
@@ -100,8 +100,8 @@ BidsPerAuction& BuildBidsPerAuctionQuery(QueryGraph& graph,
                                                       "auction-window");
   auto& counts = graph.Add<BidsPerAuction>(AuctionOfBid{}, PriceOf{},
                                            "bids-per-auction");
-  bids.SubscribeTo(window.input());
-  window.SubscribeTo(counts.input());
+  bids.AddSubscriber(window.input());
+  window.AddSubscriber(counts.input());
   return counts;
 }
 

@@ -27,9 +27,9 @@ HovAverageSpeed& BuildHovAverageSpeedQuery(QueryGraph& graph,
       range, slide, "hov-window");
   auto& average = graph.Add<HovAverageSpeed>(
       DirectionOf{}, SpeedOf{}, "hov-average");
-  readings.SubscribeTo(hov.input());
-  hov.SubscribeTo(window.input());
-  window.SubscribeTo(average.input());
+  readings.AddSubscriber(hov.input());
+  hov.AddSubscriber(window.input());
+  window.AddSubscriber(average.input());
   return average;
 }
 
@@ -42,9 +42,9 @@ SegmentAverageSpeed& BuildSegmentAverageSpeedQuery(
       range, slide, "segment-window");
   auto& average = graph.Add<SegmentAverageSpeed>(
       DetectorOf{}, SpeedOf{}, "segment-average");
-  readings.SubscribeTo(filtered.input());
-  filtered.SubscribeTo(window.input());
-  window.SubscribeTo(average.input());
+  readings.AddSubscriber(filtered.input());
+  filtered.AddSubscriber(window.input());
+  window.AddSubscriber(average.input());
   return average;
 }
 
@@ -57,7 +57,7 @@ CongestionDetector& BuildCongestionQuery(
   auto& detector = graph.Add<CongestionDetector>(
       PairKey{}, AvgBelow{speed_threshold}, min_duration,
       "congestion-detector");
-  averages.SubscribeTo(detector.input());
+  averages.AddSubscriber(detector.input());
   return detector;
 }
 

@@ -49,8 +49,8 @@ TEST(Window, TimeWindowWidensIntervals) {
       VectorSource<int>::Points({1, 2}, /*t0=*/10));
   auto& window = graph.Add<TimeWindow<int>>(100);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -67,8 +67,8 @@ TEST(Window, SlideWindowAlignsToGrid) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& window = graph.Add<SlideWindow<int>>(10, 5);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 3u);
@@ -88,8 +88,8 @@ TEST(Window, CountWindowExpiresAfterNSuccessors) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& window = graph.Add<CountWindow<int>>(2);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 4u);
@@ -112,8 +112,8 @@ TEST(Window, PartitionedWindowKeepsRowsPerKey) {
   auto& window =
       graph.Add<PartitionedWindow<int, decltype(key)>>(key, 1);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   Drain(graph);
 
   auto out = Sorted(sink.elements());
@@ -133,9 +133,9 @@ TEST(Union, MergesInStartOrder) {
       StreamElement<int>::Point(2, 0), StreamElement<int>::Point(4, 5)});
   auto& u = graph.Add<Union<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  a.SubscribeTo(u.left());
-  b.SubscribeTo(u.right());
-  u.SubscribeTo(sink.input());
+  a.AddSubscriber(u.left());
+  b.AddSubscriber(u.right());
+  u.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 4u);
@@ -157,12 +157,12 @@ TEST(Join, HashEquiJoinMatchesOverlappingIntervalsOnly) {
   auto& r = graph.Add<VectorSource<int>>(right);
   auto identity = [](int v) { return v; };
   auto combine = [](int a, int b) { return std::make_pair(a, b); };
-  auto& join = graph.AddNode(MakeHashJoin<int, int>(identity, identity,
+  auto& join = graph.Add(MakeHashJoin<int, int>(identity, identity,
                                                     combine));
   auto& sink = graph.Add<CollectorSink<std::pair<int, int>>>();
-  l.SubscribeTo(join.left());
-  r.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  l.AddSubscriber(join.left());
+  r.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 1u);
@@ -182,12 +182,12 @@ TEST(Join, PurgesStateWithProgress) {
   auto& r = graph.Add<VectorSource<int>>(right);
   auto identity = [](int v) { return v; };
   auto combine = [](int a, int b) { return a * 1000 + b; };
-  auto& join = graph.AddNode(MakeHashJoin<int, int>(identity, identity,
+  auto& join = graph.Add(MakeHashJoin<int, int>(identity, identity,
                                                     combine));
   auto& sink = graph.Add<CountingSink<int>>();
-  l.SubscribeTo(join.left());
-  r.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  l.AddSubscriber(join.left());
+  r.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   EXPECT_EQ(sink.count(), 100u);
@@ -207,11 +207,11 @@ TEST(Join, BandJoinMatchesWithinBand) {
   auto key = [](int v) { return v; };
   auto combine = [](int a, int b) { return std::make_pair(a, b); };
   auto& join =
-      graph.AddNode(MakeBandJoin<int, int>(key, key, /*band=*/2, combine));
+      graph.Add(MakeBandJoin<int, int>(key, key, /*band=*/2, combine));
   auto& sink = graph.Add<CollectorSink<std::pair<int, int>>>();
-  l.SubscribeTo(join.left());
-  r.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  l.AddSubscriber(join.left());
+  r.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   // |10-12| <= 2 and |10-8| <= 2 match; |10-13| does not.
@@ -231,12 +231,12 @@ TEST(Join, LoadSheddingRespectsMemoryLimitAndCounts) {
   auto& r = graph.Add<VectorSource<int>>(std::vector<StreamElement<int>>{});
   auto identity = [](int v) { return v; };
   auto combine = [](int a, int b) { return a + b; };
-  auto& join = graph.AddNode(MakeHashJoin<int, int>(identity, identity,
+  auto& join = graph.Add(MakeHashJoin<int, int>(identity, identity,
                                                     combine));
   auto& sink = graph.Add<CountingSink<int>>();
-  l.SubscribeTo(join.left());
-  r.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  l.AddSubscriber(join.left());
+  r.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
 
   const std::size_t limit = 64 * 52;  // roughly 64 elements worth
   join.SetMemoryLimit(limit);
@@ -260,8 +260,8 @@ TEST(Aggregate, SumOverlappingIntervals) {
   auto& agg = graph.Add<TemporalAggregate<int, SumAgg<int>, decltype(value)>>(
       value);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 3u);
@@ -281,8 +281,8 @@ TEST(Aggregate, GapsProduceNoOutput) {
       graph.Add<TemporalAggregate<int, CountAgg<int>, decltype(value)>>(
           value);
   auto& sink = graph.Add<CollectorSink<std::uint64_t>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -301,8 +301,8 @@ TEST(Aggregate, EmitsIncrementallyWithProgressNotOnlyAtEnd) {
   auto& agg = graph.Add<TemporalAggregate<int, SumAgg<int>, decltype(value)>>(
       value);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
 
   // Drive half the input: outputs must already appear (non-blocking).
   source.DoWork(5);
@@ -324,8 +324,8 @@ TEST(Aggregate, GroupedAggregatePerKey) {
       GroupedAggregate<int, SumAgg<int>, decltype(key), decltype(value)>>(
       key, value);
   auto& sink = graph.Add<CollectorSink<std::pair<int, int>>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -371,8 +371,8 @@ TEST(Distinct, CollapsesDuplicatesPerSnapshot) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& distinct = graph.Add<Distinct<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(distinct.input());
-  distinct.SubscribeTo(sink.input());
+  source.AddSubscriber(distinct.input());
+  distinct.AddSubscriber(sink.input());
   Drain(graph);
 
   auto out = Sorted(sink.elements());
@@ -391,9 +391,9 @@ TEST(Difference, EmitsSurplusCopies) {
   auto& r = graph.Add<VectorSource<int>>(right);
   auto& diff = graph.Add<Difference<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  l.SubscribeTo(diff.left());
-  r.SubscribeTo(diff.right());
-  diff.SubscribeTo(sink.input());
+  l.AddSubscriber(diff.left());
+  r.AddSubscriber(diff.right());
+  diff.AddSubscriber(sink.input());
   Drain(graph);
 
   auto out = Sorted(sink.elements());
@@ -413,9 +413,9 @@ TEST(Difference, NegativeSurplusClampsToZero) {
   auto& r = graph.Add<VectorSource<int>>(right);
   auto& diff = graph.Add<Difference<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  l.SubscribeTo(diff.left());
-  r.SubscribeTo(diff.right());
-  diff.SubscribeTo(sink.input());
+  l.AddSubscriber(diff.left());
+  r.AddSubscriber(diff.right());
+  diff.AddSubscriber(sink.input());
   Drain(graph);
   EXPECT_TRUE(sink.elements().empty());
 }
@@ -428,8 +428,8 @@ TEST(Coalesce, MergesAdjacentEqualPayloads) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& coalesce = graph.Add<Coalesce<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(coalesce.input());
-  coalesce.SubscribeTo(sink.input());
+  source.AddSubscriber(coalesce.input());
+  coalesce.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 3u);
@@ -453,7 +453,7 @@ TEST(Reorder, RestoresOrderWithinSlack) {
       },
       /*slack=*/4);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 5u);
@@ -475,7 +475,7 @@ TEST(Reorder, DropsElementsBeyondSlack) {
       },
       /*slack=*/10);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
 
   EXPECT_EQ(sink.elements().size(), 1u);

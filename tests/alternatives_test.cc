@@ -62,7 +62,7 @@ std::vector<Tuple> Execute(const LogicalPlan& plan,
   auto output = builder.Build(plan);
   PIPES_CHECK_MSG(output.ok(), output.status().ToString().c_str());
   auto& sink = graph.Add<CollectorSink<Tuple>>();
-  (*output)->SubscribeTo(sink.input());
+  (*output)->AddSubscriber(sink.input());
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy);
   driver.RunToCompletion();

@@ -157,9 +157,9 @@ TEST_P(BatchEquivalence, FilterMapChain) {
         auto& filter = graph.Add<Filter<int, decltype(pred)>>(pred);
         auto fn = [](int v) { return v * 2 + 1; };
         auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
-        source.SubscribeTo(filter.input());
-        filter.SubscribeTo(map.input());
-        map.SubscribeTo(probe.input());
+        source.AddSubscriber(filter.input());
+        filter.AddSubscriber(map.input());
+        map.AddSubscriber(probe.input());
       });
 }
 
@@ -176,9 +176,9 @@ TEST_P(BatchEquivalence, WindowedCoalesceChain) {
                                                     batch_size);
         auto& window = graph.Add<TimeWindow<int>>(/*size=*/8);
         auto& coalesce = graph.Add<Coalesce<int>>();
-        source.SubscribeTo(window.input());
-        window.SubscribeTo(coalesce.input());
-        coalesce.SubscribeTo(probe.input());
+        source.AddSubscriber(window.input());
+        window.AddSubscriber(coalesce.input());
+        coalesce.AddSubscriber(probe.input());
       });
 }
 
@@ -192,9 +192,9 @@ TEST_P(BatchEquivalence, UnionOfTwoBatchedSources) {
         auto& sa = graph.Add<VectorSource<int>>(inputs[0], "a", batch_size);
         auto& sb = graph.Add<VectorSource<int>>(inputs[1], "b", batch_size);
         auto& u = graph.Add<Union<int>>();
-        sa.SubscribeTo(u.left());
-        sb.SubscribeTo(u.right());
-        u.SubscribeTo(probe.input());
+        sa.AddSubscriber(u.left());
+        sb.AddSubscriber(u.right());
+        u.AddSubscriber(probe.input());
       });
 }
 
@@ -216,11 +216,11 @@ TEST_P(BatchEquivalence, HashJoinViaDefaultReplay) {
         auto& sr = graph.Add<VectorSource<int>>(inputs[1], "r", batch_size);
         auto identity = [](int v) { return v; };
         auto combine = [](int a, int b) { return a * 100 + b; };
-        auto& join = graph.AddNode(
+        auto& join = graph.Add(
             MakeHashJoin<int, int>(identity, identity, combine));
-        sl.SubscribeTo(join.left());
-        sr.SubscribeTo(join.right());
-        join.SubscribeTo(probe.input());
+        sl.AddSubscriber(join.left());
+        sr.AddSubscriber(join.right());
+        join.AddSubscriber(probe.input());
       });
 }
 
@@ -243,10 +243,10 @@ TEST_P(BatchEquivalence, MixedPathThroughCountWindowAndBuffer) {
         auto& buffer = graph.Add<Buffer<int>>();
         auto fn = [](int v) { return v - 3; };
         auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
-        source.SubscribeTo(window.input());
-        window.SubscribeTo(buffer.input());
-        buffer.SubscribeTo(map.input());
-        map.SubscribeTo(probe.input());
+        source.AddSubscriber(window.input());
+        window.AddSubscriber(buffer.input());
+        buffer.AddSubscriber(map.input());
+        map.AddSubscriber(probe.input());
       },
       ProgressCheck::kMonotoneOnly);
 }
@@ -268,12 +268,12 @@ TEST_P(BatchEquivalence, FilterMapUnionBufferChain) {
         auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
         auto& u = graph.Add<Union<int>>();
         auto& buffer = graph.Add<Buffer<int>>();
-        sa.SubscribeTo(filter.input());
-        filter.SubscribeTo(map.input());
-        map.SubscribeTo(u.left());
-        sb.SubscribeTo(u.right());
-        u.SubscribeTo(buffer.input());
-        buffer.SubscribeTo(probe.input());
+        sa.AddSubscriber(filter.input());
+        filter.AddSubscriber(map.input());
+        map.AddSubscriber(u.left());
+        sb.AddSubscriber(u.right());
+        u.AddSubscriber(buffer.input());
+        buffer.AddSubscriber(probe.input());
       },
       ProgressCheck::kMonotoneOnly);
 }
@@ -294,10 +294,10 @@ TEST_P(BatchEquivalence, UnionFanInSpillPath) {
         auto& sb = graph.Add<VectorSource<int>>(inputs[1], "b", batch_size);
         auto& sc = graph.Add<VectorSource<int>>(inputs[2], "c", batch_size);
         auto& u = graph.Add<Union<int>>();
-        sa.SubscribeTo(u.left());
-        sb.SubscribeTo(u.left());
-        sc.SubscribeTo(u.right());
-        u.SubscribeTo(probe.input());
+        sa.AddSubscriber(u.left());
+        sb.AddSubscriber(u.left());
+        sc.AddSubscriber(u.right());
+        u.AddSubscriber(probe.input());
       });
 }
 
@@ -314,9 +314,9 @@ TEST_P(BatchEquivalence, ConcurrentBufferTrainDrainUnderThreadScheduler) {
     auto& buffer = graph.Add<ConcurrentBuffer<int>>();
     auto fn = [](int v) { return v * 5; };
     auto& map = graph.Add<Map<int, int, decltype(fn)>>(fn);
-    source.SubscribeTo(buffer.input());
-    buffer.SubscribeTo(map.input());
-    map.SubscribeTo(probe.input());
+    source.AddSubscriber(buffer.input());
+    buffer.AddSubscriber(map.input());
+    map.AddSubscriber(probe.input());
   };
   const Observation reference = RunGraph({input}, /*batch_size=*/1, TrainSize(),
                                     build);

@@ -37,7 +37,7 @@ TEST(Core, SourceDeliversDirectlyToSubscribedSink) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3}));
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
 
   Drain(graph);
 
@@ -53,8 +53,8 @@ TEST(Core, MultipleSubscribersEachReceiveEveryElement) {
   auto& source = graph.Add<VectorSource<int>>(IntPoints({4, 5}));
   auto& a = graph.Add<CollectorSink<int>>("a");
   auto& b = graph.Add<CollectorSink<int>>("b");
-  source.SubscribeTo(a.input());
-  source.SubscribeTo(b.input());
+  source.AddSubscriber(a.input());
+  source.AddSubscriber(b.input());
 
   Drain(graph);
 
@@ -67,7 +67,7 @@ TEST(Core, UnsubscribeStopsDelivery) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4}));
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
 
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy, /*batch_size=*/2);
@@ -97,9 +97,9 @@ TEST(Core, PipeChainsRunInsideOneTransferCall) {
   auto doubled = [](int x) { return x * 2; };
   auto& map = graph.Add<Map<int, int, decltype(doubled)>>(doubled);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(filter.input());
-  filter.SubscribeTo(map.input());
-  map.SubscribeTo(sink.input());
+  source.AddSubscriber(filter.input());
+  filter.AddSubscriber(map.input());
+  map.AddSubscriber(sink.input());
 
   Drain(graph);
 
@@ -117,8 +117,8 @@ TEST(Core, BufferDecouplesAndPreservesOrderAndDone) {
   auto& source = graph.Add<VectorSource<int>>(IntPoints({7, 8, 9}));
   auto& buffer = graph.Add<Buffer<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(buffer.input());
-  buffer.SubscribeTo(sink.input());
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(sink.input());
 
   // Drive only the source: elements park in the buffer.
   while (source.HasWork()) source.DoWork(1);
@@ -143,7 +143,7 @@ TEST(Core, BufferCoalescesConsecutiveHeartbeats) {
     void Emit(Timestamp t) { TransferHeartbeat(t); }
   };
   auto& source = graph.Add<HeartbeatSource>();
-  source.SubscribeTo(buffer.input());
+  source.AddSubscriber(buffer.input());
 
   for (Timestamp t = 1; t <= 100; ++t) source.Emit(t);
   EXPECT_LE(buffer.queue_size(), 1u);
@@ -154,8 +154,8 @@ TEST(Core, BoundedBufferShedsOldestElements) {
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4, 5}));
   auto& buffer = graph.Add<Buffer<int>>("bounded", /*capacity=*/2);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(buffer.input());
-  buffer.SubscribeTo(sink.input());
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(sink.input());
 
   // Burst: the source outruns the buffer; only the 2 newest elements
   // survive, and control signals (done) are never dropped.
@@ -173,8 +173,8 @@ TEST(Core, BoundedBufferKeepsEverythingWhenDrainedInTime) {
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4, 5}));
   auto& buffer = graph.Add<Buffer<int>>("bounded", /*capacity=*/2);
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(buffer.input());
-  buffer.SubscribeTo(sink.input());
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(sink.input());
   Drain(graph);  // round-robin alternates source and buffer
   EXPECT_EQ(sink.count() + buffer.dropped_count(), 5u);
   EXPECT_LT(buffer.dropped_count(), 5u);
@@ -194,11 +194,11 @@ TEST(Core, UnionPortAcceptsMultipleUpstreams) {
   auto& d = graph.Add<VectorSource<int>>(
       VectorSource<int>::Points({7}, /*t0=*/0));
   auto& sink = graph.Add<CollectorSink<int>>();
-  a.SubscribeTo(u.left());
-  b.SubscribeTo(u.left());
-  c.SubscribeTo(u.left());
-  d.SubscribeTo(u.right());
-  u.SubscribeTo(sink.input());
+  a.AddSubscriber(u.left());
+  b.AddSubscriber(u.left());
+  c.AddSubscriber(u.left());
+  d.AddSubscriber(u.right());
+  u.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 7u);
@@ -215,8 +215,8 @@ TEST(Core, PortMergesWatermarksOfMultipleUpstreams) {
   auto& slow = graph.Add<VectorSource<int>>(
       VectorSource<int>::Points({4, 5}, /*t0=*/10));
   auto& sink = graph.Add<CollectorSink<int>>();
-  fast.SubscribeTo(sink.input());
-  slow.SubscribeTo(sink.input());
+  fast.AddSubscriber(sink.input());
+  slow.AddSubscriber(sink.input());
 
   while (fast.HasWork()) fast.DoWork(1);
   // Only the fast source has finished; the slow one still constrains the
@@ -233,11 +233,11 @@ TEST(Core, LateSubscriberSeesCurrentProgress) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3}));
   auto& early = graph.Add<CollectorSink<int>>("early");
-  source.SubscribeTo(early.input());
+  source.AddSubscriber(early.input());
   source.DoWork(2);
 
   auto& late = graph.Add<CollectorSink<int>>("late");
-  source.SubscribeTo(late.input());
+  source.AddSubscriber(late.input());
   // The late subscriber's watermark reflects elapsed stream time.
   EXPECT_EQ(late.watermark(), 1);
 
@@ -251,11 +251,11 @@ TEST(Core, SubscribingAfterDoneSignalsDoneImmediately) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
   auto& early = graph.Add<CollectorSink<int>>("early");
-  source.SubscribeTo(early.input());
+  source.AddSubscriber(early.input());
   Drain(graph);
 
   auto& late = graph.Add<CollectorSink<int>>("late");
-  source.SubscribeTo(late.input());
+  source.AddSubscriber(late.input());
   EXPECT_TRUE(late.done());
 }
 
@@ -264,8 +264,8 @@ TEST(Core, GraphValidateAcceptsDagAndRejectsNothingHere) {
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
   auto& a = graph.Add<Buffer<int>>("a");
   auto& b = graph.Add<CollectorSink<int>>("b");
-  source.SubscribeTo(a.input());
-  a.SubscribeTo(b.input());
+  source.AddSubscriber(a.input());
+  a.AddSubscriber(b.input());
   EXPECT_TRUE(graph.Validate().ok());
 }
 
@@ -273,7 +273,7 @@ TEST(Core, GraphRemoveRequiresDetachedNode) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1}));
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
 
   EXPECT_EQ(graph.Remove(sink).code(), StatusCode::kFailedPrecondition);
   ASSERT_TRUE(source.UnsubscribeFrom(sink.input()).ok());
@@ -285,7 +285,7 @@ TEST(Core, ToDotContainsNodesAndEdges) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1}), "src");
   auto& sink = graph.Add<CollectorSink<int>>("snk");
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   const std::string dot = graph.ToDot();
   EXPECT_NE(dot.find("src"), std::string::npos);
   EXPECT_NE(dot.find("snk"), std::string::npos);
@@ -302,7 +302,7 @@ TEST(Core, FunctionSourceGeneratesUntilNullopt) {
         return StreamElement<int>::Point(v, v);
       });
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
   EXPECT_EQ(sink.elements().size(), 5u);
 }
@@ -328,7 +328,7 @@ TEST(Core, CountingSinkCounts) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(IntPoints({1, 2, 3, 4}));
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
   EXPECT_EQ(sink.count(), 4u);
 }
@@ -339,7 +339,7 @@ TEST(Core, CallbackSinkInvokesCallback) {
   int sum = 0;
   auto& sink = graph.Add<CallbackSink<int>>(
       [&](const StreamElement<int>& e) { sum += e.payload; });
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
   EXPECT_EQ(sum, 5);
 }

@@ -66,7 +66,7 @@ class CqlProperty : public ::testing::TestWithParam<std::uint64_t> {
     auto installed = manager.InstallQuery(query_text);
     PIPES_CHECK_MSG(installed.ok(), installed.status().ToString().c_str());
     auto& sink = graph.Add<CollectorSink<Tuple>>();
-    installed->output->SubscribeTo(sink.input());
+    installed->output->AddSubscriber(sink.input());
     scheduler::RandomStrategy strategy(GetParam());
     scheduler::SingleThreadScheduler driver(graph, strategy,
                                             1 + GetParam() % 7);

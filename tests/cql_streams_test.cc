@@ -36,8 +36,8 @@ TEST(RelationToStream, IStreamEmitsPointAtStart) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& istream = graph.Add<algebra::IStream<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(istream.input());
-  istream.SubscribeTo(sink.input());
+  source.AddSubscriber(istream.input());
+  istream.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -54,8 +54,8 @@ TEST(RelationToStream, DStreamEmitsPointAtEndInOrder) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& dstream = graph.Add<algebra::DStream<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(dstream.input());
-  dstream.SubscribeTo(sink.input());
+  source.AddSubscriber(dstream.input());
+  dstream.AddSubscriber(sink.input());
   Drain(graph);
 
   // The never-expiring element produces nothing; deletions come end-ordered.
@@ -95,7 +95,7 @@ TEST_F(CqlExtensions, IStreamQueryProducesPointElements) {
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   EXPECT_EQ(query->plan->kind, optimizer::LogicalOp::Kind::kIStream);
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_EQ(sink.elements().size(), 12u);
@@ -109,7 +109,7 @@ TEST_F(CqlExtensions, DStreamQueryEmitsDeletions) {
   auto query = manager.InstallQuery("SELECT DSTREAM k FROM obs");
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_EQ(sink.elements().size(), 12u);
@@ -125,7 +125,7 @@ TEST_F(CqlExtensions, HavingFiltersGroups) {
       "SELECT k, SUM(v) AS total FROM obs GROUP BY k HAVING total > 20");
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_FALSE(sink.elements().empty());
@@ -148,7 +148,7 @@ TEST_F(CqlExtensions, VarianceAndStddevAggregates) {
       "SELECT VARIANCE(v) AS var, STDDEV(v) AS sd FROM obs [RANGE 1 HOURS]");
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_FALSE(sink.elements().empty());

@@ -81,7 +81,7 @@ TEST(Translate, CursorSourceLiftsPullIntoPush) {
   auto& source = graph.Add<CursorSource<int>>(
       std::move(cursor), [](const int& v) { return Timestamp{v}; });
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 3u);
@@ -97,7 +97,7 @@ TEST(Translate, StreamBufferSinkExposesResultsAsCursor) {
   auto& source = graph.Add<CursorSource<int>>(
       std::move(cursor), [](const int& v) { return Timestamp{v}; });
   auto& sink = graph.Add<StreamBufferSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
 
   EXPECT_EQ(sink.buffered(), 3u);
@@ -149,8 +149,8 @@ TEST(Relation, StreamRelationJoinProbesPerElement) {
                                             decltype(key), decltype(combine)>>(
       &people, key, combine);
   auto& sink = graph.Add<CollectorSink<std::string>>();
-  source.SubscribeTo(join.input());
-  join.SubscribeTo(sink.input());
+  source.AddSubscriber(join.input());
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 2u);

@@ -37,9 +37,9 @@ TEST(Intersect, KeepsMinimumMultiplicity) {
   auto& r = graph.Add<VectorSource<int>>(right);
   auto& intersect = graph.Add<Intersect<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  l.SubscribeTo(intersect.left());
-  r.SubscribeTo(intersect.right());
-  intersect.SubscribeTo(sink.input());
+  l.AddSubscriber(intersect.left());
+  r.AddSubscriber(intersect.right());
+  intersect.AddSubscriber(sink.input());
   Drain(graph);
 
   // Only [5,10) has both sides; min(2,1) = 1 copy.
@@ -62,9 +62,9 @@ TEST_P(IntersectProperty, SnapshotEquivalent) {
   auto& r = graph.Add<VectorSource<int>>(right);
   auto& intersect = graph.Add<Intersect<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  l.SubscribeTo(intersect.left());
-  r.SubscribeTo(intersect.right());
-  intersect.SubscribeTo(sink.input());
+  l.AddSubscriber(intersect.left());
+  r.AddSubscriber(intersect.right());
+  intersect.AddSubscriber(sink.input());
 
   scheduler::RandomStrategy strategy(GetParam());
   scheduler::SingleThreadScheduler driver(graph, strategy,
@@ -96,7 +96,7 @@ TEST(StreamArchive, SupportsHistoricalQueries) {
       StreamElement<int>(3, 20, 30)};
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& archive = graph.Add<cursors::StreamArchive<int>>();
-  source.SubscribeTo(archive.input());
+  source.AddSubscriber(archive.input());
   Drain(graph);
 
   EXPECT_EQ(archive.size(), 3u);
@@ -124,7 +124,7 @@ TEST(StreamArchive, QueryableWhileStreamStillRuns) {
   auto& source = graph.Add<VectorSource<int>>(
       VectorSource<int>::Points({1, 2, 3, 4}));
   auto& archive = graph.Add<cursors::StreamArchive<int>>();
-  source.SubscribeTo(archive.input());
+  source.AddSubscriber(archive.input());
   source.DoWork(2);
   EXPECT_EQ(archive.size(), 2u);
   EXPECT_EQ(cursors::Collect(*archive.SnapshotAt(0)),
@@ -140,8 +140,8 @@ TEST(Graph, ValidateDetectsCycle) {
   };
   auto& a = graph.Add<Map<int, int, Identity>>(Identity{}, "a");
   auto& b = graph.Add<Map<int, int, Identity>>(Identity{}, "b");
-  a.SubscribeTo(b.input());
-  b.SubscribeTo(a.input());
+  a.AddSubscriber(b.input());
+  b.AddSubscriber(a.input());
   const Status status = graph.Validate();
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(status.message().find("cycle"), std::string::npos);
@@ -152,7 +152,7 @@ TEST(Graph, ValidateRejectsEdgesToForeignNodes) {
   auto& source = graph.Add<VectorSource<int>>(
       VectorSource<int>::Points({1}));
   CollectorSink<int> outside("outside");  // not owned by the graph
-  source.SubscribeTo(outside.input());
+  source.AddSubscriber(outside.input());
   EXPECT_EQ(graph.Validate().code(), StatusCode::kFailedPrecondition);
 }
 
@@ -169,8 +169,8 @@ TEST(SlideWindow, SnapshotCorrectAtGridInstants) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& window = graph.Add<SlideWindow<int>>(w, s);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   Drain(graph);
 
   // At every grid instant τ = k*s the snapshot must contain exactly the
@@ -256,7 +256,7 @@ TEST(CqlEndToEnd, RowsWindowKeepsLastN) {
       "SELECT COUNT(*) AS n FROM nums [ROWS 2]");
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   auto& sink = graph.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
   Drain(graph);
 
   // After warm-up the window always holds exactly two rows.
@@ -286,7 +286,7 @@ TEST(CqlEndToEnd, DistinctQueryCollapsesDuplicates) {
   auto query = manager.InstallQuery("SELECT DISTINCT k FROM keys");
   ASSERT_TRUE(query.ok()) << query.status().ToString();
   auto& sink = graph.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
   Drain(graph);
 
   // Snapshot-distinct: at t = 8 all three keys are valid exactly once.
@@ -300,7 +300,7 @@ TEST(UmbrellaHeader, EverythingIsReachable) {
   auto& source = graph.Add<VectorSource<int>>(
       VectorSource<int>::Points({1, 2, 3}));
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   Drain(graph);
   EXPECT_EQ(sink.count(), 3u);
 }

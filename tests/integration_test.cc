@@ -68,7 +68,7 @@ TEST(Integration, PrototypeDsmsEndToEnd) {
   auto& bid_tuples =
       graph.Add<algebra::Map<workloads::Bid, Tuple, decltype(to_tuple)>>(
           to_tuple, "bid-tuples");
-  bids.SubscribeTo(bid_tuples.input());
+  bids.AddSubscriber(bid_tuples.input());
 
   cql::Catalog catalog;
   ASSERT_TRUE(catalog
@@ -104,12 +104,12 @@ TEST(Integration, PrototypeDsmsEndToEnd) {
 
   auto& traffic_sink = graph.Add<CollectorSink<Tuple>>("traffic-results");
   auto& bid_sink = graph.Add<CollectorSink<Tuple>>("bid-results");
-  traffic_query->output->SubscribeTo(traffic_sink.input());
-  bid_query->output->SubscribeTo(bid_sink.input());
+  traffic_query->output->AddSubscriber(traffic_sink.input());
+  bid_query->output->AddSubscriber(bid_sink.input());
 
   // Historical archive on the bid results (demand-driven access later).
   auto& archive = graph.Add<cursors::StreamArchive<Tuple>>("bid-archive");
-  bid_query->output->SubscribeTo(archive.input());
+  bid_query->output->AddSubscriber(archive.input());
 
   // --- Runtime components --------------------------------------------------
   memory::MemoryManager memory_manager(

@@ -70,8 +70,8 @@ class MonitorTest : public ::testing::Test {
     auto& filter = graph_.Add<algebra::Filter<int, decltype(pred)>>(pred);
     filter_ = &filter;
     auto& sink = graph_.Add<CountingSink<int>>();
-    source.SubscribeTo(filter.input());
-    filter.SubscribeTo(sink.input());
+    source.AddSubscriber(filter.input());
+    filter.AddSubscriber(sink.input());
 
     monitor_.Watch(*filter_,
                    {MetricKind::kInputRate, MetricKind::kOutputRate,

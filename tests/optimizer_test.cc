@@ -197,7 +197,7 @@ TEST_F(EndToEnd, FilterProjectQueryProducesExpectedTuples) {
       "SELECT price, auction FROM bids WHERE price > 20");
   ASSERT_TRUE(installed.ok()) << installed.status().ToString();
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  installed->output->SubscribeTo(sink.input());
+  installed->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -213,7 +213,7 @@ TEST_F(EndToEnd, WindowedGroupedAggregateQuery) {
       "GROUP BY auction");
   ASSERT_TRUE(installed.ok()) << installed.status().ToString();
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  installed->output->SubscribeTo(sink.input());
+  installed->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_FALSE(sink.elements().empty());
@@ -235,7 +235,7 @@ TEST_F(EndToEnd, StreamJoinQueryMatchesBiddersToCities) {
       "[UNBOUNDED] AS p WHERE b.bidder = p.id AND b.price > 20");
   ASSERT_TRUE(installed.ok()) << installed.status().ToString();
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  installed->output->SubscribeTo(sink.input());
+  installed->output->AddSubscriber(sink.input());
   Drain(graph_);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -271,8 +271,8 @@ TEST_F(EndToEnd, MultiQuerySharingReusesSubplans) {
   // Both query outputs deliver to their sinks from the shared plan.
   auto& sink1 = graph_.Add<CollectorSink<Tuple>>("sink1");
   auto& sink3 = graph_.Add<CollectorSink<Tuple>>("sink3");
-  first->output->SubscribeTo(sink1.input());
-  third->output->SubscribeTo(sink3.input());
+  first->output->AddSubscriber(sink1.input());
+  third->output->AddSubscriber(sink3.input());
   Drain(graph_);
   EXPECT_FALSE(sink1.elements().empty());
   EXPECT_FALSE(sink3.elements().empty());

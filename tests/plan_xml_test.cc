@@ -126,7 +126,7 @@ TEST(PlanXml, ReloadedPlanExecutes) {
   auto installed = manager.InstallPlan(*revived);
   ASSERT_TRUE(installed.ok()) << installed.status().ToString();
   auto& sink = graph.Add<CollectorSink<Tuple>>();
-  installed->output->SubscribeTo(sink.input());
+  installed->output->AddSubscriber(sink.input());
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler(graph, strategy).RunToCompletion();
   EXPECT_EQ(sink.elements().size(), 5u);  // prices 50..90

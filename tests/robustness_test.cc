@@ -43,20 +43,20 @@ TEST_P(Robustness, BuffersDoNotChangeJoinResults) {
     auto identity = [](int v) { return v; };
     auto combine = [](int a, int b) { return a * 100 + b; };
     auto& join =
-        graph.AddNode(MakeHashJoin<int, int>(identity, identity, combine));
+        graph.Add(MakeHashJoin<int, int>(identity, identity, combine));
     auto& sink = graph.Add<CollectorSink<int>>();
     if (buffered) {
       auto& bl = graph.Add<Buffer<int>>("bl");
       auto& br = graph.Add<Buffer<int>>("br");
-      l.SubscribeTo(bl.input());
-      r.SubscribeTo(br.input());
-      bl.SubscribeTo(join.left());
-      br.SubscribeTo(join.right());
+      l.AddSubscriber(bl.input());
+      r.AddSubscriber(br.input());
+      bl.AddSubscriber(join.left());
+      br.AddSubscriber(join.right());
     } else {
-      l.SubscribeTo(join.left());
-      r.SubscribeTo(join.right());
+      l.AddSubscriber(join.left());
+      r.AddSubscriber(join.right());
     }
-    join.SubscribeTo(sink.input());
+    join.AddSubscriber(sink.input());
     scheduler::RandomStrategy strategy(GetParam() + (buffered ? 7 : 0));
     scheduler::SingleThreadScheduler driver(graph, strategy,
                                             1 + GetParam() % 9);
@@ -85,8 +85,8 @@ TEST_P(Robustness, BatchSizeDoesNotChangeAggregateResults) {
         graph.Add<TemporalAggregate<int, SumAgg<int>, decltype(value)>>(
             value);
     auto& sink = graph.Add<CollectorSink<int>>();
-    source.SubscribeTo(agg.input());
-    agg.SubscribeTo(sink.input());
+    source.AddSubscriber(agg.input());
+    agg.AddSubscriber(sink.input());
     scheduler::RoundRobinStrategy strategy;
     scheduler::SingleThreadScheduler driver(graph, strategy, batch);
     driver.RunToCompletion();
@@ -109,8 +109,8 @@ TEST_P(Robustness, CoalesceIsSnapshotEquivalentToIdentity) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& coalesce = graph.Add<Coalesce<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(coalesce.input());
-  coalesce.SubscribeTo(sink.input());
+  source.AddSubscriber(coalesce.input());
+  coalesce.AddSubscriber(sink.input());
   scheduler::RandomStrategy strategy(GetParam());
   scheduler::SingleThreadScheduler driver(graph, strategy,
                                           1 + GetParam() % 11);
@@ -159,7 +159,7 @@ TEST_P(Robustness, ReorderingSourceRestoresRandomDisorder) {
       },
       slack);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler driver(graph, strategy,
                                           1 + GetParam() % 5);
@@ -195,10 +195,10 @@ TEST_P(Robustness, FourWayMultiwayJoinMatchesReference) {
   auto& join = graph.Add<sweeparea::MultiwayJoin<int, decltype(key)>>(4, key);
   for (std::size_t i = 0; i < 4; ++i) {
     auto& source = graph.Add<VectorSource<int>>(streams[i]);
-    source.SubscribeTo(join.input(i));
+    source.AddSubscriber(join.input(i));
   }
   auto& sink = graph.Add<CollectorSink<std::vector<int>>>();
-  join.SubscribeTo(sink.input());
+  join.AddSubscriber(sink.input());
   scheduler::RandomStrategy strategy(GetParam());
   scheduler::SingleThreadScheduler driver(graph, strategy, 3);
   driver.RunToCompletion();
@@ -233,8 +233,8 @@ TEST_P(Robustness, CountWindowMatchesDirectConstruction) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& window = graph.Add<CountWindow<int>>(rows);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler(graph, strategy).RunToCompletion();
 

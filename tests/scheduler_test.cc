@@ -54,8 +54,8 @@ TEST(Strategies, LongestQueuePicksFullestBuffer) {
   auto& source = graph.Add<VectorSource<int>>(Ints(10));
   auto& small = graph.Add<Buffer<int>>("small");
   auto& big = graph.Add<Buffer<int>>("big");
-  source.SubscribeTo(small.input());
-  source.SubscribeTo(big.input());
+  source.AddSubscriber(small.input());
+  source.AddSubscriber(big.input());
   source.DoWork(10);
   small.DoWork(8);  // drain most of the small buffer
 
@@ -80,12 +80,12 @@ TEST(Strategies, ChainPrefersSelectiveDownstreamChains) {
       graph.Add<algebra::Filter<int, decltype(pass)>>(pass, "fb");
   auto& sink_a = graph.Add<CountingSink<int>>("ka");
   auto& sink_b = graph.Add<CountingSink<int>>("kb");
-  source_a.SubscribeTo(buffer_a.input());
-  source_b.SubscribeTo(buffer_b.input());
-  buffer_a.SubscribeTo(filter_a.input());
-  buffer_b.SubscribeTo(filter_b.input());
-  filter_a.SubscribeTo(sink_a.input());
-  filter_b.SubscribeTo(sink_b.input());
+  source_a.AddSubscriber(buffer_a.input());
+  source_b.AddSubscriber(buffer_b.input());
+  buffer_a.AddSubscriber(filter_a.input());
+  buffer_b.AddSubscriber(filter_b.input());
+  filter_a.AddSubscriber(sink_a.input());
+  filter_b.AddSubscriber(sink_b.input());
 
   // Warm up: push some elements through so selectivities are observable.
   source_a.DoWork(200);
@@ -113,12 +113,12 @@ TEST(Strategies, RateBasedPrefersProductiveChains) {
   auto& filter_b = graph.Add<algebra::Filter<int, decltype(pass)>>(pass, "fb");
   auto& sink_a = graph.Add<CountingSink<int>>("ka");
   auto& sink_b = graph.Add<CountingSink<int>>("kb");
-  source_a.SubscribeTo(buffer_a.input());
-  source_b.SubscribeTo(buffer_b.input());
-  buffer_a.SubscribeTo(filter_a.input());
-  buffer_b.SubscribeTo(filter_b.input());
-  filter_a.SubscribeTo(sink_a.input());
-  filter_b.SubscribeTo(sink_b.input());
+  source_a.AddSubscriber(buffer_a.input());
+  source_b.AddSubscriber(buffer_b.input());
+  buffer_a.AddSubscriber(filter_a.input());
+  buffer_b.AddSubscriber(filter_b.input());
+  filter_a.AddSubscriber(sink_a.input());
+  filter_b.AddSubscriber(sink_b.input());
 
   source_a.DoWork(200);
   source_b.DoWork(200);
@@ -149,9 +149,9 @@ TEST(Scheduler, AllStrategiesDrainTheSameGraphToTheSameResult) {
     auto pred = [](int v) { return v % 3 == 0; };
     auto& filter = graph.Add<algebra::Filter<int, decltype(pred)>>(pred);
     auto& sink = graph.Add<CountingSink<int>>();
-    source.SubscribeTo(buffer.input());
-    buffer.SubscribeTo(filter.input());
-    filter.SubscribeTo(sink.input());
+    source.AddSubscriber(buffer.input());
+    buffer.AddSubscriber(filter.input());
+    filter.AddSubscriber(sink.input());
     SingleThreadScheduler driver(graph, strategy, /*batch_size=*/17);
     driver.RunToCompletion();
     EXPECT_TRUE(graph.Finished());
@@ -178,8 +178,8 @@ TEST(Scheduler, CollectsQueueStatistics) {
   auto& source = graph.Add<VectorSource<int>>(Ints(100));
   auto& buffer = graph.Add<Buffer<int>>();
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(buffer.input());
-  buffer.SubscribeTo(sink.input());
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(sink.input());
 
   // FIFO drives the source fully before draining the buffer -> the queue
   // peak approaches the input size.
@@ -195,7 +195,7 @@ TEST(Scheduler, StepReturnsFalseWhenNoWork) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(Ints(1));
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   RoundRobinStrategy strategy;
   SingleThreadScheduler driver(graph, strategy);
   EXPECT_TRUE(driver.Step());
@@ -209,8 +209,8 @@ TEST(Fusion, SpliceBufferSplitsAVirtualNode) {
   auto pred = [](int v) { return v % 2 == 0; };
   auto& filter = graph.Add<algebra::Filter<int, decltype(pred)>>(pred);
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(filter.input());
-  filter.SubscribeTo(sink.input());
+  source.AddSubscriber(filter.input());
+  filter.AddSubscriber(sink.input());
   ASSERT_EQ(graph.ActiveNodes().size(), 1u);  // one fused virtual node
 
   auto spliced = SpliceBuffer<int>(graph, source, filter.input());
@@ -231,7 +231,7 @@ TEST(Fusion, SpliceConcurrentBufferForThreadEdges) {
   QueryGraph graph;
   auto& source = graph.Add<VectorSource<int>>(Ints(100));
   auto& sink = graph.Add<CountingSink<int>>();
-  source.SubscribeTo(sink.input());
+  source.AddSubscriber(sink.input());
   auto spliced = SpliceConcurrentBuffer<int>(graph, source, sink.input());
   ASSERT_TRUE(spliced.ok());
 
@@ -251,8 +251,8 @@ TEST(ThreadScheduler, DrainsDisjointChainsAcrossThreads) {
     auto& source = graph.Add<VectorSource<int>>(Ints(kPerChain));
     auto& buffer = graph.Add<ConcurrentBuffer<int>>();
     auto& sink = graph.Add<CountingSink<int>>();
-    source.SubscribeTo(buffer.input());
-    buffer.SubscribeTo(sink.input());
+    source.AddSubscriber(buffer.input());
+    buffer.AddSubscriber(sink.input());
     sinks.push_back(&sink);
   }
 

@@ -76,8 +76,8 @@ TEST_P(SnapshotProperty, FilterIsSnapshotEquivalent) {
   auto pred = [](int v) { return v % 3 != 0; };
   auto& filter = graph.Add<Filter<int, decltype(pred)>>(pred);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(filter.input());
-  filter.SubscribeTo(sink.input());
+  source.AddSubscriber(filter.input());
+  filter.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -103,8 +103,8 @@ TEST_P(SnapshotProperty, TimeWindowIsSnapshotEquivalent) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& window = graph.Add<TimeWindow<int>>(w);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   // Reference: widen intervals directly.
@@ -130,9 +130,9 @@ TEST_P(SnapshotProperty, UnionIsSnapshotEquivalent) {
   auto& sb = graph.Add<VectorSource<int>>(b);
   auto& u = graph.Add<Union<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  sa.SubscribeTo(u.left());
-  sb.SubscribeTo(u.right());
-  u.SubscribeTo(sink.input());
+  sa.AddSubscriber(u.left());
+  sb.AddSubscriber(u.right());
+  u.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -159,11 +159,11 @@ TEST_P(SnapshotProperty, HashJoinIsSnapshotEquivalent) {
   auto identity = [](int v) { return v; };
   auto combine = [](int a, int b) { return a * 100 + b; };
   auto& join =
-      graph.AddNode(MakeHashJoin<int, int>(identity, identity, combine));
+      graph.Add(MakeHashJoin<int, int>(identity, identity, combine));
   auto& sink = graph.Add<CollectorSink<int>>();
-  sl.SubscribeTo(join.left());
-  sr.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  sl.AddSubscriber(join.left());
+  sr.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -193,11 +193,11 @@ TEST_P(SnapshotProperty, NestedLoopsBandJoinIsSnapshotEquivalent) {
   auto pred = [](int l, int r) { return l <= r && r <= l + 2; };
   auto combine = [](int a, int b) { return a * 100 + b; };
   auto& join =
-      graph.AddNode(MakeNestedLoopsJoin<int, int>(pred, combine));
+      graph.Add(MakeNestedLoopsJoin<int, int>(pred, combine));
   auto& sink = graph.Add<CollectorSink<int>>();
-  sl.SubscribeTo(join.left());
-  sr.SubscribeTo(join.right());
-  join.SubscribeTo(sink.input());
+  sl.AddSubscriber(join.left());
+  sr.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -223,8 +223,8 @@ TEST_P(SnapshotProperty, SumAggregateIsSnapshotEquivalent) {
   auto& agg =
       graph.Add<TemporalAggregate<int, SumAgg<int>, decltype(value)>>(value);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -251,8 +251,8 @@ TEST_P(SnapshotProperty, MaxAggregateIsSnapshotEquivalent) {
   auto& agg =
       graph.Add<TemporalAggregate<int, MaxAgg<int>, decltype(value)>>(value);
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   auto instants = CriticalInstants(input);
@@ -278,8 +278,8 @@ TEST_P(SnapshotProperty, GroupedCountIsSnapshotEquivalent) {
       GroupedAggregate<int, CountAgg<int>, decltype(key), decltype(value)>>(
       key, value);
   auto& sink = graph.Add<CollectorSink<std::pair<int, std::uint64_t>>>();
-  source.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -304,8 +304,8 @@ TEST_P(SnapshotProperty, DistinctIsSnapshotEquivalent) {
   auto& source = graph.Add<VectorSource<int>>(input);
   auto& distinct = graph.Add<Distinct<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  source.SubscribeTo(distinct.input());
-  distinct.SubscribeTo(sink.input());
+  source.AddSubscriber(distinct.input());
+  distinct.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -331,9 +331,9 @@ TEST_P(SnapshotProperty, DifferenceIsSnapshotEquivalent) {
   auto& sr = graph.Add<VectorSource<int>>(right);
   auto& diff = graph.Add<Difference<int>>();
   auto& sink = graph.Add<CollectorSink<int>>();
-  sl.SubscribeTo(diff.left());
-  sr.SubscribeTo(diff.right());
-  diff.SubscribeTo(sink.input());
+  sl.AddSubscriber(diff.left());
+  sr.AddSubscriber(diff.right());
+  diff.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   ExpectStartOrdered(sink.elements());
@@ -377,10 +377,10 @@ TEST_P(SnapshotProperty, OperatorCompositionIsSnapshotEquivalent) {
       GroupedAggregate<int, CountAgg<int>, decltype(key), decltype(value)>>(
       key, value);
   auto& sink = graph.Add<CollectorSink<std::pair<int, std::uint64_t>>>();
-  source.SubscribeTo(window.input());
-  window.SubscribeTo(filter.input());
-  filter.SubscribeTo(agg.input());
-  agg.SubscribeTo(sink.input());
+  source.AddSubscriber(window.input());
+  window.AddSubscriber(filter.input());
+  filter.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
   DrainRandomized(graph, GetParam());
 
   std::vector<StreamElement<int>> windowed;

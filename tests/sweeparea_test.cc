@@ -164,10 +164,10 @@ TEST(MultiwayJoin, ThreeWayEquiJoinSnapshotEquivalent) {
   auto key = [](int v) { return v; };
   auto& join = graph.Add<MultiwayJoin<int, decltype(key)>>(3, key);
   auto& sink = graph.Add<CollectorSink<std::vector<int>>>();
-  sa.SubscribeTo(join.input(0));
-  sb.SubscribeTo(join.input(1));
-  sc.SubscribeTo(join.input(2));
-  join.SubscribeTo(sink.input());
+  sa.AddSubscriber(join.input(0));
+  sb.AddSubscriber(join.input(1));
+  sc.AddSubscriber(join.input(2));
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   // Reference: per critical instant, count key-equal triples.
@@ -204,10 +204,10 @@ TEST(MultiwayJoin, OutputIsStartOrderedAndPurges) {
   auto key = [](int v) { return v; };
   auto& join = graph.Add<MultiwayJoin<int, decltype(key)>>(3, key);
   auto& sink = graph.Add<CollectorSink<std::vector<int>>>();
-  a.SubscribeTo(join.input(0));
-  b.SubscribeTo(join.input(1));
-  c.SubscribeTo(join.input(2));
-  join.SubscribeTo(sink.input());
+  a.AddSubscriber(join.input(0));
+  b.AddSubscriber(join.input(1));
+  c.AddSubscriber(join.input(2));
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_FALSE(sink.elements().empty());

@@ -82,7 +82,7 @@ TEST_F(UninstallTest, SharedSubplansSurviveUntilLastQueryLeaves) {
 
   // B still produces results after A left.
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  b->output->SubscribeTo(sink.input());
+  b->output->AddSubscriber(sink.input());
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler(graph_, strategy).RunToCompletion();
   EXPECT_FALSE(sink.elements().empty());
@@ -100,7 +100,7 @@ TEST_F(UninstallTest, FailsWhileSinkStillSubscribed) {
   auto query = manager.InstallQuery(kQueryA);
   ASSERT_TRUE(query.ok());
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  query->output->SubscribeTo(sink.input());
+  query->output->AddSubscriber(sink.input());
 
   const std::size_t before = GraphSize();
   const Status status = manager.UninstallQuery(query->query_id);
@@ -133,7 +133,7 @@ TEST_F(UninstallTest, ReinstallAfterUninstallRebuilds) {
   EXPECT_EQ(second->operators_created, first->operators_created);
 
   auto& sink = graph_.Add<CollectorSink<Tuple>>();
-  second->output->SubscribeTo(sink.input());
+  second->output->AddSubscriber(sink.input());
   scheduler::RoundRobinStrategy strategy;
   scheduler::SingleThreadScheduler(graph_, strategy).RunToCompletion();
   EXPECT_FALSE(sink.elements().empty());

@@ -64,8 +64,8 @@ TEST(SustainedCondition, FiresOncePerLongEnoughRun) {
   auto& detector = graph.Add<PairDetector>(KeyOfPair{}, BelowTen{},
                                            /*min_duration=*/20);
   auto& sink = graph.Add<CollectorSink<Sustained<int>>>();
-  source.SubscribeTo(detector.input());
-  detector.SubscribeTo(sink.input());
+  source.AddSubscriber(detector.input());
+  detector.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 1u);
@@ -83,8 +83,8 @@ TEST(SustainedCondition, GapResetsRunAndNewRunCanFire) {
   }));
   auto& detector = graph.Add<PairDetector>(KeyOfPair{}, BelowTen{}, 20);
   auto& sink = graph.Add<CollectorSink<Sustained<int>>>();
-  source.SubscribeTo(detector.input());
-  detector.SubscribeTo(sink.input());
+  source.AddSubscriber(detector.input());
+  detector.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 1u);
@@ -125,7 +125,7 @@ TEST_F(TrafficQueriesTest, HovAverageGroupsByDirection) {
                                           /*range=*/600'000,
                                           /*slide=*/300'000);
   auto& sink = graph.Add<CollectorSink<std::pair<std::int32_t, double>>>();
-  query.SubscribeTo(sink.input());
+  query.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_FALSE(sink.elements().empty());
@@ -158,7 +158,7 @@ TEST_F(TrafficQueriesTest, CongestionQueryFindsInjectedIncidentOnly) {
                                      /*speed_threshold=*/40.0,
                                      /*min_duration=*/600'000);
   auto& sink = graph.Add<CollectorSink<Sustained<std::int32_t>>>();
-  query.SubscribeTo(sink.input());
+  query.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_FALSE(sink.elements().empty());
@@ -199,9 +199,9 @@ TEST(NexmarkQueries, SplitStreamsPartitionTheEvents) {
   auto& bid_sink = graph.Add<CountingSink<Bid>>();
   auto& auction_sink = graph.Add<CountingSink<Auction>>();
   auto& person_sink = graph.Add<CountingSink<Person>>();
-  bids.SubscribeTo(bid_sink.input());
-  auctions.SubscribeTo(auction_sink.input());
-  persons.SubscribeTo(person_sink.input());
+  bids.AddSubscriber(bid_sink.input());
+  auctions.AddSubscriber(auction_sink.input());
+  persons.AddSubscriber(person_sink.input());
   Drain(graph);
 
   EXPECT_EQ(bid_sink.count() + auction_sink.count() + person_sink.count(),
@@ -225,8 +225,8 @@ TEST(NexmarkQueries, CurrencyConversionScalesPrices) {
       [&](const StreamElement<Bid>& e) {
         converted.push_back(e.payload.price);
       });
-  bids.SubscribeTo(bid_sink.input());
-  euros.SubscribeTo(euro_sink.input());
+  bids.AddSubscriber(bid_sink.input());
+  euros.AddSubscriber(euro_sink.input());
   Drain(graph);
 
   ASSERT_EQ(original.size(), converted.size());
@@ -242,7 +242,7 @@ TEST(NexmarkQueries, HighestBidTumblesAndNeverDecreasesWithinWindow) {
   auto& bids = BuildBidStream(graph, events);
   auto& highest = BuildHighestBidQuery(graph, bids, /*period=*/10'000);
   auto& sink = graph.Add<CollectorSink<double>>();
-  highest.SubscribeTo(sink.input());
+  highest.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_FALSE(sink.elements().empty());
@@ -268,8 +268,8 @@ TEST(NexmarkQueries, BidsPerAuctionCountsMatchManualCount) {
         const Timestamp bucket = ((e.start() / 20'000) + 1) * 20'000;
         ++manual[{bucket, e.payload.auction}];
       });
-  counts.SubscribeTo(count_sink.input());
-  bids.SubscribeTo(manual_sink.input());
+  counts.AddSubscriber(count_sink.input());
+  bids.AddSubscriber(manual_sink.input());
   Drain(graph);
 
   ASSERT_FALSE(count_sink.elements().empty());
@@ -318,7 +318,7 @@ TEST(NexmarkQueries, OpenAuctionJoinMatchesOnlyOpenAuctions) {
 
   auto& join = BuildOpenAuctionJoin(graph, bid_source, auction_source);
   auto& sink = graph.Add<CollectorSink<BidWithAuction>>();
-  join.SubscribeTo(sink.input());
+  join.AddSubscriber(sink.input());
   Drain(graph);
 
   ASSERT_EQ(sink.elements().size(), 2u);
@@ -337,7 +337,7 @@ TEST(NexmarkQueries, BidSelectionKeepsOnlyMatchingAuctions) {
       [](const StreamElement<Bid>& e) {
         EXPECT_EQ(e.payload.auction % 2, 0);
       });
-  selected.SubscribeTo(sink.input());
+  selected.AddSubscriber(sink.input());
   Drain(graph);
 }
 
