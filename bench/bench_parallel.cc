@@ -1,0 +1,195 @@
+// E-parallel — Keyed data-parallel scaling.
+//
+// Replicates a grouped-aggregation chain and a keyed equi-join through
+// `Partition` / `Merge` (src/algebra/parallel.h) at 1/2/4/8 partitions and
+// measures end-to-end throughput under the layer-3 `ThreadScheduler`, one
+// worker per replica chain plus one for source/split/merge
+// (`ParallelTopology::PinnedAssignment`). The p=1 baseline pays the same
+// split/merge overhead, so the ratios isolate scaling, not plumbing.
+//
+// This binary has its own main (like bench_observability): `--smoke` runs
+// every configuration once on a small input and exits non-zero unless each
+// partitioned plan produces exactly as many elements as its single-replica
+// form — cheap enough for CI. Anything else falls through to the normal
+// google-benchmark driver.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/parallel.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+#include "src/scheduler/scheduler.h"
+
+namespace {
+
+using namespace pipes;  // NOLINT
+
+constexpr int kKeys = 4096;
+
+/// Start-ordered stream: one element per tick, round-robin over keys, each
+/// valid for `duration` ticks — so ~duration/kKeys elements per key overlap
+/// and the sweep-line / SweepArea state stays populated.
+std::vector<StreamElement<int>> MakeInput(int count, Timestamp duration) {
+  std::vector<StreamElement<int>> input;
+  input.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    input.push_back(StreamElement<int>(i % kKeys, i, i + duration));
+  }
+  return input;
+}
+
+struct KeyOf {
+  int operator()(int v) const { return v; }
+};
+
+/// Aggregate input with deliberate CPU weight (a few mixing rounds), the
+/// stand-in for a non-trivial per-element computation; without it the
+/// bench measures the ConcurrentBuffer handoff, not operator scaling.
+struct MixValue {
+  std::int64_t operator()(int v) const {
+    std::uint64_t x = static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 64; ++i) {
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+    }
+    return static_cast<std::int64_t>(x & 0xffff);
+  }
+};
+
+struct CombineSum {
+  long operator()(int a, int b) const {
+    return MixValue{}(a) + MixValue{}(b);
+  }
+};
+
+using GroupedSum =
+    algebra::GroupedAggregate<int, algebra::SumAgg<std::int64_t>, KeyOf,
+                              MixValue>;
+
+std::uint64_t RunGroupedAgg(const std::vector<StreamElement<int>>& input,
+                            std::size_t partitions) {
+  QueryGraph graph;
+  auto& source =
+      graph.Add<VectorSource<int>>(input, "source", /*batch_size=*/256);
+  auto chain = algebra::MakeKeyedParallel<GroupedSum>(graph, partitions,
+                                                      KeyOf{}, KeyOf{},
+                                                      MixValue{});
+  auto& sink = graph.Add<CountingSink<GroupedSum::Output>>();
+  source.AddSubscriber(*chain.input);
+  chain.output->AddSubscriber(sink.input());
+
+  const int num_threads = static_cast<int>(partitions) + 1;
+  scheduler::ThreadScheduler driver(
+      graph, num_threads,
+      [] { return std::make_unique<scheduler::RoundRobinStrategy>(); },
+      chain.PinnedAssignment(graph, num_threads),
+      /*batch_size=*/256);
+  driver.RunToCompletion();
+  return sink.count();
+}
+
+std::uint64_t RunKeyedJoin(const std::vector<StreamElement<int>>& left,
+                           const std::vector<StreamElement<int>>& right,
+                           std::size_t partitions) {
+  QueryGraph graph;
+  auto& sl = graph.Add<VectorSource<int>>(left, "left", /*batch_size=*/256);
+  auto& sr = graph.Add<VectorSource<int>>(right, "right", /*batch_size=*/256);
+  auto chain = algebra::MakeParallelHashJoin<int, int>(
+      graph, partitions, KeyOf{}, KeyOf{}, CombineSum{});
+  auto& sink = graph.Add<CountingSink<long>>();
+  sl.AddSubscriber(*chain.left);
+  sr.AddSubscriber(*chain.right);
+  chain.output->AddSubscriber(sink.input());
+
+  const int num_threads = static_cast<int>(partitions) + 1;
+  scheduler::ThreadScheduler driver(
+      graph, num_threads,
+      [] { return std::make_unique<scheduler::RoundRobinStrategy>(); },
+      chain.PinnedAssignment(graph, num_threads),
+      /*batch_size=*/256);
+  driver.RunToCompletion();
+  return sink.count();
+}
+
+void BM_ParallelGroupedAgg(benchmark::State& state) {
+  const auto partitions = static_cast<std::size_t>(state.range(0));
+  const auto input = MakeInput(/*count=*/200'000, /*duration=*/8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunGroupedAgg(input, partitions));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(input.size()));
+}
+
+void BM_ParallelKeyedJoin(benchmark::State& state) {
+  const auto partitions = static_cast<std::size_t>(state.range(0));
+  const auto left = MakeInput(/*count=*/100'000, /*duration=*/4096);
+  const auto right = MakeInput(/*count=*/100'000, /*duration=*/4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKeyedJoin(left, right, partitions));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(left.size() +
+                                                    right.size()));
+}
+
+BENCHMARK(BM_ParallelGroupedAgg)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelKeyedJoin)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// CI sanity: every partition count must produce exactly the element count
+/// of the single-replica plan (the equivalence *property* lives in
+/// tests/parallel_equivalence_test.cc; this guards the bench configs
+/// themselves).
+int RunSmoke() {
+  const auto agg_input = MakeInput(/*count=*/20'000, /*duration=*/1024);
+  const auto join_left = MakeInput(/*count=*/5'000, /*duration=*/512);
+  const auto join_right = MakeInput(/*count=*/5'000, /*duration=*/512);
+  const std::uint64_t agg_expected = RunGroupedAgg(agg_input, 1);
+  const std::uint64_t join_expected =
+      RunKeyedJoin(join_left, join_right, 1);
+  int failures = 0;
+  for (std::size_t p : {2u, 4u, 8u}) {
+    const std::uint64_t agg = RunGroupedAgg(agg_input, p);
+    const std::uint64_t join = RunKeyedJoin(join_left, join_right, p);
+    std::printf("smoke p=%zu: grouped-agg %llu (want %llu), join %llu "
+                "(want %llu)\n",
+                p, static_cast<unsigned long long>(agg),
+                static_cast<unsigned long long>(agg_expected),
+                static_cast<unsigned long long>(join),
+                static_cast<unsigned long long>(join_expected));
+    if (agg != agg_expected) ++failures;
+    if (join != join_expected) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_parallel smoke: %d mismatches\n", failures);
+    return 1;
+  }
+  std::printf("bench_parallel smoke: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared driver for the stock benchmark binaries. `--smoke` runs every
+// registered benchmark once with a minimal time budget — the CI sanity pass
+// that each experiment still constructs its graphs and drains them
+// end-to-end — while any other invocation behaves exactly like the standard
+// google-benchmark main. Binaries with semantic smoke checks
+// (bench_observability, bench_parallel) keep their own mains.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Numeric-seconds spelling: portable across benchmark versions (the "Nx"
+  // iteration form is newer than some toolchains ship).
+  char min_time[] = "--benchmark_min_time=0.001";
+  char repetitions[] = "--benchmark_repetitions=1";
+  if (smoke) {
+    args.push_back(min_time);
+    args.push_back(repetitions);
+  }
+
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (smoke && ran == 0) {
+    std::fprintf(stderr, "smoke: no benchmarks ran\n");
+    return 1;
+  }
+  return 0;
+}

@@ -51,13 +51,6 @@ class QueryGraph {
     return ref;
   }
 
-  /// Deprecated spelling of the adopting `Add` overload.
-  template <typename NodeT>
-  [[deprecated("use Add(std::unique_ptr<NodeT>)")]]
-  NodeT& AddNode(std::unique_ptr<NodeT> node) {
-    return Add(std::move(node));
-  }
-
   /// Removes `node` from the graph. Fails with FailedPrecondition while the
   /// node still has edges (unsubscribe first), NotFound if not owned here.
   /// This is the single removal API: callers (the optimizer's PlanManager,

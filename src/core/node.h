@@ -73,6 +73,12 @@ class Node {
   /// metric; stateless operators keep the default.
   virtual std::size_t ApproxMemoryBytes() const { return 0; }
 
+  /// Per-output-partition element counts for splitter nodes (`Partition`);
+  /// empty for every other node. The snapshot layer turns these into the
+  /// partition-skew metric (max/mean). Reading must be safe concurrently
+  /// with a running scheduler (relaxed atomics).
+  virtual std::vector<std::uint64_t> PartitionCounts() const { return {}; }
+
   // --- Secondary metadata ---------------------------------------------------
   // Hot-path counters: relaxed atomics written from inside the transfer
   // path, read by the metadata monitor and `metadata::MetricsSnapshot`.
@@ -145,6 +151,8 @@ class Node {
   friend class Source;
   template <typename T>
   friend class InputPort;
+  template <typename T, typename KeyFn>
+  friend class Partition;
 
   static std::uint64_t NextId();
 

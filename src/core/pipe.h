@@ -28,6 +28,11 @@ namespace pipes {
 template <typename In, typename Out>
 class UnaryPipe : public Source<Out>, public PortOwner<In> {
  public:
+  /// Payload types, for generic plan builders (e.g. the keyed-parallel
+  /// replication helper) that must name them from a deduced operator type.
+  using InputType = In;
+  using OutputType = Out;
+
   explicit UnaryPipe(std::string name)
       : Source<Out>(std::move(name)), input_(this, this, 0) {}
 
@@ -140,6 +145,10 @@ template <typename L, typename R, typename Out>
 class BinaryPipe : public Source<Out>,
                    public internal_pipe::BinaryDispatch<L, R> {
  public:
+  using LeftType = L;
+  using RightType = R;
+  using OutputType = Out;
+
   explicit BinaryPipe(std::string name)
       : Source<Out>(std::move(name)),
         left_(this, this, internal_pipe::BinaryDispatch<L, R>::kLeft),

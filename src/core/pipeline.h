@@ -8,11 +8,13 @@
 #include <utility>
 
 #include "src/algebra/aggregate.h"
+#include "src/algebra/distinct.h"
 #include "src/algebra/filter.h"
 #include "src/algebra/map.h"
 #include "src/algebra/window.h"
 #include "src/core/buffer.h"
 #include "src/core/graph.h"
+#include "src/core/parallel.h"
 #include "src/core/sink.h"
 #include "src/core/source.h"
 
@@ -41,6 +43,9 @@ namespace pipes::dsl {
 template <typename T>
 class Stage {
  public:
+  /// The payload type flowing out of this stage.
+  using Element = T;
+
   Stage(QueryGraph& graph, Source<T>& source)
       : graph_(&graph), source_(&source) {}
 
@@ -145,6 +150,47 @@ AggregateSpec<Agg, std::decay_t<ValueFn>> Aggregate(
   return {std::forward<ValueFn>(value), std::move(name)};
 }
 
+template <typename Agg, typename KeyFn, typename ValueFn>
+struct GroupBySpec {
+  KeyFn key;
+  ValueFn value;
+  std::string name;
+};
+
+/// Grouped temporal aggregation (algebra::GroupedAggregate): one sweep-line
+/// per `key(payload)`, emitting (key, aggregate) pairs. Key-partitionable —
+/// the canonical stage for `dsl::Parallel`.
+template <typename Agg, typename KeyFn, typename ValueFn>
+GroupBySpec<Agg, std::decay_t<KeyFn>, std::decay_t<ValueFn>> GroupBy(
+    KeyFn&& key, ValueFn&& value, std::string name = "group-by") {
+  return {std::forward<KeyFn>(key), std::forward<ValueFn>(value),
+          std::move(name)};
+}
+
+struct DistinctSpec {
+  std::string name;
+};
+
+/// Temporal duplicate elimination (algebra::Distinct).
+inline DistinctSpec Distinct(std::string name = "distinct") {
+  return {std::move(name)};
+}
+
+template <typename KeyFn>
+struct PartitionedWindowSpec {
+  KeyFn key;
+  std::size_t rows;
+  std::string name;
+};
+
+/// Per-key ROWS window (algebra::PartitionedWindow; CQL
+/// `[PARTITION BY k ROWS n]`).
+template <typename KeyFn>
+PartitionedWindowSpec<std::decay_t<KeyFn>> PartitionedWindow(
+    KeyFn&& key, std::size_t rows, std::string name = "partitioned-window") {
+  return {std::forward<KeyFn>(key), rows, std::move(name)};
+}
+
 template <typename ValueFn>
 struct AverageSpec {
   ValueFn value;
@@ -169,6 +215,43 @@ struct DetachSpec {
 inline DetachSpec Detach(std::string name = "buffer",
                          std::size_t capacity = 0) {
   return {std::move(name), capacity};
+}
+
+template <typename KeyFn, typename Inner>
+struct ParallelSpec {
+  std::size_t replicas;
+  KeyFn key;
+  Inner inner;
+};
+
+/// True for inner specs whose operator keeps disjoint state per key (the
+/// spec-level mirror of `algebra::KeyPartitionable`); everything else makes
+/// `dsl::Parallel` fail to compile.
+template <typename Spec>
+struct IsKeyPartitionableSpec : std::false_type {};
+template <typename Agg, typename KeyFn, typename ValueFn>
+struct IsKeyPartitionableSpec<GroupBySpec<Agg, KeyFn, ValueFn>>
+    : std::true_type {};
+template <>
+struct IsKeyPartitionableSpec<DistinctSpec> : std::true_type {};
+template <typename KeyFn>
+struct IsKeyPartitionableSpec<PartitionedWindowSpec<KeyFn>>
+    : std::true_type {};
+
+/// Keyed data parallelism: runs `inner` as `replicas` shared-nothing
+/// replicas between a `Partition` (hash-routing by `key`) and an
+/// order-restoring `Merge`. Each replica chain sits behind a
+/// `ConcurrentBuffer`, so a `ThreadScheduler` can drive the replicas on
+/// separate workers (DESIGN.md "Keyed parallelism" for the pinning rule).
+/// `key` must refine `inner`'s own grouping — pass the same key function.
+/// Only key-partitionable stages are accepted (grouped aggregation,
+/// distinct, partitioned windows); anything else is refused at compile
+/// time. Equi-joins parallelize through the graph-level
+/// `algebra::MakeParallelHashJoin`.
+template <typename KeyFn, typename Inner>
+ParallelSpec<std::decay_t<KeyFn>, std::decay_t<Inner>> Parallel(
+    std::size_t replicas, KeyFn&& key, Inner inner) {
+  return {replicas, std::forward<KeyFn>(key), std::move(inner)};
 }
 
 template <typename SinkT>
@@ -245,6 +328,62 @@ auto operator|(Stage<T> stage, AggregateSpec<Agg, ValueFn> spec) {
           std::move(spec.value), std::move(spec.name));
   stage.source().AddSubscriber(node.input());
   return Stage<typename Agg::Output>(stage.graph(), node);
+}
+
+template <typename T, typename Agg, typename KeyFn, typename ValueFn>
+auto operator|(Stage<T> stage, GroupBySpec<Agg, KeyFn, ValueFn> spec) {
+  using NodeT = algebra::GroupedAggregate<T, Agg, KeyFn, ValueFn>;
+  auto& node = stage.graph().template Add<NodeT>(
+      std::move(spec.key), std::move(spec.value), std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<typename NodeT::Output>(stage.graph(), node);
+}
+
+template <typename T>
+Stage<T> operator|(Stage<T> stage, DistinctSpec spec) {
+  auto& node =
+      stage.graph().template Add<algebra::Distinct<T>>(std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T, typename KeyFn>
+Stage<T> operator|(Stage<T> stage, PartitionedWindowSpec<KeyFn> spec) {
+  auto& node =
+      stage.graph().template Add<algebra::PartitionedWindow<T, KeyFn>>(
+          std::move(spec.key), spec.rows, std::move(spec.name));
+  stage.source().AddSubscriber(node.input());
+  return Stage<T>(stage.graph(), node);
+}
+
+template <typename T, typename KeyFn, typename Inner>
+auto operator|(Stage<T> stage, ParallelSpec<KeyFn, Inner> spec) {
+  static_assert(
+      IsKeyPartitionableSpec<Inner>::value,
+      "dsl::Parallel: the inner stage's state does not decompose by key — "
+      "only GroupBy, Distinct, and PartitionedWindow are safe to replicate "
+      "(see docs/operators.md)");
+  // The inner stage's output type, deduced by materializing it virtually.
+  using Out = typename decltype(std::declval<Stage<T>>() |
+                                std::declval<Inner>())::Element;
+  QueryGraph& graph = stage.graph();
+  auto& split =
+      graph.Add<Partition<T, KeyFn>>(spec.replicas, std::move(spec.key));
+  stage.source().AddSubscriber(split.input());
+  auto& merge = graph.Add<Merge<Out>>(spec.replicas);
+  for (std::size_t i = 0; i < spec.replicas; ++i) {
+    const std::string suffix = "-" + std::to_string(i);
+    auto& in_buf = graph.Add<ConcurrentBuffer<T>>("replica-in" + suffix);
+    split.AddSubscriber(i, in_buf.input());
+    // Each replica materializes from a copy of the inner spec, wired to its
+    // partition's buffer exactly as `|` always wires.
+    Inner inner_copy = spec.inner;
+    Stage<Out> replica = Stage<T>(graph, in_buf) | std::move(inner_copy);
+    auto& out_buf = graph.Add<ConcurrentBuffer<Out>>("replica-out" + suffix);
+    replica.source().AddSubscriber(out_buf.input());
+    out_buf.AddSubscriber(merge.input(i));
+  }
+  return Stage<Out>(graph, merge);
 }
 
 template <typename T, typename ValueFn>

@@ -57,14 +57,6 @@ class Source : public Node {
     }
   }
 
-  /// Deprecated spelling of `AddSubscriber`: it read backwards (the
-  /// *consumer* subscribes to the *producer*, but the receiver here is the
-  /// producer). Use `AddSubscriber(port)` or `port.SubscribeTo(source)`.
-  [[deprecated("use AddSubscriber(port) or InputPort::SubscribeTo(source)")]]
-  void SubscribeTo(InputPort<T>& port) {
-    AddSubscriber(port);
-  }
-
   /// Cancels the subscription of `port`. No-op status if not subscribed.
   Status UnsubscribeFrom(InputPort<T>& port) {
     auto it = std::find_if(

@@ -17,6 +17,20 @@ double Selectivity(std::uint64_t in, std::uint64_t out) {
 
 }  // namespace
 
+double NodeSnapshot::PartitionSkew() const {
+  if (partition_out.empty()) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t c : partition_out) {
+    total += c;
+    max = std::max(max, c);
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(partition_out.size());
+  return static_cast<double>(max) / mean;
+}
+
 const NodeSnapshot* MetricsSnapshot::FindNode(std::uint64_t id) const {
   for (const NodeSnapshot& n : nodes) {
     if (n.id == id) return &n;
@@ -57,6 +71,7 @@ MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
       snap.high_watermark = std::max(snap.high_watermark, progress);
     }
     ns.service = node->service_histogram().Snapshot();
+    ns.partition_out = node->PartitionCounts();
     if (options.profiler != nullptr) {
       const scheduler::NodeProfile profile = options.profiler->ForNode(*node);
       ns.sched_quanta = profile.quanta;
@@ -195,6 +210,18 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     AppendU64(out, "sched_units", n.sched_units);
     out += ',';
     AppendU64(out, "sched_service_ns", n.sched_service_ns);
+    // Only splitter nodes carry partition counts; everyone else's document
+    // is unchanged by the field's existence.
+    if (!n.partition_out.empty()) {
+      out += ",\"partition_out\":[";
+      for (std::size_t p = 0; p < n.partition_out.size(); ++p) {
+        if (p > 0) out += ',';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, n.partition_out[p]);
+        out += buf;
+      }
+      out += ']';
+    }
     out += '}';
   }
   out += "],\"edges\":[";
@@ -476,6 +503,14 @@ class JsonParser {
       if (key == "sched_quanta") return ParseU64(&out->sched_quanta);
       if (key == "sched_units") return ParseU64(&out->sched_units);
       if (key == "sched_service_ns") return ParseU64(&out->sched_service_ns);
+      if (key == "partition_out") {
+        return ParseArray([&](JsonParser& p) -> Status {
+          std::uint64_t count = 0;
+          PIPES_RETURN_IF_ERROR(p.ParseU64(&count));
+          out->partition_out.push_back(count);
+          return Status::OK();
+        });
+      }
       return Unexpected("unknown node key '" + key + "'");
     });
   }
@@ -549,6 +584,12 @@ std::string ToDot(const MetricsSnapshot& snapshot, const DotOptions& options) {
     }
     if (n.has_progress && n.watermark_lag > 0) {
       out << "\\nlag " << n.watermark_lag;
+    }
+    if (!n.partition_out.empty()) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "\\nskew %.2f (%zu parts)",
+                    n.PartitionSkew(), n.partition_out.size());
+      out << buf;
     }
     out << '"';
     if (n.active) out << ", peripheries=2";

@@ -61,6 +61,16 @@ struct NodeSnapshot {
   std::uint64_t sched_units = 0;
   std::uint64_t sched_service_ns = 0;
 
+  /// Per-output-partition element counts (`Node::PartitionCounts`); empty
+  /// for everything but splitter nodes (`Partition`). The skew metric of a
+  /// keyed-parallel stage: ideally uniform, a hot key shows as one entry
+  /// dominating.
+  std::vector<std::uint64_t> partition_out;
+
+  /// max / mean of `partition_out`: 1.0 is perfectly balanced, `n` means
+  /// one partition carries everything. 0 when not a splitter or no output.
+  double PartitionSkew() const;
+
   friend bool operator==(const NodeSnapshot&, const NodeSnapshot&) = default;
 };
 

@@ -10,6 +10,18 @@
 
 namespace pipes::scheduler {
 
+std::vector<int> MakeAssignment(
+    const QueryGraph& graph,
+    const std::unordered_map<const Node*, int>& worker_of) {
+  const std::vector<Node*> active = graph.ActiveNodes();
+  std::vector<int> assignment(active.size(), 0);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const auto it = worker_of.find(active[i]);
+    if (it != worker_of.end()) assignment[i] = it->second;
+  }
+  return assignment;
+}
+
 SingleThreadScheduler::SingleThreadScheduler(QueryGraph& graph,
                                              Strategy& strategy,
                                              std::size_t batch_size)

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/graph.h"
@@ -35,6 +36,16 @@ struct RunStats {
   /// queue occupancy x iterations).
   std::uint64_t accumulated_queue = 0;
 };
+
+/// Builds a `ThreadScheduler` assignment vector from a node→worker map:
+/// the result follows `graph.ActiveNodes()` order, mapping each listed node
+/// through `worker_of` and everything unlisted to worker 0. This is how
+/// plan-level helpers (e.g. the keyed-parallel replication in
+/// `src/algebra/parallel.h`) pin a replica chain — the `ConcurrentBuffer`s
+/// that feed it — to one worker without knowing active-node order.
+std::vector<int> MakeAssignment(
+    const QueryGraph& graph,
+    const std::unordered_map<const Node*, int>& worker_of);
 
 /// Deterministic one-thread driver.
 class SingleThreadScheduler {
