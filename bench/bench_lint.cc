@@ -1,0 +1,91 @@
+// pipes-lint throughput: analysis cost per node as graphs grow.
+//
+// The lint pass is meant to run on every deploy (and in CI on every
+// commit), so it must stay cheap even for wide graphs. The benchmark
+// builds a fan-out of independent source -> window -> aggregate -> sink
+// chains plus one replicated stage, and measures a full `Lint` pass.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/distinct.h"
+#include "src/algebra/parallel.h"
+#include "src/algebra/window.h"
+#include "src/analysis/analyzer.h"
+#include "src/analysis/fixtures.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+
+namespace {
+
+using namespace pipes;  // NOLINT
+
+struct IntKey {
+  int operator()(const int& v) const { return v; }
+};
+struct AsDouble {
+  double operator()(const int& v) const { return static_cast<double>(v); }
+};
+
+/// `chains` parallel source->window->aggregate->sink chains plus one
+/// 4-replica Distinct stage: ~6 * chains + 16 nodes.
+void BuildWideGraph(QueryGraph& graph, int chains) {
+  for (int c = 0; c < chains; ++c) {
+    const std::string suffix = "-" + std::to_string(c);
+    auto& src = graph.Add<VectorSource<int>>(
+        std::vector<StreamElement<int>>{}, "src" + suffix);
+    auto& window =
+        graph.Add<algebra::TimeWindow<int>>(100, "window" + suffix);
+    auto& agg = graph.Add<algebra::TemporalAggregate<
+        int, algebra::SumAgg<double>, AsDouble>>(AsDouble{},
+                                                 "agg" + suffix);
+    auto& sink = graph.Add<CountingSink<double>>("sink" + suffix);
+    src.AddSubscriber(window.input());
+    window.AddSubscriber(agg.input());
+    agg.AddSubscriber(sink.input());
+  }
+  auto& psrc = graph.Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "par-src");
+  auto chain =
+      algebra::MakeKeyedParallel<algebra::Distinct<int>>(graph, 4, IntKey{});
+  auto& psink = graph.Add<CountingSink<int>>("par-sink");
+  psrc.AddSubscriber(*chain.input);
+  chain.output->AddSubscriber(psink.input());
+}
+
+void BM_LintWideGraph(benchmark::State& state) {
+  QueryGraph graph;
+  BuildWideGraph(graph, static_cast<int>(state.range(0)));
+  std::size_t diags = 0;
+  for (auto _ : state) {
+    diags += analysis::Lint(graph).size();
+    benchmark::DoNotOptimize(diags);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(graph.size()));
+  state.counters["nodes"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_LintWideGraph)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_LintWorkloadGraphs(benchmark::State& state) {
+  const analysis::LintSubject traffic = analysis::BuildTrafficLintGraph();
+  const analysis::LintSubject nexmark = analysis::BuildNexmarkLintGraph();
+  std::size_t diags = 0;
+  for (auto _ : state) {
+    diags += traffic.LintAll().size();
+    diags += nexmark.LintAll().size();
+    benchmark::DoNotOptimize(diags);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(traffic.graph->size() +
+                                nexmark.graph->size()));
+}
+BENCHMARK(BM_LintWorkloadGraphs);
+
+}  // namespace

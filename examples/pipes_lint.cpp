@@ -1,0 +1,239 @@
+// pipes_lint: the static contract checker for query graphs (docs/lint.md).
+//
+//   pipes_lint --rules                 list the rule catalog
+//   pipes_lint --fixtures              self-check: every rule fires on its
+//                                      broken-graph fixture
+//   pipes_lint --workload traffic      lint a clean demo workload graph
+//   pipes_lint --workload nexmark
+//   pipes_lint --demo-plan             build a demo logical plan, lint it
+//                                      in memory AND through an XML
+//                                      round-trip, verify both agree
+//   pipes_lint plan.xml [...]          lint stored plan documents
+//
+// Options: --json (machine-readable output), --fail-on=error|warning|note
+// (exit 1 when a diagnostic at or above the threshold is present; default
+// error). Exit codes: 0 clean (below threshold), 1 findings or fixture
+// failure, 2 usage/input error.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/fixtures.h"
+#include "src/optimizer/logical_plan.h"
+#include "src/optimizer/plan_xml.h"
+#include "src/relational/expression.h"
+#include "src/relational/schema.h"
+
+namespace {
+
+using pipes::analysis::Diagnostic;
+using pipes::analysis::Severity;
+
+struct Options {
+  bool json = false;
+  bool rules = false;
+  bool fixtures = false;
+  bool demo_plan = false;
+  Severity fail_on = Severity::kError;
+  std::vector<std::string> workloads;
+  std::vector<std::string> plan_files;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--fail-on=error|warning|note] "
+               "[--rules] [--fixtures] [--demo-plan] "
+               "[--workload traffic|nexmark] [plan.xml ...]\n",
+               argv0);
+  return 2;
+}
+
+/// Renders diagnostics for one lint subject and folds its worst severity
+/// into the process-wide gate.
+void Report(const std::string& subject,
+            const std::vector<Diagnostic>& diags, const Options& options,
+            Severity* worst) {
+  if (options.json) {
+    std::printf("{\"subject\": \"%s\", \"diagnostics\": %s}\n",
+                subject.c_str(), pipes::analysis::ToJson(diags).c_str());
+  } else if (diags.empty()) {
+    std::printf("%s: clean\n", subject.c_str());
+  } else {
+    std::printf("%s: %zu diagnostic(s)\n%s", subject.c_str(), diags.size(),
+                pipes::analysis::ToText(diags).c_str());
+  }
+  const Severity max = pipes::analysis::MaxSeverity(diags);
+  if (!diags.empty() && max > *worst) *worst = max;
+}
+
+/// A small plan with deliberate lint bait — DISTINCT over an UNBOUNDED
+/// window — used to prove that linting the in-memory plan and linting its
+/// XML serialization produce identical diagnostics.
+pipes::optimizer::LogicalPlan DemoPlan() {
+  using namespace pipes::optimizer;
+  using namespace pipes::relational;
+  const Schema bids({{"auction", ValueType::kInt},
+                     {"bidder", ValueType::kInt},
+                     {"price", ValueType::kDouble}});
+  WindowSpec unbounded;
+  unbounded.kind = WindowKind::kUnbounded;
+  auto scan = ScanOp("bids", bids, unbounded);
+  auto pricey = FilterOp(scan, MakeBinary(BinaryOp::kGt,
+                                          MakeField(2, "price"),
+                                          MakeLiteral(Value(10.0))));
+  return DistinctOp(ProjectOp(pricey, {MakeField(0, "auction")},
+                              {"auction"}));
+}
+
+int RunFixtures(const Options& options) {
+  int failures = 0;
+  for (const auto& fixture : pipes::analysis::BrokenGraphFixtures()) {
+    const std::string error = pipes::analysis::CheckFixture(fixture);
+    if (error.empty()) {
+      if (!options.json) {
+        std::printf("fixture %-28s %s fires as expected\n",
+                    fixture.name.c_str(), fixture.rule_id.c_str());
+      }
+    } else {
+      ++failures;
+      std::fprintf(stderr, "FAIL %s\n", error.c_str());
+    }
+  }
+  std::printf("%zu fixtures, %d failure(s)\n",
+              pipes::analysis::BrokenGraphFixtures().size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int RunDemoPlan(
+    const Options& options, Severity* worst,
+    const std::function<void(const std::vector<Diagnostic>&)>& gate) {
+  const auto plan = DemoPlan();
+  auto direct = pipes::analysis::LintPlan(plan);
+  if (!direct.ok()) {
+    std::fprintf(stderr, "demo-plan: %s\n",
+                 direct.status().ToString().c_str());
+    return 2;
+  }
+  const std::string xml = pipes::optimizer::ToXml(plan);
+  auto via_xml = pipes::analysis::LintPlanXml(xml);
+  if (!via_xml.ok()) {
+    std::fprintf(stderr, "demo-plan xml: %s\n",
+                 via_xml.status().ToString().c_str());
+    return 2;
+  }
+  if (direct.value() != via_xml.value()) {
+    std::fprintf(stderr,
+                 "demo-plan: XML round-trip changed the diagnostics\n"
+                 "in-memory:\n%svia xml:\n%s",
+                 pipes::analysis::ToText(direct.value()).c_str(),
+                 pipes::analysis::ToText(via_xml.value()).c_str());
+    return 1;
+  }
+  Report("demo-plan", direct.value(), options, worst);
+  gate(direct.value());
+  std::printf("demo-plan: in-memory and XML round-trip diagnostics agree\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--rules") {
+      options.rules = true;
+    } else if (arg == "--fixtures") {
+      options.fixtures = true;
+    } else if (arg == "--demo-plan") {
+      options.demo_plan = true;
+    } else if (arg == "--fail-on=error") {
+      options.fail_on = Severity::kError;
+    } else if (arg == "--fail-on=warning") {
+      options.fail_on = Severity::kWarning;
+    } else if (arg == "--fail-on=note") {
+      options.fail_on = Severity::kNote;
+    } else if (arg == "--workload") {
+      if (++i == argc) return Usage(argv[0]);
+      options.workloads.push_back(argv[i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      options.plan_files.push_back(arg);
+    }
+  }
+  if (!options.rules && !options.fixtures && !options.demo_plan &&
+      options.workloads.empty() && options.plan_files.empty()) {
+    return Usage(argv[0]);
+  }
+
+  if (options.rules) {
+    for (const auto& rule : pipes::analysis::RuleCatalog()) {
+      std::printf("%s  %-7s  %s\n", rule.id,
+                  pipes::analysis::SeverityName(rule.severity),
+                  rule.summary);
+    }
+  }
+
+  int exit_code = 0;
+  if (options.fixtures) {
+    exit_code = std::max(exit_code, RunFixtures(options));
+  }
+
+  Severity worst = Severity::kNote;
+  bool any_findings = false;
+  const auto gate = [&](const std::vector<Diagnostic>& diags) {
+    if (!diags.empty() &&
+        pipes::analysis::MaxSeverity(diags) >= options.fail_on) {
+      any_findings = true;
+    }
+  };
+
+  for (const std::string& workload : options.workloads) {
+    pipes::analysis::LintSubject subject;
+    if (workload == "traffic") {
+      subject = pipes::analysis::BuildTrafficLintGraph();
+    } else if (workload == "nexmark") {
+      subject = pipes::analysis::BuildNexmarkLintGraph();
+    } else {
+      std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+      return 2;
+    }
+    const auto diags = subject.LintAll();
+    Report("workload:" + workload, diags, options, &worst);
+    gate(diags);
+  }
+
+  if (options.demo_plan) {
+    const int rc = RunDemoPlan(options, &worst, gate);
+    if (rc != 0) return rc;
+  }
+
+  for (const std::string& file : options.plan_files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream xml;
+    xml << in.rdbuf();
+    auto diags = pipes::analysis::LintPlanXml(xml.str());
+    if (!diags.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   diags.status().ToString().c_str());
+      return 2;
+    }
+    Report(file, diags.value(), options, &worst);
+    gate(diags.value());
+  }
+
+  if (any_findings) exit_code = std::max(exit_code, 1);
+  return exit_code;
+}

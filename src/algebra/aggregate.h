@@ -123,6 +123,13 @@ class TemporalAggregate : public UnaryPipe<In, typename Agg::Output> {
     return core_.num_segments() * (sizeof(typename Agg::State) + 48);
   }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<In, Output>::Describe();
+    d.op = "aggregate";
+    d.blocking = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<In>& e) override {
     core_.Add(e.start(), e.end(), value_fn_(e.payload));
@@ -174,6 +181,14 @@ class GroupedAggregate
     for (const auto& [key, core] : groups_) segments += core.num_segments();
     return groups_.size() * (sizeof(Key) + 64) +
            segments * (sizeof(typename Agg::State) + 48);
+  }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<In, Output>::Describe();
+    d.op = "group-aggregate";
+    d.blocking = true;
+    d.key_partitionable = true;
+    return d;
   }
 
  protected:

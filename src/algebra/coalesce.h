@@ -30,6 +30,13 @@ class Coalesce : public UnaryPipe<T, T> {
 
   std::uint64_t merged_count() const { return merged_; }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "coalesce";
+    d.has_batch_kernel = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     if (held_.has_value()) {

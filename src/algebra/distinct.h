@@ -32,6 +32,14 @@ class Distinct : public UnaryPipe<T, T> {
     return n;
   }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "distinct";
+    d.blocking = true;
+    d.key_partitionable = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     Merge(pending_[e.payload], e.interval);

@@ -24,6 +24,13 @@ class Filter : public UnaryPipe<T, T> {
   explicit Filter(Pred pred, std::string name = "filter")
       : UnaryPipe<T, T>(std::move(name)), pred_(std::move(pred)) {}
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "filter";
+    d.has_batch_kernel = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     if (pred_(e.payload)) {

@@ -28,6 +28,13 @@ class Intersect : public BinaryPipe<T, T, T> {
 
   std::size_t state_size() const { return payloads_.size(); }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = BinaryPipe<T, T, T>::Describe();
+    d.op = "intersect";
+    d.blocking = true;
+    return d;
+  }
+
  protected:
   void OnElementLeft(const StreamElement<T>& e) override {
     auto& state = payloads_[e.payload];

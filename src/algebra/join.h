@@ -78,6 +78,17 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
   /// Metadata-monitor hook: join state = both SweepAreas.
   std::size_t ApproxMemoryBytes() const override { return MemoryUsage(); }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = BinaryPipe<L, R, Out>::Describe();
+    d.op = std::string(LeftSA::kAreaName) + "-join";
+    d.blocking = true;
+    // Replicating by key is only sound when both probe directions are keyed
+    // equi-probes — must mirror the `algebra::KeyPartitionable` trait
+    // specialization (checked in tests/analysis_test.cc).
+    d.key_partitionable = LeftSA::kKeyedEquiProbe && RightSA::kKeyedEquiProbe;
+    return d;
+  }
+
  protected:
   void OnElementLeft(const StreamElement<L>& e) override {
     right_sa_.Query(e, [&](const StreamElement<R>& r) {

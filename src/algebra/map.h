@@ -21,6 +21,13 @@ class Map : public UnaryPipe<In, Out> {
   explicit Map(Fn fn, std::string name = "map")
       : UnaryPipe<In, Out>(std::move(name)), fn_(std::move(fn)) {}
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<In, Out>::Describe();
+    d.op = "map";
+    d.has_batch_kernel = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<In>& e) override {
     this->Transfer(StreamElement<Out>(fn_(e.payload), e.interval));

@@ -27,6 +27,13 @@ class IStream : public UnaryPipe<T, T> {
   explicit IStream(std::string name = "istream")
       : UnaryPipe<T, T>(std::move(name)) {}
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "istream";
+    d.bounds_validity = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     this->Transfer(StreamElement<T>::Point(e.payload, e.start()));
@@ -42,6 +49,16 @@ class DStream : public UnaryPipe<T, T> {
  public:
   explicit DStream(std::string name = "dstream")
       : UnaryPipe<T, T>(std::move(name)) {}
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "dstream";
+    // Output points land at input *ends*: results stage until the
+    // watermark passes them, and unbounded inputs produce nothing at all.
+    d.blocking = true;
+    d.bounds_validity = true;
+    return d;
+  }
 
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {

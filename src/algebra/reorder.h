@@ -44,6 +44,17 @@ class ReorderingSource : public Source<T> {
   /// Elements discarded because they arrived later than the slack bound.
   std::uint64_t dropped_count() const { return dropped_; }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kSource;
+    d.op = "reordering-source";
+    d.emits_heartbeats = true;
+    d.notes.push_back(
+        "reordering source drops elements arriving later than the slack "
+        "bound; results may silently drop data");
+    return d;
+  }
+
   std::size_t DoWork(std::size_t max_units) override {
     std::size_t n = 0;
     while (n < max_units && !exhausted_) {

@@ -37,6 +37,13 @@ class Union : public BinaryPipe<T, T, T> {
   explicit Union(std::string name = "union")
       : BinaryPipe<T, T, T>(std::move(name)) {}
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = BinaryPipe<T, T, T>::Describe();
+    d.op = "union";
+    d.has_batch_kernel = true;
+    return d;
+  }
+
  protected:
   void OnElementLeft(const StreamElement<T>& e) override { Stage(0, e); }
   void OnElementRight(const StreamElement<T>& e) override { Stage(1, e); }

@@ -44,6 +44,14 @@ class TimeWindow : public UnaryPipe<T, T> {
     size_ = size;
   }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "time-window";
+    d.has_batch_kernel = true;
+    d.bounds_validity = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     this->Transfer(
@@ -85,6 +93,14 @@ class SlideWindow : public UnaryPipe<T, T> {
 
   Timestamp size() const { return size_; }
   Timestamp slide() const { return slide_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "slide-window";
+    d.has_batch_kernel = true;
+    d.bounds_validity = true;
+    return d;
+  }
 
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
@@ -135,6 +151,14 @@ class UnboundedWindow : public UnaryPipe<T, T> {
   explicit UnboundedWindow(std::string name = "unbounded-window")
       : UnaryPipe<T, T>(std::move(name)) {}
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "unbounded-window";
+    d.has_batch_kernel = true;
+    d.unbounded_validity = true;
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     this->Transfer(StreamElement<T>(e.payload, e.start(), kMaxTimestamp));
@@ -167,6 +191,13 @@ class CountWindow : public UnaryPipe<T, T> {
   }
 
   std::size_t rows() const { return rows_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "count-window";
+    d.bounds_validity = true;
+    return d;
+  }
 
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
@@ -218,6 +249,14 @@ class PartitionedWindow : public UnaryPipe<T, T> {
         key_fn_(std::move(key_fn)),
         rows_(rows) {
     PIPES_CHECK(rows > 0);
+  }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.op = "partitioned-window";
+    d.bounds_validity = true;
+    d.key_partitionable = true;
+    return d;
   }
 
  protected:

@@ -1,0 +1,479 @@
+#include "src/analysis/fixtures.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/distinct.h"
+#include "src/algebra/filter.h"
+#include "src/algebra/parallel.h"
+#include "src/algebra/union.h"
+#include "src/algebra/window.h"
+#include "src/core/buffer.h"
+#include "src/core/generator_source.h"
+#include "src/core/parallel.h"
+#include "src/core/sink.h"
+#include "src/workloads/nexmark_queries.h"
+#include "src/workloads/traffic_queries.h"
+
+namespace pipes::analysis {
+namespace {
+
+struct Identity {
+  int operator()(const int& v) const { return v; }
+};
+struct AlwaysTrue {
+  bool operator()(const int&) const { return true; }
+};
+struct AsDouble {
+  double operator()(const int& v) const { return static_cast<double>(v); }
+};
+struct CombineSum {
+  int operator()(const int& l, const int& r) const { return l + r; }
+};
+
+/// A correct-but-undeclared operator: forwards elements element-by-element
+/// and (deliberately) overrides no batch kernel — the P013 subject.
+class PlainRelay : public UnaryPipe<int, int> {
+ public:
+  explicit PlainRelay(std::string name = "relay")
+      : UnaryPipe<int, int>(std::move(name)) {}
+
+ protected:
+  void PortElement(int /*port_id*/, const StreamElement<int>& e) override {
+    this->Transfer(e);
+  }
+};
+
+/// A source that never heartbeats (e.g. a raw network tap with no progress
+/// protocol) — the P014 subject.
+class SilentSource : public VectorSource<int> {
+ public:
+  explicit SilentSource(std::string name = "silent")
+      : VectorSource<int>({}, std::move(name)) {}
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = VectorSource<int>::Describe();
+    d.op = "silent-source";
+    d.emits_heartbeats = false;
+    return d;
+  }
+};
+
+std::shared_ptr<QueryGraph> NewGraph() {
+  return std::make_shared<QueryGraph>();
+}
+
+int ActiveIndexOf(const QueryGraph& graph, const Node* node) {
+  const std::vector<Node*> active = graph.ActiveNodes();
+  const auto it = std::find(active.begin(), active.end(), node);
+  PIPES_CHECK(it != active.end());
+  return static_cast<int>(it - active.begin());
+}
+
+// --- One builder per rule ----------------------------------------------------
+
+LintSubject BuildCycle() {  // P001
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& a = s.graph->Add<BasicBuffer<int>>("loop-a");
+  auto& b = s.graph->Add<BasicBuffer<int>>("loop-b");
+  a.AddSubscriber(b.input());
+  b.AddSubscriber(a.input());
+  return s;
+}
+
+LintSubject BuildForeignEdge() {  // P002
+  LintSubject s;
+  s.graph = NewGraph();
+  auto foreign = std::make_shared<CountingSink<int>>("foreign-sink");
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  src.AddSubscriber(foreign->input());
+  s.keepalive = foreign;
+  return s;
+}
+
+LintSubject BuildDanglingInput() {  // P003
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& filter = s.graph->Add<algebra::Filter<int, AlwaysTrue>>(
+      AlwaysTrue{}, "orphan-filter");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  filter.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildUnsubscribedOutput() {  // P004
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& dead = s.graph->Add<algebra::Filter<int, AlwaysTrue>>(AlwaysTrue{},
+                                                              "dead-end");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(dead.input());
+  src.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildSinkUnreachable() {  // P005
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& filter =
+      s.graph->Add<algebra::Filter<int, AlwaysTrue>>(AlwaysTrue{}, "f");
+  src.AddSubscriber(filter.input());
+  return s;
+}
+
+LintSubject BuildUnboundedBlocking() {  // P006
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& window =
+      s.graph->Add<algebra::UnboundedWindow<int>>("unbounded-window");
+  auto& agg = s.graph->Add<
+      algebra::TemporalAggregate<int, algebra::MaxAgg<double>, AsDouble>>(
+      AsDouble{}, "aggregate");
+  auto& sink = s.graph->Add<CountingSink<double>>("sink");
+  src.AddSubscriber(window.input());
+  window.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildPartitionUnmerged() {  // P007
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& split = s.graph->Add<Partition<int, Identity>>(2, Identity{},
+                                                       "partition");
+  src.AddSubscriber(split.input());
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& buf = s.graph->Add<BasicBuffer<int>>("buf-" + std::to_string(i));
+    auto& sink =
+        s.graph->Add<CountingSink<int>>("sink-" + std::to_string(i));
+    split.AddSubscriber(i, buf.input());
+    buf.AddSubscriber(sink.input());
+  }
+  return s;
+}
+
+LintSubject BuildMergeFaninMismatch() {  // P008
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& split = s.graph->Add<Partition<int, Identity>>(3, Identity{},
+                                                       "partition");
+  auto& merge = s.graph->Add<Merge<int>>(2, "merge");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(split.input());
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto& buf = s.graph->Add<BasicBuffer<int>>("buf-" + std::to_string(i));
+    split.AddSubscriber(i, buf.input());
+    if (i < 2) {
+      buf.AddSubscriber(merge.input(i));
+    } else {
+      auto& spill = s.graph->Add<CountingSink<int>>("spill");
+      buf.AddSubscriber(spill.input());
+    }
+  }
+  merge.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildNonpartitionableReplica() {  // P009
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& split = s.graph->Add<Partition<int, Identity>>(2, Identity{},
+                                                       "partition");
+  auto& merge = s.graph->Add<Merge<double>>(2, "merge");
+  auto& sink = s.graph->Add<CountingSink<double>>("sink");
+  src.AddSubscriber(split.input());
+  for (std::size_t i = 0; i < 2; ++i) {
+    // A *scalar* aggregate: its single sweep-line spans all keys, so a
+    // keyed split computes per-partition maxima, not the global one.
+    auto& buf = s.graph->Add<BasicBuffer<int>>("buf-" + std::to_string(i));
+    auto& agg = s.graph->Add<
+        algebra::TemporalAggregate<int, algebra::MaxAgg<double>, AsDouble>>(
+        AsDouble{}, "agg-" + std::to_string(i));
+    split.AddSubscriber(i, buf.input());
+    buf.AddSubscriber(agg.input());
+    agg.AddSubscriber(merge.input(i));
+  }
+  merge.AddSubscriber(sink.input());
+  return s;
+}
+
+/// A correctly built replicated Distinct stage: the base for the
+/// assignment fixtures, which then perturb the pinned assignment.
+LintSubject BuildParallelDistinct(int num_workers) {
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto chain =
+      algebra::MakeKeyedParallel<algebra::Distinct<int>>(*s.graph, 2,
+                                                         Identity{});
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(*chain.input);
+  chain.output->AddSubscriber(sink.input());
+  s.assignment = chain.PinnedAssignment(*s.graph, num_workers);
+  s.num_workers = num_workers;
+  // Stash the handles the perturbing builders need.
+  s.keepalive = std::make_shared<algebra::ParallelChain<int, int>>(chain);
+  return s;
+}
+
+LintSubject BuildMergeOffWorkerZero() {  // P010
+  LintSubject s = BuildParallelDistinct(3);
+  const auto& chain =
+      *std::static_pointer_cast<algebra::ParallelChain<int, int>>(
+          s.keepalive);
+  s.assignment[ActiveIndexOf(*s.graph, chain.replica_outputs[0])] = 1;
+  return s;
+}
+
+LintSubject BuildReplicaSplit() {  // P011
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& left = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "left-src");
+  auto& right = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "right-src");
+  auto chain = algebra::MakeParallelHashJoin<int, int>(
+      *s.graph, 2, Identity{}, Identity{}, CombineSum{});
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  left.AddSubscriber(*chain.left);
+  right.AddSubscriber(*chain.right);
+  chain.output->AddSubscriber(sink.input());
+  s.num_workers = 3;
+  s.assignment = chain.PinnedAssignment(*s.graph, s.num_workers);
+  // Split replica 0's two input buffers across workers 1 and 2.
+  s.assignment[ActiveIndexOf(*s.graph, chain.replica_inputs[0][0])] = 1;
+  s.assignment[ActiveIndexOf(*s.graph, chain.replica_inputs[0][1])] = 2;
+  return s;
+}
+
+LintSubject BuildReplicaCollision() {  // P012
+  LintSubject s = BuildParallelDistinct(3);
+  const auto& chain =
+      *std::static_pointer_cast<algebra::ParallelChain<int, int>>(
+          s.keepalive);
+  // Pile both replicas onto worker 1; worker 2 idles.
+  for (const auto& buffers : chain.replica_inputs) {
+    for (const Node* buffer : buffers) {
+      s.assignment[ActiveIndexOf(*s.graph, buffer)] = 1;
+    }
+  }
+  return s;
+}
+
+LintSubject BuildBatchPathBreak() {  // P013
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src", /*batch_size=*/8);
+  auto& relay = s.graph->Add<PlainRelay>("relay");
+  auto& filter =
+      s.graph->Add<algebra::Filter<int, AlwaysTrue>>(AlwaysTrue{}, "filter");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(relay.input());
+  relay.AddSubscriber(filter.input());
+  filter.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildStalledInput() {  // P014
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& silent = s.graph->Add<SilentSource>("silent");
+  auto& live = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "live");
+  auto& merge = s.graph->Add<algebra::Union<int>>("union");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  silent.AddSubscriber(merge.left());
+  live.AddSubscriber(merge.right());
+  merge.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildDeprecatedApi() {  // P015
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(sink.input());
+  src.metadata().SetGauge(
+      "lint.deprecated:built via a legacy wrapper; use the fluent builder",
+      1.0);
+  return s;
+}
+
+LintSubject BuildFootgunBuffer() {  // P016
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& buf =
+      s.graph->Add<BasicBuffer<int>>("lossy-buffer", /*capacity=*/8);
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(buf.input());
+  buf.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildAssignmentShape() {  // P017
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(sink.input());
+  s.assignment = {0, 0, 0};  // one active node, three entries
+  s.num_workers = 1;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintSubject::LintAll() const {
+  std::vector<Diagnostic> diags = Lint(*graph);
+  if (num_workers > 0) {
+    std::vector<Diagnostic> extra =
+        LintAssignment(*graph, assignment, num_workers);
+    diags.insert(diags.end(), extra.begin(), extra.end());
+  }
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.rule_id, a.node, a.path, a.message) <
+                     std::tie(b.rule_id, b.node, b.path, b.message);
+            });
+  return diags;
+}
+
+const std::vector<LintFixture>& BrokenGraphFixtures() {
+  static const std::vector<LintFixture> kFixtures = {
+      {"cycle", "P001", Severity::kError, "loop-a", "", BuildCycle},
+      {"foreign-edge", "P002", Severity::kError, "src", "",
+       BuildForeignEdge},
+      {"dangling-input", "P003", Severity::kError, "orphan-filter", "",
+       BuildDanglingInput},
+      {"unsubscribed-output", "P004", Severity::kWarning, "dead-end", "",
+       BuildUnsubscribedOutput},
+      {"sink-unreachable", "P005", Severity::kWarning, "src", "",
+       BuildSinkUnreachable},
+      {"unbounded-blocking", "P006", Severity::kWarning, "aggregate",
+       "unbounded-window -> aggregate", BuildUnboundedBlocking},
+      {"partition-unmerged", "P007", Severity::kWarning, "partition", "",
+       BuildPartitionUnmerged},
+      {"merge-fanin-mismatch", "P008", Severity::kError, "merge",
+       "partition -> merge", BuildMergeFaninMismatch},
+      {"nonpartitionable-replica", "P009", Severity::kError, "agg-0",
+       "partition -> agg-0", BuildNonpartitionableReplica},
+      {"merge-off-worker-zero", "P010", Severity::kError, "replica-out-0",
+       "replica-out-0 -> merge", BuildMergeOffWorkerZero},
+      {"replica-split", "P011", Severity::kError, "hash-join-0",
+       "hash-join-partition-l -> hash-join-0", BuildReplicaSplit},
+      {"replica-collision", "P012", Severity::kWarning, "partition", "",
+       BuildReplicaCollision},
+      {"batch-path-break", "P013", Severity::kNote, "relay", "",
+       BuildBatchPathBreak},
+      {"stalled-input", "P014", Severity::kError, "union",
+       "silent -> union", BuildStalledInput},
+      {"deprecated-api", "P015", Severity::kWarning, "src", "",
+       BuildDeprecatedApi},
+      {"footgun-buffer", "P016", Severity::kNote, "lossy-buffer", "",
+       BuildFootgunBuffer},
+      {"assignment-shape", "P017", Severity::kError, "", "",
+       BuildAssignmentShape},
+  };
+  return kFixtures;
+}
+
+std::string CheckFixture(const LintFixture& fixture) {
+  const LintSubject subject = fixture.build();
+  const std::vector<Diagnostic> diags = subject.LintAll();
+  for (const Diagnostic& d : diags) {
+    if (d.rule_id == fixture.rule_id && d.severity == fixture.severity &&
+        d.node == fixture.node && d.path == fixture.path) {
+      if (d.message.empty()) {
+        return "fixture '" + fixture.name + "': " + fixture.rule_id +
+               " fired with an empty message";
+      }
+      return "";
+    }
+  }
+  std::ostringstream out;
+  out << "fixture '" << fixture.name << "': expected " << fixture.rule_id
+      << " (" << SeverityName(fixture.severity) << ") on node '"
+      << fixture.node << "'";
+  if (!fixture.path.empty()) out << " path '" << fixture.path << "'";
+  out << "; got " << diags.size() << " diagnostic(s):\n" << ToText(diags);
+  return out.str();
+}
+
+LintSubject BuildTrafficLintGraph() {
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& readings =
+      workloads::AddTrafficSource(*s.graph, workloads::TrafficOptions{},
+                                  /*batch_size=*/8);
+  auto& hov = workloads::BuildHovAverageSpeedQuery(*s.graph, readings,
+                                                   /*range=*/3600,
+                                                   /*slide=*/300);
+  auto& hov_sink = s.graph->Add<
+      CountingSink<std::pair<std::int32_t, double>>>("hov-sink");
+  hov.AddSubscriber(hov_sink.input());
+
+  auto& alarms = workloads::BuildCongestionQuery(
+      *s.graph, readings, /*direction=*/0, /*avg_window=*/300,
+      /*avg_slide=*/60, /*speed_threshold=*/40.0, /*min_duration=*/900);
+  auto& alarm_sink =
+      s.graph->Add<CountingSink<workloads::Sustained<std::int32_t>>>(
+          "alarm-sink");
+  alarms.AddSubscriber(alarm_sink.input());
+  return s;
+}
+
+LintSubject BuildNexmarkLintGraph() {
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& events = workloads::AddNexmarkSource(
+      *s.graph, workloads::NexmarkOptions{}, /*batch_size=*/8);
+  auto& bids = workloads::BuildBidStream(*s.graph, events);
+
+  auto& highest = workloads::BuildHighestBidQuery(*s.graph, bids,
+                                                  /*period=*/60000);
+  auto& highest_sink = s.graph->Add<CountingSink<double>>("highest-sink");
+  highest.AddSubscriber(highest_sink.input());
+
+  // The replicated flavour of the per-auction statistics, with the pinned
+  // assignment — the clean counterpart of the P010–P012 fixtures.
+  auto chain = algebra::MakeKeyedParallel<workloads::BidsPerAuction>(
+      *s.graph, 2, workloads::AuctionOfBid{}, workloads::AuctionOfBid{},
+      workloads::PriceOf{});
+  auto& stats_sink =
+      s.graph->Add<CountingSink<workloads::BidsPerAuction::Output>>(
+          "stats-sink");
+  bids.AddSubscriber(*chain.input);
+  chain.output->AddSubscriber(stats_sink.input());
+  s.num_workers = 3;
+  s.assignment = chain.PinnedAssignment(*s.graph, s.num_workers);
+  return s;
+}
+
+}  // namespace pipes::analysis

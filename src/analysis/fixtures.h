@@ -1,0 +1,65 @@
+#ifndef PIPES_ANALYSIS_FIXTURES_H_
+#define PIPES_ANALYSIS_FIXTURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/core/graph.h"
+
+/// \file
+/// The lint corpus: deliberately broken graphs, one per rule, shared by the
+/// analyzer tests and the `pipes_lint --fixtures` CI gate — plus clean
+/// builds of both demo workloads, which must lint without warnings. Keeping
+/// the corpus in the library (not the test binary) lets the CLI re-verify
+/// the whole catalog in CI without recompiling tests.
+
+namespace pipes::analysis {
+
+/// A graph under analysis, with everything needed to lint it.
+struct LintSubject {
+  std::shared_ptr<QueryGraph> graph;
+  /// Nodes deliberately allocated outside the graph (the foreign-edge
+  /// fixture); destroyed after the graph.
+  std::shared_ptr<void> keepalive;
+  /// When `num_workers` > 0, `LintAll` also runs `LintAssignment` with
+  /// these.
+  std::vector<int> assignment;
+  int num_workers = 0;
+
+  /// `Lint(*graph)` plus, when an assignment is attached,
+  /// `LintAssignment(...)` — merged and re-sorted.
+  std::vector<Diagnostic> LintAll() const;
+};
+
+/// One entry of the broken-graph corpus: building it and linting must
+/// produce a diagnostic with exactly these coordinates.
+struct LintFixture {
+  std::string name;
+  /// The rule this fixture exists to trigger.
+  std::string rule_id;
+  Severity severity = Severity::kNote;
+  /// Expected `Diagnostic::node` (empty for graph-level findings).
+  std::string node;
+  /// Expected `Diagnostic::path` (empty when the rule has no provenance).
+  std::string path;
+  LintSubject (*build)();
+};
+
+/// The corpus, in rule order. Every rule of `RuleCatalog()` is covered.
+const std::vector<LintFixture>& BrokenGraphFixtures();
+
+/// Checks one fixture: lints its subject and verifies the expected
+/// diagnostic is present. Returns the failure text, or empty on pass.
+std::string CheckFixture(const LintFixture& fixture);
+
+/// Clean builds of the demo workloads (traffic congestion query chain,
+/// NEXMark bid statistics + open-auction join). Both must produce no
+/// diagnostics of severity >= kWarning.
+LintSubject BuildTrafficLintGraph();
+LintSubject BuildNexmarkLintGraph();
+
+}  // namespace pipes::analysis
+
+#endif  // PIPES_ANALYSIS_FIXTURES_H_

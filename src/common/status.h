@@ -117,17 +117,23 @@ class Result {
   std::variant<T, Status> data_;
 };
 
-/// Propagates a non-OK status to the caller.
-#define PIPES_RETURN_IF_ERROR(expr)           \
-  do {                                        \
-    ::pipes::Status _pipes_status = (expr);   \
-    if (!_pipes_status.ok()) {                \
-      return _pipes_status;                   \
-    }                                         \
-  } while (false)
-
 #define PIPES_INTERNAL_CONCAT_IMPL(a, b) a##b
 #define PIPES_INTERNAL_CONCAT(a, b) PIPES_INTERNAL_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK status to the caller. The temporary's name is
+/// line-unique so nested uses (e.g. inside a lambda passed to another
+/// checked call) do not shadow each other.
+#define PIPES_INTERNAL_RETURN_IF_ERROR(var, expr) \
+  do {                                            \
+    ::pipes::Status var = (expr);                 \
+    if (!var.ok()) {                              \
+      return var;                                 \
+    }                                             \
+  } while (false)
+
+#define PIPES_RETURN_IF_ERROR(expr)      \
+  PIPES_INTERNAL_RETURN_IF_ERROR(        \
+      PIPES_INTERNAL_CONCAT(_pipes_status_, __LINE__), expr)
 
 #define PIPES_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
   auto var = (expr);                                    \

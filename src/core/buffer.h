@@ -55,6 +55,19 @@ class BasicBuffer : public UnaryPipe<T, T> {
 
   bool is_active() const override { return true; }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<T, T>::Describe();
+    d.kind = NodeDescriptor::Kind::kBuffer;
+    d.op = "buffer";
+    d.has_batch_kernel = true;
+    if (capacity_ > 0) {
+      d.notes.push_back(
+          "bounded buffer sheds oldest elements under overload (capacity " +
+          std::to_string(capacity_) + "); results may silently drop data");
+    }
+    return d;
+  }
+
   bool HasWork() const override {
     std::lock_guard<Mutex> lock(mu_);
     return !queue_.empty();

@@ -1,0 +1,101 @@
+#ifndef PIPES_CORE_DESCRIPTOR_H_
+#define PIPES_CORE_DESCRIPTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file
+/// Static self-description of query-graph nodes, the introspection surface
+/// the static analyzer (`src/analysis/`) walks. Every node can answer "what
+/// kind of thing am I, and which composition contracts do I participate
+/// in?" without the analyzer knowing its element types — the runtime
+/// equivalent of the compile-time traits (`algebra::KeyPartitionable`,
+/// batch-kernel overrides) that type erasure hides once operators sit
+/// behind untyped `Node*` edges.
+///
+/// Descriptors are *declarations*: a node vouches for its own contract
+/// flags, and `tests/analysis_test.cc` holds the declared flags to the
+/// compile-time traits where both exist. `Describe()` is meant for
+/// analysis before (or after) a run, not concurrently with a scheduler.
+
+namespace pipes {
+
+class Node;
+
+/// One node's static contract card.
+struct NodeDescriptor {
+  /// Structural role in the pub-sub graph.
+  enum class Kind {
+    kOpaque,     ///< Unknown: the node does not describe itself.
+    kSource,     ///< Root producer (generator, reordering adapter).
+    kOperator,   ///< Pipe: consumes and produces.
+    kBuffer,     ///< Queueing identity at a scheduling boundary.
+    kPartition,  ///< Keyed splitter of a replicated stage.
+    kMerge,      ///< Order-restoring combiner of a replicated stage.
+    kSink,       ///< Terminal consumer.
+  };
+
+  Kind kind = Kind::kOpaque;
+
+  /// Operator family, e.g. "filter", "time-window", "hash-join". Purely
+  /// informative; rules key off the flags, not this string.
+  std::string op = "opaque";
+
+  /// Per declared input port: how many upstreams are currently subscribed.
+  /// Empty when the node has no input ports (sources) or does not expose
+  /// them (opaque nodes) — rules that need arity skip empty vectors.
+  std::vector<std::size_t> port_upstreams;
+
+  /// Accumulates state that is only released/purged by watermark progress
+  /// (join, aggregate, distinct, difference, intersect, multiway join).
+  bool blocking = false;
+
+  /// Overrides the batched delivery path (`PortBatch` kernel, or a source
+  /// emitting `TransferBatch` trains). DESIGN.md "Batched delivery".
+  bool has_batch_kernel = false;
+
+  /// Safe to clone into keyed shared-nothing replicas — must agree with
+  /// `algebra::KeyPartitionable` where the compile-time trait exists.
+  bool key_partitionable = false;
+
+  /// Rewrites every output validity to a bounded interval (window
+  /// operators, relation-to-stream): downstream state purges again even if
+  /// the input was unbounded.
+  bool bounds_validity = false;
+
+  /// May emit elements valid forever (`UnboundedWindow`): blocking
+  /// consumers downstream never purge.
+  bool unbounded_validity = false;
+
+  /// Source-kind nodes only: whether the node advances downstream
+  /// watermarks (implicit heartbeats from monotone element starts, or
+  /// explicit ones). A non-emitting source stalls every fan-in it feeds.
+  bool emits_heartbeats = true;
+
+  /// Partition only: number of keyed outputs.
+  std::size_t fan_out = 0;
+
+  /// Merge only: number of replica input ports.
+  std::size_t fan_in = 0;
+
+  /// Partition only: the subscriber nodes of each keyed output, by output
+  /// index — what `Node::downstream()` flattens away and replica-stage
+  /// analysis needs back.
+  std::vector<std::vector<const Node*>> output_subscribers;
+
+  /// Foot-gun notes the node wants surfaced (e.g. a bounded buffer that
+  /// sheds elements). Reported by the lint rule for foot-gun APIs.
+  std::vector<std::string> notes;
+
+  /// Non-empty when the node was built through a deprecated API; the text
+  /// is the migration hint.
+  std::string deprecated;
+};
+
+/// Readable name of a descriptor kind ("source", "buffer", ...).
+const char* NodeKindName(NodeDescriptor::Kind kind);
+
+}  // namespace pipes
+
+#endif  // PIPES_CORE_DESCRIPTOR_H_

@@ -44,6 +44,16 @@ class GeneratorSource : public Source<T> {
   bool HasWork() const override { return !exhausted_; }
   bool IsFinished() const override { return exhausted_; }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kSource;
+    d.op = "generator-source";
+    d.has_batch_kernel = batch_size_ > 1;
+    // Monotone element starts advance downstream watermarks implicitly.
+    d.emits_heartbeats = true;
+    return d;
+  }
+
   std::size_t DoWork(std::size_t max_units) override {
     std::size_t n = 0;
     if (batch_size_ <= 1) {

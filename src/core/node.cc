@@ -12,6 +12,33 @@ Node::~Node() = default;
 
 std::size_t Node::DoWork(std::size_t /*max_units*/) { return 0; }
 
+NodeDescriptor Node::Describe() const {
+  NodeDescriptor d;
+  d.kind = NodeDescriptor::Kind::kOpaque;
+  d.op = "opaque";
+  return d;
+}
+
+const char* NodeKindName(NodeDescriptor::Kind kind) {
+  switch (kind) {
+    case NodeDescriptor::Kind::kSource:
+      return "source";
+    case NodeDescriptor::Kind::kOperator:
+      return "operator";
+    case NodeDescriptor::Kind::kBuffer:
+      return "buffer";
+    case NodeDescriptor::Kind::kPartition:
+      return "partition";
+    case NodeDescriptor::Kind::kMerge:
+      return "merge";
+    case NodeDescriptor::Kind::kSink:
+      return "sink";
+    case NodeDescriptor::Kind::kOpaque:
+      break;
+  }
+  return "opaque";
+}
+
 std::uint64_t Node::NextId() {
   return g_next_node_id.fetch_add(1, std::memory_order_relaxed);
 }

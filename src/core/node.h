@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/core/descriptor.h"
 #include "src/core/metrics.h"
 #include "src/metadata/registry.h"
 
@@ -78,6 +79,15 @@ class Node {
   /// partition-skew metric (max/mean). Reading must be safe concurrently
   /// with a running scheduler (relaxed atomics).
   virtual std::vector<std::uint64_t> PartitionCounts() const { return {}; }
+
+  // --- Static introspection -------------------------------------------------
+
+  /// The node's static contract card, consumed by `analysis::Lint`. The
+  /// base implementation reports an opaque node (unknown kind, no contract
+  /// flags); typed bases and operators override it to declare their role,
+  /// per-port arity, and composition contracts. Not safe to call while a
+  /// scheduler is mutating subscriptions.
+  virtual NodeDescriptor Describe() const;
 
   // --- Secondary metadata ---------------------------------------------------
   // Hot-path counters: relaxed atomics written from inside the transfer

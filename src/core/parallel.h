@@ -108,6 +108,22 @@ class Partition : public Node, public PortOwner<T> {
     return counts;
   }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kPartition;
+    d.op = "partition";
+    d.port_upstreams = {input_.num_upstreams()};
+    d.has_batch_kernel = true;
+    d.fan_out = outputs_.size();
+    d.output_subscribers.resize(outputs_.size());
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      for (const Subscription& s : outputs_[i].subscriptions) {
+        d.output_subscribers[i].push_back(s.port->owner_node());
+      }
+    }
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
     const std::size_t p = PartitionIndex(e.payload);
@@ -217,6 +233,19 @@ class Merge : public Source<T>, public PortOwner<T> {
 
   std::size_t ApproxMemoryBytes() const override {
     return staged_.size() * (sizeof(StreamElement<T>) + 16);
+  }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kMerge;
+    d.op = "merge";
+    d.port_upstreams.reserve(ports_.size());
+    for (const auto& port : ports_) {
+      d.port_upstreams.push_back(port->num_upstreams());
+    }
+    d.has_batch_kernel = true;
+    d.fan_in = ports_.size();
+    return d;
   }
 
  protected:

@@ -39,6 +39,14 @@ class UnaryPipe : public Source<Out>, public PortOwner<In> {
   /// The input to subscribe sources to.
   InputPort<In>& input() { return input_; }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kOperator;
+    d.op = "unary-pipe";
+    d.port_upstreams = {input_.num_upstreams()};
+    return d;
+  }
+
  protected:
   void PortProgress(int /*port_id*/, Timestamp watermark) override {
     this->TransferHeartbeat(watermark);
@@ -156,6 +164,14 @@ class BinaryPipe : public Source<Out>,
 
   InputPort<L>& left() { return left_; }
   InputPort<R>& right() { return right_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kOperator;
+    d.op = "binary-pipe";
+    d.port_upstreams = {left_.num_upstreams(), right_.num_upstreams()};
+    return d;
+  }
 
  protected:
   /// min over both input watermarks: no future element on either input

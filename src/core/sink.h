@@ -35,6 +35,14 @@ class Sink : public Node, public PortOwner<T> {
   /// Merged input watermark.
   Timestamp watermark() const { return input_.watermark(); }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kSink;
+    d.op = "sink";
+    d.port_upstreams = {input_.num_upstreams()};
+    return d;
+  }
+
  protected:
   void PortProgress(int /*port_id*/, Timestamp /*watermark*/) override {}
   void PortDone(int /*port_id*/) override { done_ = true; }
@@ -53,6 +61,13 @@ class CollectorSink : public Sink<T> {
 
   const std::vector<StreamElement<T>>& elements() const { return elements_; }
   std::vector<StreamElement<T>>& mutable_elements() { return elements_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = Sink<T>::Describe();
+    d.op = "collector-sink";
+    d.has_batch_kernel = true;
+    return d;
+  }
 
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
@@ -77,6 +92,13 @@ class CountingSink : public Sink<T> {
       : Sink<T>(std::move(name)) {}
 
   std::uint64_t count() const { return count_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = Sink<T>::Describe();
+    d.op = "counting-sink";
+    d.has_batch_kernel = true;
+    return d;
+  }
 
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {
@@ -107,6 +129,12 @@ class CallbackSink : public Sink<T> {
 
   CallbackSink(Callback callback, std::string name = "callback")
       : Sink<T>(std::move(name)), callback_(std::move(callback)) {}
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = Sink<T>::Describe();
+    d.op = "callback-sink";
+    return d;
+  }
 
  protected:
   void PortElement(int /*port_id*/, const StreamElement<T>& e) override {

@@ -29,6 +29,12 @@ class HashSweepArea {
  public:
   using Key = std::decay_t<std::invoke_result_t<KeyS, const Stored&>>;
 
+  /// Descriptor tag: probes hit exactly one key bucket, so a join over two
+  /// hash areas is a keyed equi-join and safe to replicate per key
+  /// (`algebra::KeyPartitionable`).
+  static constexpr bool kKeyedEquiProbe = true;
+  static constexpr const char* kAreaName = "hash";
+
   HashSweepArea(KeyS key_stored, KeyP key_probe,
                 Residual residual = Residual())
       : key_stored_(std::move(key_stored)),

@@ -21,6 +21,11 @@ namespace pipes::sweeparea {
 template <typename Stored, typename Probe, typename Pred>
 class ListSweepArea {
  public:
+  /// Descriptor tag: a probe may match any stored element (arbitrary theta
+  /// predicate), so joins over list areas must not be key-replicated.
+  static constexpr bool kKeyedEquiProbe = false;
+  static constexpr const char* kAreaName = "list";
+
   explicit ListSweepArea(Pred pred) : pred_(std::move(pred)) {}
 
   void Insert(const StreamElement<Stored>& element) {

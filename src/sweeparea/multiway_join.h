@@ -53,6 +53,18 @@ class MultiwayJoin : public Source<std::vector<T>>, public PortOwner<T> {
     return total;
   }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kOperator;
+    d.op = "multiway-join";
+    d.port_upstreams.reserve(ports_.size());
+    for (const auto& port : ports_) {
+      d.port_upstreams.push_back(port->num_upstreams());
+    }
+    d.blocking = true;
+    return d;
+  }
+
  protected:
   void PortElement(int port_id, const StreamElement<T>& e) override {
     const auto origin = static_cast<std::size_t>(port_id);

@@ -29,6 +29,12 @@ class TreeSweepArea {
  public:
   using Key = std::decay_t<std::invoke_result_t<KeyS, const Stored&>>;
 
+  /// Descriptor tag: probes hit a key *range* (band joins), which crosses
+  /// hash-partition boundaries, so tree-area joins must not be
+  /// key-replicated.
+  static constexpr bool kKeyedEquiProbe = false;
+  static constexpr const char* kAreaName = "tree";
+
   TreeSweepArea(KeyS key_stored, RangeP range_probe,
                 Residual residual = Residual())
       : key_stored_(std::move(key_stored)),

@@ -60,6 +60,12 @@ class SustainedConditionDetector
     PIPES_CHECK(min_duration > 0);
   }
 
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = UnaryPipe<In, Alarm>::Describe();
+    d.op = "sustained-condition";
+    return d;
+  }
+
  protected:
   void PortElement(int /*port_id*/, const StreamElement<In>& e) override {
     const Key key = key_fn_(e.payload);

@@ -88,7 +88,9 @@ TEST(ObservabilityTest, CountersAndSelectivity) {
   EXPECT_EQ(fs->subscribers, 1u);
   // Every node saw the final watermark, so nothing lags.
   for (const metadata::NodeSnapshot& n : snap.nodes) {
-    if (n.has_progress) EXPECT_EQ(n.watermark_lag, 0);
+    if (n.has_progress) {
+      EXPECT_EQ(n.watermark_lag, 0);
+    }
   }
   EXPECT_EQ(snap.edges.size(), 2u);
 }
