@@ -1,0 +1,137 @@
+// Simulation-harness throughput: how many fuzz cases per second the
+// generator, the materializing reference executor, the differential
+// oracles, and the full schedule explorer sustain.
+//
+// The fuzzer's value scales with its case rate — the nightly campaign is
+// time-boxed (--minutes 15), so a 2x regression here halves the nightly
+// coverage. The CI bench-smoke job runs this via the shared `--smoke`
+// driver; locally, plain google-benchmark flags apply.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/testing/generate.h"
+#include "src/testing/harness.h"
+#include "src/testing/oracles.h"
+#include "src/testing/reference.h"
+#include "src/testing/spec.h"
+
+namespace {
+
+using namespace pipes::testing;  // NOLINT
+
+struct PreparedCase {
+  PlanSpec spec;
+  std::vector<Stream> raw;
+  std::vector<Stream> canonical;
+  std::vector<StreamProfile> profiles;
+  Stream expected;
+};
+
+/// Pre-generates a pool of cases so the measured loops exercise exactly one
+/// stage (reference eval, oracle compare, ...) instead of re-paying the
+/// generator each iteration.
+std::vector<PreparedCase> PrepareCases(std::uint64_t base_seed, int count) {
+  std::vector<PreparedCase> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pipes::Random rng(CaseSeed(base_seed, static_cast<std::uint64_t>(i)));
+    PreparedCase c;
+    GeneratedCase gc = GenerateCase(rng, GenOptions{});
+    c.spec = gc.spec;
+    c.profiles = gc.profiles;
+    for (const StreamProfile& profile : gc.profiles) {
+      c.raw.push_back(GenerateStream(rng, profile));
+      c.canonical.push_back(Canonicalize(c.raw.back()));
+    }
+    c.expected = EvalReference(c.spec, c.canonical);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+/// Plan + stream generation alone: the cost floor of every fuzz case.
+void BM_GenerateCase(benchmark::State& state) {
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    pipes::Random rng(CaseSeed(42, index++));
+    GeneratedCase gc = GenerateCase(rng, GenOptions{});
+    std::size_t total = 0;
+    for (const StreamProfile& profile : gc.profiles) {
+      total += GenerateStream(rng, profile).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cases/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GenerateCase);
+
+/// The materializing reference executor over a pool of generated plans.
+void BM_ReferenceEval(benchmark::State& state) {
+  const std::vector<PreparedCase> pool = PrepareCases(7, 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const PreparedCase& c = pool[i++ % pool.size()];
+    Stream out = EvalReference(c.spec, c.canonical);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cases/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceEval);
+
+/// Snapshot-equivalence sweep (the dominant oracle) on reference outputs.
+void BM_OracleSnapshotCompare(benchmark::State& state) {
+  const std::vector<PreparedCase> pool = PrepareCases(11, 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const PreparedCase& c = pool[i++ % pool.size()];
+    auto violation =
+        CompareSnapshots(c.expected, c.expected, SnapRel::kEqual);
+    benchmark::DoNotOptimize(violation);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["compares/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OracleSnapshotCompare);
+
+/// One full fuzz case: every execution arm (schedules, faults, rewrites,
+/// parallel replication) plus all oracles. This is the campaign's true
+/// cases-per-second number.
+void BM_FullCase(benchmark::State& state) {
+  const std::vector<PreparedCase> pool = PrepareCases(3, 8);
+  HarnessOptions options;
+  std::size_t i = 0;
+  std::uint64_t arms = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ % pool.size();
+    const PreparedCase& c = pool[k];
+    std::uint64_t case_arms = 0;
+    CaseResult r = RunCaseOnSpec(c.spec, c.raw, c.profiles,
+                                 CaseSeed(3, static_cast<std::uint64_t>(k)),
+                                 options, &case_arms);
+    arms += case_arms;
+    if (!r.ok()) {
+      state.SkipWithError("fuzz case failed inside the benchmark");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cases/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["arms"] = static_cast<double>(arms);
+}
+BENCHMARK(BM_FullCase)->Unit(benchmark::kMillisecond);
+
+}  // namespace

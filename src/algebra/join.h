@@ -72,6 +72,8 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
   /// Elements dropped by load shedding so far (accuracy loss indicator).
   std::uint64_t shed_count() const { return shed_count_; }
 
+  std::uint64_t ShedCount() const override { return shed_count_; }
+
   std::size_t left_state_size() const { return left_sa_.size(); }
   std::size_t right_state_size() const { return right_sa_.size(); }
 

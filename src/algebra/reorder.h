@@ -44,6 +44,8 @@ class ReorderingSource : public Source<T> {
   /// Elements discarded because they arrived later than the slack bound.
   std::uint64_t dropped_count() const { return dropped_; }
 
+  std::uint64_t ShedCount() const override { return dropped_; }
+
   NodeDescriptor Describe() const override {
     NodeDescriptor d;
     d.kind = NodeDescriptor::Kind::kSource;

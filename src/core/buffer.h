@@ -53,6 +53,8 @@ class BasicBuffer : public UnaryPipe<T, T> {
     return dropped_;
   }
 
+  std::uint64_t ShedCount() const override { return dropped_count(); }
+
   bool is_active() const override { return true; }
 
   NodeDescriptor Describe() const override {

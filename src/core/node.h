@@ -80,6 +80,13 @@ class Node {
   /// with a running scheduler (relaxed atomics).
   virtual std::vector<std::uint64_t> PartitionCounts() const { return {}; }
 
+  /// Elements this node dropped under resource pressure: buffer overflow
+  /// eviction or memory-manager-forced load shedding. Zero for nodes that
+  /// never shed. Together with elements_in/elements_out this closes the
+  /// conservation equation the simulation oracles check:
+  /// elements_in == elements_out + retained_state + shed.
+  virtual std::uint64_t ShedCount() const { return 0; }
+
   // --- Static introspection -------------------------------------------------
 
   /// The node's static contract card, consumed by `analysis::Lint`. The

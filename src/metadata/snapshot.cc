@@ -61,6 +61,7 @@ MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
     ns.batches_in = node->batches_in();
     ns.batches_out = node->batches_out();
     ns.selectivity = Selectivity(ns.elements_in, ns.elements_out);
+    ns.shed = node->ShedCount();
     ns.queue_size = node->queue_size();
     ns.memory_bytes = node->ApproxMemoryBytes();
     ns.subscribers = node->downstream().size();
@@ -181,6 +182,8 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     AppendU64(out, "batches_out", n.batches_out);
     out += ',';
     AppendDouble(out, "selectivity", n.selectivity);
+    out += ',';
+    AppendU64(out, "shed", n.shed);
     out += ',';
     AppendU64(out, "queue_size", n.queue_size);
     out += ',';
@@ -493,6 +496,7 @@ class JsonParser {
       if (key == "batches_in") return ParseU64(&out->batches_in);
       if (key == "batches_out") return ParseU64(&out->batches_out);
       if (key == "selectivity") return ParseDouble(&out->selectivity);
+      if (key == "shed") return ParseU64(&out->shed);
       if (key == "queue_size") return ParseU64(&out->queue_size);
       if (key == "memory_bytes") return ParseU64(&out->memory_bytes);
       if (key == "subscribers") return ParseU64(&out->subscribers);

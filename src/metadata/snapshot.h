@@ -39,6 +39,10 @@ struct NodeSnapshot {
   /// Cumulative elements_out / elements_in; 0 when nothing was consumed.
   double selectivity = 0.0;
 
+  /// Elements dropped under resource pressure (`Node::ShedCount`): bounded
+  /// buffers and load-shedding joins report here; 0 elsewhere.
+  std::uint64_t shed = 0;
+
   std::uint64_t queue_size = 0;
   /// Approximate bytes of operator state (SweepAreas, sweep-line segments,
   /// buffer queues).

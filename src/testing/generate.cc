@@ -1,0 +1,346 @@
+#include "src/testing/generate.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/macros.h"
+
+namespace pipes::testing {
+
+namespace {
+
+struct KindWeight {
+  OpKind kind;
+  int weight;
+};
+
+// Cheap, common shapes dominate; blocking binaries are rare enough that the
+// size estimator rarely has to reroll them.
+constexpr KindWeight kKindWeights[] = {
+    {OpKind::kFilter, 3},        {OpKind::kMap, 3},
+    {OpKind::kTimeWindow, 2},    {OpKind::kSlideWindow, 2},
+    {OpKind::kUnboundedWindow, 1}, {OpKind::kCountWindow, 1},
+    {OpKind::kPartitionedWindow, 1}, {OpKind::kUnion, 2},
+    {OpKind::kHashJoin, 1},      {OpKind::kSum, 1},
+    {OpKind::kGroupSum, 1},      {OpKind::kDistinct, 2},
+    {OpKind::kDifference, 1},    {OpKind::kIntersect, 1},
+    {OpKind::kIStream, 1},       {OpKind::kDStream, 1},
+};
+
+OpKind PickKind(Random& rng) {
+  int total = 0;
+  for (const KindWeight& kw : kKindWeights) total += kw.weight;
+  int roll = static_cast<int>(rng.NextBounded(total));
+  for (const KindWeight& kw : kKindWeights) {
+    roll -= kw.weight;
+    if (roll < 0) return kw.kind;
+  }
+  return OpKind::kFilter;
+}
+
+void FillParams(Random& rng, SpecNode& n) {
+  switch (n.kind) {
+    case OpKind::kFilter:
+      n.p0 = rng.UniformInt(1, 7);
+      n.p1 = rng.UniformInt(0, 7);
+      n.p2 = rng.UniformInt(2, 16);
+      n.p3 = rng.UniformInt(1, n.p2 - 1);
+      break;
+    case OpKind::kMap:
+      n.p0 = rng.UniformInt(1, 5);
+      n.p1 = rng.UniformInt(0, 999);
+      break;
+    case OpKind::kTimeWindow:
+      n.p0 = rng.UniformInt(1, 64);
+      break;
+    case OpKind::kSlideWindow:
+      n.p0 = rng.UniformInt(1, 48);
+      n.p1 = rng.UniformInt(1, 16);
+      break;
+    case OpKind::kCountWindow:
+      n.p0 = rng.UniformInt(1, 8);
+      break;
+    case OpKind::kPartitionedWindow:
+      n.p0 = rng.UniformInt(1, 4);
+      n.p1 = rng.UniformInt(2, 8);
+      break;
+    case OpKind::kHashJoin:
+      n.p0 = rng.UniformInt(2, 6);
+      break;
+    case OpKind::kGroupSum:
+      n.p0 = rng.UniformInt(2, 8);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Upper-bound estimate of a node's output cardinality, used to keep the
+/// materializing reference's quadratic sweeps within budget.
+std::size_t EstimateSize(const SpecNode& n, std::size_t in0, std::size_t in1) {
+  switch (n.kind) {
+    case OpKind::kUnion:
+      return in0 + in1;
+    case OpKind::kHashJoin:
+      return in0 * in1 / std::max<std::size_t>(1, n.p0) + 1;
+    case OpKind::kSum:
+    case OpKind::kGroupSum:
+      return 2 * in0 + 1;
+    case OpKind::kDifference:
+    case OpKind::kIntersect:
+      return 2 * (in0 + in1) + 1;
+    default:
+      return in0;
+  }
+}
+
+}  // namespace
+
+GeneratedCase GenerateCase(Random& rng, const GenOptions& opts) {
+  GeneratedCase out;
+  std::vector<std::size_t> est;
+  // reseg[i]: node i's subplan contains a resegmenting op, so its interval
+  // decomposition is schedule-dependent. Segmentation-sensitive ops
+  // (windows, istream/dstream) must not consume such subplans.
+  std::vector<bool> reseg;
+
+  const int num_streams = static_cast<int>(rng.UniformInt(1, opts.max_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    StreamProfile p;
+    p.num_elements = static_cast<std::size_t>(rng.UniformInt(
+        static_cast<std::int64_t>(opts.min_elements),
+        static_cast<std::int64_t>(opts.max_elements)));
+    p.domain = rng.UniformInt(8, 200);
+    p.zipf_theta = rng.Bernoulli(0.4) ? rng.UniformDouble(0.5, 1.2) : 0.0;
+    p.burst_prob = rng.UniformDouble(0.0, 0.5);
+    p.lull_prob = rng.UniformDouble(0.0, 0.15);
+    p.max_step = rng.UniformInt(1, 8);
+    p.lull_step = rng.UniformInt(16, 128);
+    p.disorder =
+        (opts.allow_disorder && rng.Bernoulli(0.3)) ? rng.UniformInt(1, 12) : 0;
+    out.profiles.push_back(p);
+
+    SpecNode src;
+    src.kind = OpKind::kSource;
+    src.stream = s;
+    out.spec.nodes.push_back(src);
+    est.push_back(p.num_elements);
+    reseg.push_back(false);
+  }
+
+  const int num_ops =
+      static_cast<int>(rng.UniformInt(opts.min_ops, opts.max_ops));
+  for (int k = 0; k < num_ops; ++k) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      SpecNode n;
+      n.kind = PickKind(rng);
+      FillParams(rng, n);
+      const OpTraits& t = TraitsOf(n.kind);
+      const int size = static_cast<int>(out.spec.nodes.size());
+      if (t.source_attached) {
+        n.in0 = static_cast<int>(rng.NextBounded(num_streams));
+      } else {
+        n.in0 = static_cast<int>(rng.NextBounded(size));
+      }
+      if (t.arity == 2) n.in1 = static_cast<int>(rng.NextBounded(size));
+      if (t.segmentation_sensitive && reseg[n.in0]) continue;  // reroll
+      const std::size_t e = EstimateSize(
+          n, est[n.in0], n.in1 >= 0 ? est[n.in1] : 0);
+      if (e > opts.max_est_size) continue;  // reroll: too expensive
+      out.spec.nodes.push_back(n);
+      est.push_back(e);
+      reseg.push_back(t.resegmenting || reseg[n.in0] ||
+                      (n.in1 >= 0 && reseg[n.in1]));
+      break;
+    }
+  }
+
+  // Union dangling subplans until exactly one root remains, so every node is
+  // reachable from the root and no generated work is dead.
+  std::vector<bool> consumed(out.spec.nodes.size(), false);
+  for (const SpecNode& n : out.spec.nodes) {
+    if (n.in0 >= 0) consumed[n.in0] = true;
+    if (n.in1 >= 0) consumed[n.in1] = true;
+  }
+  std::vector<int> dangling;
+  for (std::size_t i = 0; i < out.spec.nodes.size(); ++i) {
+    if (!consumed[i]) dangling.push_back(static_cast<int>(i));
+  }
+  PIPES_CHECK(!dangling.empty());
+  while (dangling.size() > 1) {
+    SpecNode u;
+    u.kind = OpKind::kUnion;
+    u.in1 = dangling.back();
+    dangling.pop_back();
+    u.in0 = dangling.back();
+    dangling.pop_back();
+    out.spec.nodes.push_back(u);
+    dangling.push_back(static_cast<int>(out.spec.nodes.size()) - 1);
+  }
+  out.spec.root = dangling.front();
+
+  out.spec.CheckValid();
+  return out;
+}
+
+namespace {
+
+bool PayloadOnly(OpKind k) {
+  return k == OpKind::kFilter || k == OpKind::kMap;
+}
+
+/// Operators that transform intervals but never read or write payloads, so
+/// they commute with the payload-only ones.
+bool IntervalOnly(OpKind k) {
+  return k == OpKind::kTimeWindow || k == OpKind::kSlideWindow ||
+         k == OpKind::kUnboundedWindow || k == OpKind::kIStream ||
+         k == OpKind::kDStream;
+}
+
+enum class RewriteKind {
+  kSwapPlain,        // parent/child commute verbatim
+  kSwapFilterMap,    // filter-over-map -> map-over-(filter ∘ map)
+  kFuseMapMap,       // map-over-map -> identity + fused map
+  kUnionSwap,        // swap union operands
+  kAppendIdentity,   // identity map above the root
+  kAppendDistinct,   // distinct idempotence above a distinct root
+};
+
+struct RewriteSite {
+  RewriteKind kind;
+  int parent = -1;  // index of the upper node (or the union / root)
+  int child = -1;   // index of the lower node for swaps/fusion
+};
+
+constexpr std::uint64_t kMod = static_cast<std::uint64_t>(kValModulus);
+
+/// (a2*x + b2) ∘ (a1*x + b1) folded into [0, kValModulus). Exact because
+/// every payload and coefficient is < kValModulus, so no uint64 overflow.
+std::pair<std::int64_t, std::int64_t> ComposeAffine(std::int64_t a2,
+                                                    std::int64_t b2,
+                                                    std::int64_t a1,
+                                                    std::int64_t b1) {
+  const std::uint64_t ua2 = static_cast<std::uint64_t>(PosMod(a2, kValModulus));
+  const std::uint64_t ub2 = static_cast<std::uint64_t>(PosMod(b2, kValModulus));
+  const std::uint64_t ua1 = static_cast<std::uint64_t>(PosMod(a1, kValModulus));
+  const std::uint64_t ub1 = static_cast<std::uint64_t>(PosMod(b1, kValModulus));
+  return {static_cast<std::int64_t>((ua2 * ua1) % kMod),
+          static_cast<std::int64_t>((ua2 * ub1 + ub2) % kMod)};
+}
+
+std::vector<RewriteSite> CollectSites(const PlanSpec& spec,
+                                      bool allow_append) {
+  std::vector<int> consumers(spec.nodes.size(), 0);
+  for (const SpecNode& n : spec.nodes) {
+    if (n.in0 >= 0) ++consumers[n.in0];
+    if (n.in1 >= 0) ++consumers[n.in1];
+  }
+  std::vector<RewriteSite> sites;
+  for (std::size_t j = 0; j < spec.nodes.size(); ++j) {
+    const SpecNode& p = spec.nodes[j];
+    if (p.kind == OpKind::kUnion) {
+      sites.push_back({RewriteKind::kUnionSwap, static_cast<int>(j), -1});
+    }
+    if (TraitsOf(p.kind).arity != 1) continue;
+    const int i = p.in0;
+    const SpecNode& c = spec.nodes[i];
+    if (TraitsOf(c.kind).arity != 1 || consumers[i] != 1) continue;
+    const bool commute =
+        (p.kind == OpKind::kFilter && c.kind == OpKind::kFilter) ||
+        (PayloadOnly(p.kind) && IntervalOnly(c.kind)) ||
+        (IntervalOnly(p.kind) && PayloadOnly(c.kind)) ||
+        (p.kind == OpKind::kFilter && c.kind == OpKind::kDistinct) ||
+        (p.kind == OpKind::kDistinct && c.kind == OpKind::kFilter);
+    if (commute) {
+      sites.push_back({RewriteKind::kSwapPlain, static_cast<int>(j), i});
+    } else if (p.kind == OpKind::kFilter && c.kind == OpKind::kMap) {
+      sites.push_back({RewriteKind::kSwapFilterMap, static_cast<int>(j), i});
+    } else if (p.kind == OpKind::kMap && c.kind == OpKind::kMap) {
+      sites.push_back({RewriteKind::kFuseMapMap, static_cast<int>(j), i});
+    }
+  }
+  if (allow_append) {
+    sites.push_back({RewriteKind::kAppendIdentity, spec.root, -1});
+    if (spec.nodes[spec.root].kind == OpKind::kDistinct) {
+      sites.push_back({RewriteKind::kAppendDistinct, spec.root, -1});
+    }
+  }
+  return sites;
+}
+
+void ApplySite(PlanSpec& spec, const RewriteSite& site) {
+  switch (site.kind) {
+    case RewriteKind::kSwapPlain:
+    case RewriteKind::kSwapFilterMap: {
+      SpecNode& lower = spec.nodes[site.child];
+      SpecNode& upper = spec.nodes[site.parent];
+      SpecNode new_lower = upper;   // parent's op moves below...
+      SpecNode new_upper = lower;   // ...child's op moves above
+      new_lower.in0 = lower.in0;
+      new_upper.in0 = site.child;
+      if (site.kind == RewriteKind::kSwapFilterMap) {
+        // filter(map(x)) == map(filter'(x)) with filter' = pred ∘ affine.
+        const auto [a, b] =
+            ComposeAffine(upper.p0, upper.p1, lower.p0, lower.p1);
+        new_lower.p0 = a;
+        new_lower.p1 = b;
+      }
+      lower = new_lower;
+      upper = new_upper;
+      break;
+    }
+    case RewriteKind::kFuseMapMap: {
+      SpecNode& lower = spec.nodes[site.child];
+      SpecNode& upper = spec.nodes[site.parent];
+      const auto [a, b] = ComposeAffine(upper.p0, upper.p1, lower.p0, lower.p1);
+      upper.p0 = a;
+      upper.p1 = b;
+      lower.p0 = 1;  // child degrades to the identity map
+      lower.p1 = 0;
+      break;
+    }
+    case RewriteKind::kUnionSwap:
+      std::swap(spec.nodes[site.parent].in0, spec.nodes[site.parent].in1);
+      break;
+    case RewriteKind::kAppendIdentity: {
+      SpecNode id;
+      id.kind = OpKind::kMap;
+      id.p0 = 1;
+      id.p1 = 0;
+      id.in0 = spec.root;
+      spec.nodes.push_back(id);
+      spec.root = static_cast<int>(spec.nodes.size()) - 1;
+      break;
+    }
+    case RewriteKind::kAppendDistinct: {
+      SpecNode d;
+      d.kind = OpKind::kDistinct;
+      d.in0 = spec.root;
+      spec.nodes.push_back(d);
+      spec.root = static_cast<int>(spec.nodes.size()) - 1;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+PlanSpec ApplyRandomRewrites(Random& rng, const PlanSpec& spec,
+                             int max_rewrites) {
+  PlanSpec out = spec;
+  bool appended = false;
+  for (int r = 0; r < max_rewrites; ++r) {
+    const std::vector<RewriteSite> sites = CollectSites(out, !appended);
+    if (sites.empty()) break;
+    const RewriteSite& site = sites[rng.NextBounded(sites.size())];
+    if (site.kind == RewriteKind::kAppendIdentity ||
+        site.kind == RewriteKind::kAppendDistinct) {
+      appended = true;
+    }
+    ApplySite(out, site);
+  }
+  out.CheckValid();
+  return out;
+}
+
+}  // namespace pipes::testing

@@ -1,0 +1,61 @@
+#ifndef PIPES_TESTING_GENERATE_H_
+#define PIPES_TESTING_GENERATE_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/testing/spec.h"
+
+/// \file
+/// Seeded query-graph generation and semantics-preserving plan rewriting.
+///
+/// `GenerateCase` composes a random valid `PlanSpec` from the operator
+/// catalog — respecting arity, source-attachment, and a per-node output-size
+/// estimate that keeps the reference executor's sweeps cheap — together with
+/// one `StreamProfile` per input stream (bursts, lulls, Zipf skew, bounded
+/// disorder). Everything is derived from the `Random` argument, so a case is
+/// fully reproducible from its seed.
+///
+/// `ApplyRandomRewrites` plays the optimizer's role in the differential
+/// setup: it applies randomly chosen algebraic rewrites (filter/map
+/// reordering with predicate composition, map fusion, filter–window and
+/// filter–distinct commutation, union operand swaps, identity and
+/// distinct-idempotence insertions) that must not change snapshot semantics.
+/// The harness executes both plans and lets the oracles disagree.
+
+namespace pipes::testing {
+
+struct GenOptions {
+  /// Number of non-source operators to grow (before dangling-root unions).
+  int min_ops = 2;
+  int max_ops = 8;
+  int max_streams = 3;
+  std::size_t min_elements = 16;
+  std::size_t max_elements = 80;
+  bool allow_disorder = true;
+  /// Estimated output-size cap per node; candidate ops that would exceed it
+  /// are rerolled so pathological plans (stacked joins feeding aggregates)
+  /// cannot blow up the O(n*m) reference sweeps.
+  std::size_t max_est_size = 3000;
+};
+
+struct GeneratedCase {
+  PlanSpec spec;
+  std::vector<StreamProfile> profiles;
+};
+
+/// Draws a valid plan plus input-stream profiles. The result always passes
+/// `PlanSpec::CheckValid`.
+GeneratedCase GenerateCase(Random& rng, const GenOptions& opts = {});
+
+/// Applies up to `max_rewrites` randomly selected semantics-preserving
+/// rewrites. Returns a plan whose reference snapshots are identical to the
+/// input's; the element-level interval decomposition may differ, so
+/// rewritten-vs-original comparisons are snapshot-based. Returns the input
+/// unchanged if no rewrite site exists.
+PlanSpec ApplyRandomRewrites(Random& rng, const PlanSpec& spec,
+                             int max_rewrites);
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTING_GENERATE_H_

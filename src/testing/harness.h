@@ -1,0 +1,112 @@
+#ifndef PIPES_TESTING_HARNESS_H_
+#define PIPES_TESTING_HARNESS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/testing/generate.h"
+#include "src/testing/materialize.h"
+#include "src/testing/oracles.h"
+#include "src/testing/spec.h"
+
+/// \file
+/// The schedule explorer: drives every fuzz case through many seeded
+/// execution arms — per-element vs batched, randomized scheduling
+/// strategies and quanta, disordered sources, algebraic rewrites, keyed
+/// parallelism, and injected faults (bounded-buffer overflow, memory-manager
+/// budget squeezes, watermark starvation) — and checks each run against the
+/// materializing reference executor plus the streaming invariants. All
+/// virtual time: no wall-clock sleeps anywhere.
+
+namespace pipes::testing {
+
+struct HarnessOptions {
+  /// Extra randomized-schedule arms beyond the fixed ones.
+  int schedule_variants = 3;
+
+  /// Comma-separated subset of {overflow, memory, stall}, or "all"/"none".
+  std::string fault_mix = "all";
+
+  bool check_rewrites = true;
+  bool check_parallel = true;
+  /// Capture metrics snapshots mid-run and check counter monotonicity and
+  /// JSON round-tripping.
+  bool check_snapshots = true;
+
+  /// Planted bug (self-check / shrink tests); applies to every arm.
+  CanaryKind canary = CanaryKind::kNone;
+
+  /// Query-graph generator knobs (RunCase / RunFuzz only).
+  GenOptions gen;
+};
+
+/// Outcome of one case across all arms. Stops at the first failing arm.
+struct CaseResult {
+  std::uint64_t case_seed = 0;
+  std::string failing_arm;
+  std::vector<Failure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One-line human summary of the first failure; empty when ok.
+  std::string Summary() const;
+};
+
+struct FuzzStats {
+  std::uint64_t cases_run = 0;
+  std::uint64_t arms_run = 0;
+  std::uint64_t failed_cases = 0;
+  CaseResult first_failure;
+};
+
+/// Derives the per-case seed from a base seed (splitmix64 over the index),
+/// so `--replay <case_seed>` reproduces one case without re-running the
+/// whole campaign.
+std::uint64_t CaseSeed(std::uint64_t base_seed, std::uint64_t index);
+
+/// Generates the case for `case_seed` (plan + input streams) and runs every
+/// arm. Fully deterministic in (case_seed, options).
+CaseResult RunCase(std::uint64_t case_seed, const HarnessOptions& options = {});
+
+/// Runs every arm on an explicit case — the entry point for corpus replay
+/// and shrinking. `raw_inputs[s]` is stream s in generated (possibly
+/// disordered) arrival order.
+CaseResult RunCaseOnSpec(const PlanSpec& spec,
+                         const std::vector<Stream>& raw_inputs,
+                         const std::vector<StreamProfile>& profiles,
+                         std::uint64_t schedule_seed,
+                         const HarnessOptions& options,
+                         std::uint64_t* arms_run = nullptr);
+
+/// Runs `num_cases` cases; stops early at the first failure (recorded in
+/// `first_failure`). `log`, when non-null, receives progress lines.
+FuzzStats RunFuzz(std::uint64_t base_seed, std::uint64_t num_cases,
+                  const HarnessOptions& options = {},
+                  std::ostream* log = nullptr);
+
+/// A failing case reduced to (near-)minimal form: greedy node bypassing
+/// plus per-stream ddmin on the inputs, re-running the harness after each
+/// candidate reduction.
+struct ShrinkResult {
+  PlanSpec spec;
+  std::vector<Stream> inputs;
+  std::vector<StreamProfile> profiles;
+  /// The failure the minimized case still exhibits.
+  CaseResult result;
+  int reruns = 0;
+};
+
+ShrinkResult Shrink(const PlanSpec& spec, const std::vector<Stream>& raw_inputs,
+                    const std::vector<StreamProfile>& profiles,
+                    std::uint64_t schedule_seed, const HarnessOptions& options,
+                    int max_reruns = 300);
+
+/// Plants each canary kind into otherwise-clean cases and verifies some
+/// oracle catches every kind (and that clean control cases pass). Returns
+/// true when the harness detects everything it claims to detect.
+bool SelfCheck(std::uint64_t seed, std::ostream* log = nullptr);
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTING_HARNESS_H_

@@ -1,0 +1,167 @@
+#ifndef PIPES_TESTING_MATERIALIZE_H_
+#define PIPES_TESTING_MATERIALIZE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/graph.h"
+#include "src/core/source.h"
+#include "src/memory/memory_user.h"
+#include "src/testing/oracles.h"
+#include "src/testing/spec.h"
+
+/// \file
+/// Turns a `PlanSpec` into a physical `QueryGraph` wired to an `OracleSink`,
+/// with the fault-injection hooks the harness arms need: seeded buffer
+/// interposition (bounded for the overflow arm), reordering sources over
+/// disordered inputs, gated sources for watermark starvation, keyed-parallel
+/// replication of one partitionable node, and canary mutations for the
+/// harness self-check.
+
+namespace pipes::testing {
+
+/// A deliberate bug planted between the plan root and the sink. The
+/// self-check materializes otherwise-correct cases with each canary in turn
+/// and asserts that some oracle catches every kind.
+enum class CanaryKind {
+  kNone,
+  kDropElement,         ///< Silently drops every 17th element.
+  kDuplicateElement,    ///< Emits every 13th element twice.
+  kCorruptPayload,      ///< Adds 1 to every 19th payload.
+  kWidenInterval,       ///< Extends every 11th element's validity by 5.
+  kStaleReplay,         ///< Re-emits an old payload at the current instant.
+  kHeartbeatOvershoot,  ///< Forwards watermarks 7 ticks into the future.
+};
+inline constexpr int kNumCanaryKinds =
+    static_cast<int>(CanaryKind::kHeartbeatOvershoot) + 1;
+
+const char* CanaryKindName(CanaryKind kind);
+
+struct MaterializeOptions {
+  /// Batch size of the vector sources (1 = per-element path).
+  std::size_t source_batch = 1;
+
+  /// Feed raw (disordered) inputs through `ReorderingSource` with
+  /// slack = the stream profile's disorder bound, instead of pre-sorted
+  /// canonical inputs through `VectorSource`.
+  bool use_reorder_source = false;
+
+  /// When nonzero, interpose a `Buffer<Val>` on each edge with probability
+  /// `buffer_prob`, drawn from a Random seeded with `buffer_seed`.
+  std::uint64_t buffer_seed = 0;
+  double buffer_prob = 0.0;
+
+  /// Capacity of interposed buffers; 0 = unbounded. Small capacities are
+  /// the buffer-overflow fault arm (oldest elements shed).
+  std::size_t bounded_capacity = 0;
+
+  /// Spec index of a key-partitionable node to replicate via
+  /// MakeKeyedParallel / MakeParallelHashJoin; -1 = none.
+  int parallel_node = -1;
+  std::size_t parallel_replicas = 2;
+
+  /// Stream id whose source is gated shut (emits nothing until
+  /// `Materialized::OpenGates`); -1 = none. The watermark-starvation arm.
+  int gated_stream = -1;
+
+  /// Planted bug for the self-check.
+  CanaryKind canary = CanaryKind::kNone;
+};
+
+/// One physical node the oracle layer watches.
+struct OpHandle {
+  /// Index into `PlanSpec::nodes`, or -1 for auxiliary nodes the
+  /// materializer added (encoder maps, buffers, partition/merge stages).
+  int spec_index = -1;
+  OpKind kind = OpKind::kSource;
+  /// Whether `kind` is meaningful and the catalog/Describe cross-check
+  /// applies (spec nodes and their parallel replicas).
+  bool check_descriptor = false;
+  ConservationRule rule = ConservationRule::kNone;
+  const Node* node = nullptr;
+};
+
+/// Source that stays silent (no elements, no heartbeats, no done) until
+/// opened — starves downstream watermarks for as long as the harness wants.
+class GatedVectorSource : public Source<Val> {
+ public:
+  explicit GatedVectorSource(Stream elements,
+                             std::string name = "gated-source")
+      : Source<Val>(std::move(name)), elements_(std::move(elements)) {}
+
+  void Open() { open_ = true; }
+  bool open() const { return open_; }
+
+  bool is_active() const override { return true; }
+  bool HasWork() const override { return open_ && !done_sent_; }
+  bool IsFinished() const override { return done_sent_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d;
+    d.kind = NodeDescriptor::Kind::kSource;
+    d.op = "gated-source";
+    d.notes.push_back(
+        "gated source emits nothing until opened; downstream watermarks "
+        "starve while it is closed");
+    return d;
+  }
+
+  std::size_t DoWork(std::size_t max_units) override {
+    if (!open_) return 0;
+    std::size_t n = 0;
+    while (n < max_units && index_ < elements_.size()) {
+      this->Transfer(elements_[index_++]);
+      ++n;
+    }
+    if (index_ == elements_.size() && !done_sent_) {
+      this->TransferDone();
+      done_sent_ = true;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  Stream elements_;
+  std::size_t index_ = 0;
+  bool open_ = false;
+  bool done_sent_ = false;
+};
+
+/// The physical realization of one fuzz case.
+struct Materialized {
+  QueryGraph graph;
+  OracleSink* sink = nullptr;
+  /// Per-node oracle handles: every spec node's physical operator plus the
+  /// auxiliary nodes (encoders, buffers, partition/merge, replicas).
+  std::vector<OpHandle> ops;
+  /// Load-shedding joins, for MemoryManager registration by the memory
+  /// fault arm.
+  std::vector<memory::MemoryUser*> memory_users;
+  /// Gated sources (watermark-starvation arm).
+  std::vector<GatedVectorSource*> gates;
+  /// Catalog-vs-Describe mismatches discovered while building.
+  std::vector<Failure> build_failures;
+
+  void OpenGates() {
+    for (GatedVectorSource* g : gates) g->Open();
+  }
+
+  /// Sum of ShedCount over every node (buffers, joins, reorder sources).
+  std::uint64_t TotalShed() const;
+};
+
+/// Builds the physical graph. `raw_inputs[s]` is stream s as generated
+/// (possibly disordered); sources replay the canonicalized form unless
+/// `use_reorder_source` is set. `profiles` supplies per-stream disorder
+/// slack. The spec must be valid.
+std::unique_ptr<Materialized> Materialize(const PlanSpec& spec,
+                                          const std::vector<Stream>& raw_inputs,
+                                          const std::vector<StreamProfile>& profiles,
+                                          const MaterializeOptions& options = {});
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTING_MATERIALIZE_H_

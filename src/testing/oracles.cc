@@ -1,0 +1,206 @@
+#include "src/testing/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/testing/reference.h"
+
+namespace pipes::testing {
+
+namespace {
+
+// Limits how much a misbehaving run can accumulate; the first violation is
+// the interesting one anyway.
+constexpr std::size_t kMaxRecordedViolations = 8;
+
+std::string FormatElem(const Elem& e) {
+  std::ostringstream out;
+  out << e.payload << "@[" << e.start() << ", ";
+  if (e.end() == kMaxTimestamp) {
+    out << "inf";
+  } else {
+    out << e.end();
+  }
+  out << ")";
+  return out.str();
+}
+
+// Multiplicity of `payload` in the snapshot of `s` at instant `t`.
+long CountAt(const Stream& s, Val payload, Timestamp t) {
+  long n = 0;
+  for (const Elem& e : s) {
+    if (e.payload == payload && e.start() <= t && t < e.end()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::optional<std::string> CompareSnapshots(const Stream& actual,
+                                            const Stream& expected,
+                                            SnapRel rel) {
+  // Per-payload boundary sweep over (actual - expected) multiplicities.
+  // Snapshot counts only change at interval endpoints, so checking the
+  // running sum at each boundary checks every instant.
+  std::map<Val, std::map<Timestamp, long>> delta;
+  for (const Elem& e : actual) {
+    delta[e.payload][e.start()] += 1;
+    if (e.end() != kMaxTimestamp) delta[e.payload][e.end()] -= 1;
+  }
+  for (const Elem& e : expected) {
+    delta[e.payload][e.start()] -= 1;
+    if (e.end() != kMaxTimestamp) delta[e.payload][e.end()] += 1;
+  }
+  for (const auto& [payload, boundaries] : delta) {
+    long running = 0;
+    for (const auto& [t, d] : boundaries) {
+      running += d;
+      const bool bad =
+          rel == SnapRel::kEqual ? running != 0 : running > 0;
+      if (bad) {
+        std::ostringstream out;
+        out << "snapshot mismatch at t=" << t << ": payload " << payload
+            << " has multiplicity " << CountAt(actual, payload, t)
+            << ", reference has " << CountAt(expected, payload, t)
+            << (rel == SnapRel::kSubset ? " (subset relation required)" : "");
+        return out.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CompareMultisets(const Stream& actual,
+                                            const Stream& expected) {
+  Stream a = actual;
+  Stream e = expected;
+  SortCanonical(a);
+  SortCanonical(e);
+  const std::size_t n = std::min(a.size(), e.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].payload == e[i].payload && a[i].interval == e[i].interval) {
+      continue;
+    }
+    std::ostringstream out;
+    out << "multiset mismatch at canonical index " << i << ": got "
+        << FormatElem(a[i]) << ", reference has " << FormatElem(e[i]);
+    return out.str();
+  }
+  if (a.size() != e.size()) {
+    std::ostringstream out;
+    out << "multiset size mismatch: got " << a.size() << " elements, "
+        << "reference has " << e.size();
+    if (a.size() > e.size()) {
+      out << "; first extra element " << FormatElem(a[n]);
+    } else {
+      out << "; first missing element " << FormatElem(e[n]);
+    }
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckConservation(ConservationRule rule,
+                                             std::uint64_t in,
+                                             std::uint64_t out,
+                                             std::uint64_t shed,
+                                             std::uint64_t queued,
+                                             const std::string& node_name) {
+  std::ostringstream msg;
+  switch (rule) {
+    case ConservationRule::kNone:
+      return std::nullopt;
+    case ConservationRule::kExact:
+      if (out == in) return std::nullopt;
+      msg << node_name << ": expected out == in, got in=" << in
+          << " out=" << out;
+      return msg.str();
+    case ConservationRule::kAtMostIn:
+      if (out <= in) return std::nullopt;
+      msg << node_name << ": expected out <= in, got in=" << in
+          << " out=" << out;
+      return msg.str();
+    case ConservationRule::kExactPlusShed:
+      if (in == out + shed + queued) return std::nullopt;
+      msg << node_name << ": expected in == out + shed + queued, got in="
+          << in << " out=" << out << " shed=" << shed
+          << " queued=" << queued;
+      return msg.str();
+    case ConservationRule::kAtMostDoubleIn:
+      if (out <= 2 * in + 1) return std::nullopt;
+      msg << node_name << ": expected out <= 2*in + 1, got in=" << in
+          << " out=" << out;
+      return msg.str();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckDescriptor(OpKind kind,
+                                           const NodeDescriptor& descriptor,
+                                           const std::string& node_name) {
+  const OpTraits& traits = TraitsOf(kind);
+  if (descriptor.blocking != traits.blocking) {
+    std::ostringstream out;
+    out << node_name << " (" << traits.name << "): catalog says blocking="
+        << traits.blocking << " but Describe() reports "
+        << descriptor.blocking;
+    return out.str();
+  }
+  if (descriptor.key_partitionable != traits.key_partitionable) {
+    std::ostringstream out;
+    out << node_name << " (" << traits.name
+        << "): catalog says key_partitionable=" << traits.key_partitionable
+        << " but Describe() reports " << descriptor.key_partitionable;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+void OracleSink::PortElement(int /*port_id*/, const Elem& e) {
+  if (done_seen_) {
+    Violate("post-done", "element " + FormatElem(e) + " after end-of-stream");
+  }
+  if (e.start() < last_start_) {
+    std::ostringstream out;
+    out << "element " << FormatElem(e)
+        << " starts before the previous element (start " << last_start_
+        << ")";
+    Violate("order", out.str());
+  }
+  if (max_watermark_ > kMinTimestamp && e.start() < max_watermark_) {
+    std::ostringstream out;
+    out << "element " << FormatElem(e)
+        << " starts behind the notified watermark " << max_watermark_;
+    Violate("watermark-element", out.str());
+  }
+  last_start_ = std::max(last_start_, e.start());
+  collected_.push_back(e);
+}
+
+void OracleSink::PortProgress(int /*port_id*/, Timestamp watermark) {
+  if (done_seen_) {
+    std::ostringstream out;
+    out << "watermark " << watermark << " after end-of-stream";
+    Violate("post-done", out.str());
+  }
+  if (watermark < max_watermark_) {
+    std::ostringstream out;
+    out << "watermark regressed from " << max_watermark_ << " to "
+        << watermark;
+    Violate("watermark-monotone", out.str());
+  }
+  max_watermark_ = std::max(max_watermark_, watermark);
+}
+
+void OracleSink::PortDone(int port_id) {
+  done_seen_ = true;
+  Sink<Val>::PortDone(port_id);
+}
+
+void OracleSink::Violate(const char* oracle, std::string detail) {
+  if (violations_.size() >= kMaxRecordedViolations) return;
+  violations_.push_back(Failure{oracle, std::move(detail)});
+}
+
+}  // namespace pipes::testing

@@ -1,0 +1,112 @@
+#ifndef PIPES_TESTING_ORACLES_H_
+#define PIPES_TESTING_ORACLES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/sink.h"
+#include "src/testing/spec.h"
+
+/// \file
+/// The oracle layer of the simulation harness: everything that can declare a
+/// run wrong. Differential comparisons (multiset-exact and
+/// snapshot-equivalent, the algebra's two correctness granularities), the
+/// streaming invariants observed at the sink (ordered output, elements never
+/// behind the watermark, nothing after end-of-stream), per-node metrics
+/// conservation, and the catalog-vs-`Describe()` contract cross-check.
+
+namespace pipes::testing {
+
+/// One oracle violation. `oracle` is a stable short tag (used by the
+/// self-check to assert *which* oracle fired), `detail` is for humans.
+struct Failure {
+  std::string oracle;
+  std::string detail;
+};
+
+/// How an arm's output must relate to the reference snapshot-wise.
+enum class SnapRel {
+  /// Identical snapshot at every instant.
+  kEqual,
+  /// `actual`'s snapshot is a sub-multiset of `expected`'s at every instant
+  /// (the lossy arms: shedding may only ever remove).
+  kSubset,
+};
+
+/// Compares snapshots at every instant via a per-payload boundary sweep.
+/// Returns a description of the first violating (payload, instant) or
+/// nullopt when the relation holds.
+std::optional<std::string> CompareSnapshots(const Stream& actual,
+                                            const Stream& expected,
+                                            SnapRel rel);
+
+/// Element-multiset equality under the canonical (start, end, payload)
+/// order. Strictly stronger than CompareSnapshots(..., kEqual); only valid
+/// for plans without resegmenting operators.
+std::optional<std::string> CompareMultisets(const Stream& actual,
+                                            const Stream& expected);
+
+/// What the elements-in/out/shed counters of one physical node must satisfy
+/// after a fully drained run.
+enum class ConservationRule {
+  kNone,            // sweep-expanding binaries: no useful linear bound
+  kExact,           // out == in (maps, windows, union, istream, merge)
+  kAtMostIn,        // out <= in (filter, distinct, dstream, slide < size)
+  kExactPlusShed,   // in == out + shed (buffers after drain)
+  kAtMostDoubleIn,  // out <= 2*in + 1 (sweep-line aggregates' segments)
+};
+
+std::optional<std::string> CheckConservation(ConservationRule rule,
+                                             std::uint64_t in,
+                                             std::uint64_t out,
+                                             std::uint64_t shed,
+                                             std::uint64_t queued,
+                                             const std::string& node_name);
+
+/// Cross-checks the generator catalog's contract card against the live
+/// operator's `Describe()`: blocking and key-partitionability must agree,
+/// or the generator is composing plans from stale metadata.
+std::optional<std::string> CheckDescriptor(OpKind kind,
+                                           const NodeDescriptor& descriptor,
+                                           const std::string& node_name);
+
+/// Terminal sink that records the output stream while checking the
+/// streaming invariants on the fly:
+///   * non-decreasing element starts (per-run ordered output),
+///   * no element behind a previously notified watermark,
+///   * watermark monotonicity,
+///   * silence after end-of-stream.
+class OracleSink : public Sink<Val> {
+ public:
+  explicit OracleSink(std::string name = "oracle-sink")
+      : Sink<Val>(std::move(name)) {}
+
+  const Stream& collected() const { return collected_; }
+  const std::vector<Failure>& violations() const { return violations_; }
+
+  NodeDescriptor Describe() const override {
+    NodeDescriptor d = Sink<Val>::Describe();
+    d.op = "oracle-sink";
+    return d;
+  }
+
+ protected:
+  void PortElement(int port_id, const Elem& e) override;
+  void PortProgress(int port_id, Timestamp watermark) override;
+  void PortDone(int port_id) override;
+
+ private:
+  void Violate(const char* oracle, std::string detail);
+
+  Stream collected_;
+  std::vector<Failure> violations_;
+  Timestamp last_start_ = kMinTimestamp;
+  Timestamp max_watermark_ = kMinTimestamp;
+  bool done_seen_ = false;
+};
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTING_ORACLES_H_

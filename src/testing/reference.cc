@@ -1,0 +1,282 @@
+#include "src/testing/reference.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace pipes::testing {
+
+namespace {
+
+bool CanonicalLess(const Elem& a, const Elem& b) {
+  return std::tuple(a.start(), a.end(), a.payload) <
+         std::tuple(b.start(), b.end(), b.payload);
+}
+
+/// Sorted unique endpoint set of `intervals` — the sweep-line boundaries.
+std::vector<Timestamp> Boundaries(const std::vector<TimeInterval>& intervals) {
+  std::vector<Timestamp> b;
+  b.reserve(intervals.size() * 2);
+  for (const TimeInterval& iv : intervals) {
+    b.push_back(iv.start);
+    b.push_back(iv.end);
+  }
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return b;
+}
+
+/// Scalar sum sweep: one output element per covered elementary segment,
+/// exactly the segmentation the physical SweepLineAggregator produces
+/// (boundaries at every input endpoint, gap segments skipped).
+Stream SumSweep(const Stream& in) {
+  Stream out;
+  if (in.empty()) return out;
+  std::vector<TimeInterval> ivs;
+  ivs.reserve(in.size());
+  for (const Elem& e : in) ivs.push_back(e.interval);
+  const std::vector<Timestamp> b = Boundaries(ivs);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    const Timestamp a = b[i];
+    std::uint64_t sum = 0;
+    bool covered = false;
+    for (const Elem& e : in) {
+      if (e.start() <= a && a < e.end()) {
+        sum += static_cast<std::uint64_t>(e.payload);
+        covered = true;
+      }
+    }
+    if (covered) out.push_back(Elem(BoundSum(sum), b[i], b[i + 1]));
+  }
+  return out;
+}
+
+Stream GroupSumSweep(const Stream& in, Val groups) {
+  std::map<Val, Stream> by_key;
+  for (const Elem& e : in) by_key[GroupKey(e.payload, groups)].push_back(e);
+  Stream out;
+  for (auto& [key, elems] : by_key) {
+    std::vector<TimeInterval> ivs;
+    ivs.reserve(elems.size());
+    for (const Elem& e : elems) ivs.push_back(e.interval);
+    const std::vector<Timestamp> b = Boundaries(ivs);
+    for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+      const Timestamp a = b[i];
+      std::uint64_t sum = 0;
+      bool covered = false;
+      for (const Elem& e : elems) {
+        if (e.start() <= a && a < e.end()) {
+          sum += static_cast<std::uint64_t>(e.payload);
+          covered = true;
+        }
+      }
+      if (covered) out.push_back(Elem(EncodeGroup(key, sum), b[i], b[i + 1]));
+    }
+  }
+  return out;
+}
+
+Stream DistinctRef(const Stream& in) {
+  std::map<Val, std::vector<TimeInterval>> by_payload;
+  for (const Elem& e : in) by_payload[e.payload].push_back(e.interval);
+  Stream out;
+  for (auto& [payload, ivs] : by_payload) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const TimeInterval& a, const TimeInterval& b) {
+                return a.start < b.start;
+              });
+    // Coalesce overlapping-or-abutting intervals into maximal pieces.
+    TimeInterval cur = ivs.front();
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      if (ivs[i].start <= cur.end) {
+        cur.end = std::max(cur.end, ivs[i].end);
+      } else {
+        out.push_back(Elem(payload, cur));
+        cur = ivs[i];
+      }
+    }
+    out.push_back(Elem(payload, cur));
+  }
+  return out;
+}
+
+/// Per-payload coverage-count sweep emitting `mult(cl, cr)` copies of each
+/// elementary segment. Shared by difference (max(0, cl-cr)) and intersect
+/// (min(cl, cr)).
+template <typename MultFn>
+Stream CountSweep(const Stream& left, const Stream& right, MultFn&& mult) {
+  struct Sides {
+    std::vector<TimeInterval> l, r;
+  };
+  std::map<Val, Sides> by_payload;
+  for (const Elem& e : left) by_payload[e.payload].l.push_back(e.interval);
+  for (const Elem& e : right) by_payload[e.payload].r.push_back(e.interval);
+  Stream out;
+  for (auto& [payload, sides] : by_payload) {
+    std::vector<TimeInterval> all = sides.l;
+    all.insert(all.end(), sides.r.begin(), sides.r.end());
+    const std::vector<Timestamp> b = Boundaries(all);
+    for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+      const Timestamp a = b[i];
+      int cl = 0;
+      int cr = 0;
+      for (const TimeInterval& iv : sides.l) {
+        if (iv.start <= a && a < iv.end) ++cl;
+      }
+      for (const TimeInterval& iv : sides.r) {
+        if (iv.start <= a && a < iv.end) ++cr;
+      }
+      const int copies = mult(cl, cr);
+      for (int c = 0; c < copies; ++c) {
+        out.push_back(Elem(payload, b[i], b[i + 1]));
+      }
+    }
+  }
+  return out;
+}
+
+/// ROWS-n expiry over one arrival-ordered sequence: element i stays valid
+/// until its n-th successor arrives (at least one instant), forever if it
+/// never does — the CountWindow/PartitionedWindow contract.
+Stream RowsWindow(const Stream& in, std::size_t rows) {
+  Stream out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    Timestamp expiry = kMaxTimestamp;
+    if (i + rows < in.size()) {
+      expiry = std::max(in[i + rows].start(), in[i].start() + 1);
+    }
+    out.push_back(Elem(in[i].payload, in[i].start(), expiry));
+  }
+  return out;
+}
+
+Timestamp AlignUp(Timestamp t, Timestamp slide) {
+  return ((t + slide - 1) / slide) * slide;
+}
+
+}  // namespace
+
+void SortCanonical(Stream& s) {
+  std::sort(s.begin(), s.end(), CanonicalLess);
+}
+
+Stream EvalReference(const PlanSpec& spec,
+                     const std::vector<Stream>& canonical_inputs) {
+  spec.CheckValid();
+  std::vector<Stream> memo(spec.nodes.size());
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    const SpecNode& n = spec.nodes[i];
+    const Stream* in0 = n.in0 >= 0 ? &memo[n.in0] : nullptr;
+    const Stream* in1 = n.in1 >= 0 ? &memo[n.in1] : nullptr;
+    Stream out;
+    switch (n.kind) {
+      case OpKind::kSource:
+        PIPES_CHECK(n.stream < static_cast<int>(canonical_inputs.size()));
+        // Keep arrival order: count/partitioned windows depend on it.
+        memo[i] = canonical_inputs[n.stream];
+        continue;
+      case OpKind::kFilter:
+        for (const Elem& e : *in0) {
+          if (PredEval(n, e.payload)) out.push_back(e);
+        }
+        break;
+      case OpKind::kMap:
+        for (const Elem& e : *in0) {
+          out.push_back(Elem(MapEval(n, e.payload), e.interval));
+        }
+        break;
+      case OpKind::kTimeWindow:
+        for (const Elem& e : *in0) {
+          out.push_back(Elem(e.payload, e.start(), e.start() + n.p0));
+        }
+        break;
+      case OpKind::kSlideWindow:
+        for (const Elem& e : *in0) {
+          const Timestamp first = AlignUp(e.start(), n.p1);
+          const Timestamp last = AlignUp(e.start() + n.p0, n.p1);
+          if (first < last) out.push_back(Elem(e.payload, first, last));
+        }
+        break;
+      case OpKind::kUnboundedWindow:
+        for (const Elem& e : *in0) {
+          out.push_back(Elem(e.payload, e.start(), kMaxTimestamp));
+        }
+        break;
+      case OpKind::kCountWindow:
+        out = RowsWindow(*in0, static_cast<std::size_t>(n.p0));
+        break;
+      case OpKind::kPartitionedWindow: {
+        std::map<Val, Stream> parts;
+        for (const Elem& e : *in0) {
+          parts[GroupKey(e.payload, n.p1)].push_back(e);
+        }
+        for (const auto& [key, part] : parts) {
+          const Stream w = RowsWindow(part, static_cast<std::size_t>(n.p0));
+          out.insert(out.end(), w.begin(), w.end());
+        }
+        break;
+      }
+      case OpKind::kUnion:
+        out = *in0;
+        out.insert(out.end(), in1->begin(), in1->end());
+        break;
+      case OpKind::kHashJoin: {
+        std::unordered_map<Val, std::vector<const Elem*>> by_key;
+        for (const Elem& l : *in0) {
+          by_key[JoinKey(l.payload, n.p0)].push_back(&l);
+        }
+        for (const Elem& r : *in1) {
+          auto it = by_key.find(JoinKey(r.payload, n.p0));
+          if (it == by_key.end()) continue;
+          for (const Elem* l : it->second) {
+            if (l->interval.Overlaps(r.interval)) {
+              out.push_back(Elem(JoinCombine(l->payload, r.payload),
+                                 l->interval.Intersect(r.interval)));
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kSum:
+        out = SumSweep(*in0);
+        break;
+      case OpKind::kGroupSum:
+        out = GroupSumSweep(*in0, n.p0);
+        break;
+      case OpKind::kDistinct:
+        out = DistinctRef(*in0);
+        break;
+      case OpKind::kDifference:
+        out = CountSweep(*in0, *in1,
+                         [](int cl, int cr) { return std::max(0, cl - cr); });
+        break;
+      case OpKind::kIntersect:
+        out = CountSweep(*in0, *in1,
+                         [](int cl, int cr) { return std::min(cl, cr); });
+        break;
+      case OpKind::kIStream:
+        for (const Elem& e : *in0) {
+          out.push_back(Elem::Point(e.payload, e.start()));
+        }
+        break;
+      case OpKind::kDStream:
+        for (const Elem& e : *in0) {
+          if (e.end() != kMaxTimestamp) {
+            out.push_back(Elem::Point(e.payload, e.end()));
+          }
+        }
+        break;
+    }
+    SortCanonical(out);
+    memo[i] = std::move(out);
+  }
+  return memo[spec.root];
+}
+
+}  // namespace pipes::testing

@@ -1,0 +1,38 @@
+#ifndef PIPES_TESTING_REFERENCE_H_
+#define PIPES_TESTING_REFERENCE_H_
+
+#include <vector>
+
+#include "src/testing/spec.h"
+
+/// \file
+/// The materializing reference executor: evaluates a `PlanSpec` over fully
+/// materialized vectors, one node at a time, straight from the logical
+/// (snapshot) semantics of each operator — no scheduling, no watermarks, no
+/// staging buffers. It shares nothing with the operator implementations in
+/// src/algebra/ except the canonical scalar functions in spec.h, which is
+/// what gives the differential oracles their power: a bug would have to be
+/// made twice, independently, to go unnoticed.
+///
+/// For operators with a deterministic physical decomposition (everything
+/// except the resegmenting ones — see OpTraits) the reference reproduces the
+/// exact element multiset the physical operator emits, so plans without
+/// resegmenting operators can be compared element-for-element. Resegmenting
+/// operators (distinct, difference, intersect, aggregates' per-plan
+/// variation) are compared by snapshot equivalence instead.
+
+namespace pipes::testing {
+
+/// Evaluates `spec` over the canonical (arrival-ordered) input streams.
+/// Shared nodes are evaluated once. Returns the root's output; all outputs
+/// except raw sources are sorted by (start, end, payload).
+Stream EvalReference(const PlanSpec& spec,
+                     const std::vector<Stream>& canonical_inputs);
+
+/// Sorts by (start, end, payload): the canonical order used for multiset
+/// comparison.
+void SortCanonical(Stream& s);
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTING_REFERENCE_H_

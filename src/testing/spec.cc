@@ -1,0 +1,244 @@
+#include "src/testing/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/macros.h"
+
+namespace pipes::testing {
+
+namespace {
+
+// Indexed by OpKind. blocking / key_partitionable mirror the operators'
+// NodeDescriptor contract cards and are cross-checked at materialization
+// time (Materialize aborts the case on a mismatch).
+constexpr OpTraits kTraits[kNumOpKinds] = {
+    // name, arity, blocking, partitionable, resegmenting, monotone,
+    // src-attached, segmentation-sensitive
+    {"source", 0, false, false, false, true, false, false},
+    {"filter", 1, false, false, false, true, false, false},
+    {"map", 1, false, false, false, true, false, false},
+    // All windows, istream, and dstream read interval boundaries (truncate
+    // from the start / emit points at start/end), so they are
+    // segmentation-sensitive: they may not consume resegmenting subplans.
+    {"time-window", 1, false, false, false, true, false, true},
+    {"slide-window", 1, false, false, false, true, false, true},
+    {"unbounded-window", 1, false, false, false, true, false, true},
+    {"count-window", 1, false, false, false, false, true, true},
+    {"partitioned-window", 1, false, true, false, false, true, true},
+    {"union", 2, false, false, false, true, false, false},
+    {"hash-join", 2, true, true, false, true, false, false},
+    // The sweep operators (sum, group-sum, difference, intersect) emit one
+    // element per elementary boundary segment; the boundary set is fixed by
+    // the input multiset alone, so their output multiset is
+    // schedule-independent and they are NOT resegmenting. Distinct is: how
+    // far intervals coalesce depends on watermark timing at arrival.
+    {"sum", 1, true, false, false, false, false, false},
+    {"group-sum", 1, true, true, false, false, false, false},
+    {"distinct", 1, true, true, true, true, false, false},
+    {"difference", 2, true, false, false, false, false, false},
+    {"intersect", 2, true, false, false, true, false, false},
+    {"istream", 1, false, false, false, true, false, true},
+    {"dstream", 1, true, false, false, true, false, true},
+};
+
+}  // namespace
+
+const OpTraits& TraitsOf(OpKind kind) {
+  const int i = static_cast<int>(kind);
+  PIPES_CHECK(i >= 0 && i < kNumOpKinds);
+  return kTraits[i];
+}
+
+const char* OpKindName(OpKind kind) { return TraitsOf(kind).name; }
+
+bool PlanSpec::HasKind(OpKind kind) const {
+  for (const SpecNode& n : nodes) {
+    if (n.kind == kind) return true;
+  }
+  return false;
+}
+
+bool PlanSpec::Resegmenting() const {
+  for (const SpecNode& n : nodes) {
+    if (TraitsOf(n.kind).resegmenting) return true;
+  }
+  return false;
+}
+
+bool PlanSpec::Monotone() const {
+  for (const SpecNode& n : nodes) {
+    if (!TraitsOf(n.kind).monotone) return false;
+  }
+  return true;
+}
+
+std::vector<int> PlanSpec::PartitionableNodes() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (TraitsOf(nodes[i].kind).key_partitionable) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+int PlanSpec::NumStreams() const {
+  int n = 0;
+  for (const SpecNode& node : nodes) {
+    if (node.kind == OpKind::kSource) n = std::max(n, node.stream + 1);
+  }
+  return n;
+}
+
+std::vector<bool> PlanSpec::ResegmentedSubplans() const {
+  std::vector<bool> out(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SpecNode& n = nodes[i];
+    bool r = TraitsOf(n.kind).resegmenting;
+    // Bounds-guarded so CheckValid can call this before validating indices.
+    if (n.in0 >= 0 && n.in0 < static_cast<int>(i)) r = r || out[n.in0];
+    if (n.in1 >= 0 && n.in1 < static_cast<int>(i)) r = r || out[n.in1];
+    out[i] = r;
+  }
+  return out;
+}
+
+void PlanSpec::CheckValid() const {
+  PIPES_CHECK(!nodes.empty());
+  PIPES_CHECK(root >= 0 && root < static_cast<int>(nodes.size()));
+  const std::vector<bool> resegmented = ResegmentedSubplans();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SpecNode& n = nodes[i];
+    const OpTraits& t = TraitsOf(n.kind);
+    if (t.segmentation_sensitive && n.in0 >= 0) {
+      PIPES_CHECK_MSG(!resegmented[n.in0],
+                      "boundary-reading op over a resegmenting subplan: its "
+                      "output would be schedule-dependent even for correct "
+                      "executions");
+    }
+    if (t.arity == 0) {
+      PIPES_CHECK(n.stream >= 0);
+      PIPES_CHECK(n.in0 == -1 && n.in1 == -1);
+    } else {
+      // Children strictly precede parents: the vector is a topo order.
+      PIPES_CHECK(n.in0 >= 0 && n.in0 < static_cast<int>(i));
+      if (t.arity == 2) {
+        PIPES_CHECK(n.in1 >= 0 && n.in1 < static_cast<int>(i));
+      } else {
+        PIPES_CHECK(n.in1 == -1);
+      }
+      if (t.source_attached) {
+        PIPES_CHECK_MSG(nodes[n.in0].kind == OpKind::kSource,
+                        "order-sensitive window must sit on a source");
+      }
+    }
+  }
+  // Every node must be reachable from the root (no dangling work).
+  std::vector<bool> reachable(nodes.size(), false);
+  std::vector<int> stack = {root};
+  while (!stack.empty()) {
+    const int i = stack.back();
+    stack.pop_back();
+    if (reachable[i]) continue;
+    reachable[i] = true;
+    if (nodes[i].in0 >= 0) stack.push_back(nodes[i].in0);
+    if (nodes[i].in1 >= 0) stack.push_back(nodes[i].in1);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    PIPES_CHECK_MSG(reachable[i], "plan contains a node unreachable from root");
+  }
+}
+
+std::string PlanSpec::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SpecNode& n = nodes[i];
+    out << '#' << i << ' ' << OpKindName(n.kind);
+    if (n.kind == OpKind::kSource) {
+      out << "(stream " << n.stream << ")";
+    } else {
+      out << "(#" << n.in0;
+      if (n.in1 >= 0) out << ", #" << n.in1;
+      out << ")";
+    }
+    switch (n.kind) {
+      case OpKind::kFilter:
+        out << " pred: mod(" << n.p0 << "*x+" << n.p1 << ", " << n.p2
+            << ") < " << n.p3;
+        break;
+      case OpKind::kMap:
+        out << " f: " << n.p0 << "*x+" << n.p1;
+        break;
+      case OpKind::kTimeWindow:
+        out << " size " << n.p0;
+        break;
+      case OpKind::kSlideWindow:
+        out << " size " << n.p0 << " slide " << n.p1;
+        break;
+      case OpKind::kCountWindow:
+        out << " rows " << n.p0;
+        break;
+      case OpKind::kPartitionedWindow:
+        out << " rows " << n.p0 << " groups " << n.p1;
+        break;
+      case OpKind::kHashJoin:
+        out << " key mod " << n.p0;
+        break;
+      case OpKind::kGroupSum:
+        out << " groups " << n.p0;
+        break;
+      default:
+        break;
+    }
+    if (static_cast<int>(i) == root) out << "  <- root";
+    out << '\n';
+  }
+  return out.str();
+}
+
+Stream GenerateStream(Random& rng, const StreamProfile& profile) {
+  Stream out;
+  out.reserve(profile.num_elements);
+  ZipfDistribution zipf(
+      static_cast<std::size_t>(std::max<Val>(profile.domain, 1)),
+      profile.zipf_theta > 0 ? profile.zipf_theta : 0.5);
+  Timestamp t = 0;
+  for (std::size_t i = 0; i < profile.num_elements; ++i) {
+    Val payload;
+    if (profile.zipf_theta > 0) {
+      payload = static_cast<Val>(zipf.Sample(rng));
+    } else {
+      payload = rng.UniformInt(0, std::max<Val>(profile.domain - 1, 0));
+    }
+    out.push_back(Elem::Point(payload, t));
+    const double roll = rng.UniformDouble();
+    if (roll < profile.burst_prob) {
+      // Burst: stay on (or right next to) the current instant.
+      t += rng.UniformInt(0, 1);
+    } else if (roll < profile.burst_prob + profile.lull_prob) {
+      t += rng.UniformInt(profile.lull_step / 2,
+                          std::max<Timestamp>(profile.lull_step, 1));
+    } else {
+      t += rng.UniformInt(1, std::max<Timestamp>(profile.max_step, 1));
+    }
+  }
+  if (profile.disorder > 0) {
+    for (Elem& e : out) {
+      const Timestamp back = rng.UniformInt(0, profile.disorder);
+      const Timestamp s = std::max<Timestamp>(0, e.start() - back);
+      e.interval = TimeInterval(s, s + 1);
+    }
+  }
+  return out;
+}
+
+Stream Canonicalize(const Stream& raw) {
+  Stream out = raw;
+  std::stable_sort(out.begin(), out.end(), [](const Elem& a, const Elem& b) {
+    return a.start() < b.start();
+  });
+  return out;
+}
+
+}  // namespace pipes::testing

@@ -1,0 +1,221 @@
+#ifndef PIPES_TESTING_SPEC_H_
+#define PIPES_TESTING_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/element.h"
+
+/// \file
+/// The simulation harness's plan IR: a `PlanSpec` is a tiny, serializable
+/// description of a query plan over int64 payloads, independent of the
+/// physical operator objects. One spec is materialized many ways (per
+/// element, batched, buffered, replicated, rewritten) and evaluated once by
+/// the materializing reference executor; the differential oracles compare
+/// the results. Keeping the IR separate from `QueryGraph` is what makes
+/// shrinking and replay cheap: a case is (spec, inputs), both plain data.
+
+namespace pipes::testing {
+
+using Val = std::int64_t;
+using Elem = StreamElement<Val>;
+using Stream = std::vector<Elem>;
+
+/// Operator catalog of the generator. Every kind maps 1:1 onto an operator
+/// (or operator cluster) in src/algebra/.
+enum class OpKind : int {
+  kSource = 0,
+  kFilter,
+  kMap,
+  kTimeWindow,
+  kSlideWindow,
+  kUnboundedWindow,
+  kCountWindow,
+  kPartitionedWindow,
+  kUnion,
+  kHashJoin,
+  kSum,
+  kGroupSum,
+  kDistinct,
+  kDifference,
+  kIntersect,
+  kIStream,
+  kDStream,
+};
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kDStream) + 1;
+
+/// Static contract card of one catalog entry. The blocking /
+/// key_partitionable flags mirror `NodeDescriptor`; the materializer
+/// cross-checks them against the live operator's `Describe()` so the
+/// generator can never drift from the real contracts.
+struct OpTraits {
+  const char* name;
+  /// 0 = source, 1 = unary, 2 = binary.
+  int arity;
+  /// Mirrors NodeDescriptor::blocking (results stage until progress).
+  bool blocking;
+  /// Mirrors NodeDescriptor::key_partitionable (safe under MakeKeyedParallel).
+  bool key_partitionable;
+  /// The physical output's *interval decomposition* depends on watermark
+  /// timing (e.g. Distinct releases coalesced pieces at whatever watermark
+  /// happens to arrive). Such plans are compared by snapshot equivalence,
+  /// never by element multiset.
+  bool resegmenting;
+  /// Removing input elements can only remove output (snapshot-subset-safe
+  /// under load shedding). False for aggregates, count windows, difference.
+  bool monotone;
+  /// Must consume a source directly: the operator's semantics depend on
+  /// per-stream arrival order (CQL attaches these windows to scans).
+  bool source_attached;
+  /// The operator reads its input's interval *boundaries*, not just its
+  /// snapshots: windows truncate from the start, istream/dstream emit at
+  /// boundaries. Such operators are not well-defined over a resegmenting
+  /// subplan (two correct schedules of Distinct legitimately produce
+  /// different boundaries), so the generator never composes them.
+  bool segmentation_sensitive;
+};
+
+const OpTraits& TraitsOf(OpKind kind);
+
+/// One plan node. Children precede parents in `PlanSpec::nodes` (topological
+/// order); `in0`/`in1` are indices into that vector. Parameter slots:
+///
+///   kSource:            stream = input-stream index
+///   kFilter:            pred(x) = PosMod(p0*x + p1, p2) < p3
+///   kMap:               f(x) = p0*x + p1 (wrapping int64)
+///   kTimeWindow:        p0 = size
+///   kSlideWindow:       p0 = size, p1 = slide
+///   kCountWindow:       p0 = rows
+///   kPartitionedWindow: p0 = rows, p1 = groups (key = PosMod(x, p1))
+///   kHashJoin:          p0 = key modulus (key = PosMod(x, p0))
+///   kGroupSum:          p0 = groups (key = PosMod(x, p0))
+///   others:             none
+struct SpecNode {
+  OpKind kind = OpKind::kSource;
+  int in0 = -1;
+  int in1 = -1;
+  int stream = -1;
+  std::int64_t p0 = 0;
+  std::int64_t p1 = 0;
+  std::int64_t p2 = 0;
+  std::int64_t p3 = 0;
+};
+
+struct PlanSpec {
+  std::vector<SpecNode> nodes;
+  int root = -1;
+
+  bool HasKind(OpKind kind) const;
+  /// Any node whose physical output decomposition is schedule-dependent.
+  bool Resegmenting() const;
+  /// Every node tolerates input loss with snapshot-subset output.
+  bool Monotone() const;
+  /// Indices of nodes eligible for keyed replication.
+  std::vector<int> PartitionableNodes() const;
+  int NumStreams() const;
+  /// resegmented[i] = the subplan rooted at node i contains a resegmenting
+  /// operator, i.e. its physical interval decomposition is
+  /// schedule-dependent and only its snapshots are deterministic.
+  std::vector<bool> ResegmentedSubplans() const;
+  /// Aborts (PIPES_CHECK) on structural violations: bad indices, wrong
+  /// arity, source-attached ops not sitting on a source, unreachable root,
+  /// segmentation-sensitive ops consuming resegmenting subplans.
+  void CheckValid() const;
+  std::string ToString() const;
+};
+
+// --- Canonical scalar functions ---------------------------------------------
+// Shared by the reference executor and the materialized operators, so both
+// sides compute identical payloads. All arithmetic goes through uint64 (wraps,
+// never UB) and every payload-producing function bounds its result into
+// [0, kValModulus), so stacked maps/joins/sums can never overflow anything —
+// in particular the running sums inside aggregates stay far below 2^63.
+
+inline constexpr Val kValModulus = 1'000'003;  // prime
+
+/// Euclidean remainder: always in [0, m).
+inline Val PosMod(Val x, Val m) {
+  const Val r = x % m;
+  return r < 0 ? r + m : r;
+}
+
+/// a*x + b wrapped through uint64, folded into [0, kValModulus).
+inline Val BoundMulAdd(Val a, Val x, Val b) {
+  const std::uint64_t v = static_cast<std::uint64_t>(a) *
+                              static_cast<std::uint64_t>(x) +
+                          static_cast<std::uint64_t>(b);
+  return static_cast<Val>(v % static_cast<std::uint64_t>(kValModulus));
+}
+
+inline bool PredEval(const SpecNode& n, Val x) {
+  return PosMod(BoundMulAdd(n.p0, x, n.p1), n.p2) < n.p3;
+}
+
+inline Val MapEval(const SpecNode& n, Val x) {
+  return BoundMulAdd(n.p0, x, n.p1);
+}
+
+inline Val JoinKey(Val x, Val modulus) { return PosMod(x, modulus); }
+
+inline Val JoinCombine(Val l, Val r) {
+  const std::uint64_t v = static_cast<std::uint64_t>(l) * 31u +
+                          static_cast<std::uint64_t>(r) * 131u + 7u;
+  return static_cast<Val>(v % static_cast<std::uint64_t>(kValModulus));
+}
+
+inline Val GroupKey(Val x, Val groups) { return PosMod(x, groups); }
+
+/// Sums accumulate in uint64 (wrapping, UB-free); this folds a finished sum
+/// back into the bounded payload domain.
+inline Val BoundSum(std::uint64_t sum) {
+  return static_cast<Val>(sum % static_cast<std::uint64_t>(kValModulus));
+}
+
+/// Deterministic encoding of a (group key, sum) pair back into one Val so
+/// grouped-aggregate outputs stay in the all-int64 algebra.
+inline Val EncodeGroup(Val key, std::uint64_t sum) {
+  return static_cast<Val>(
+      (static_cast<std::uint64_t>(key) * 131071u + sum) %
+      static_cast<std::uint64_t>(kValModulus));
+}
+
+// --- Input streams ----------------------------------------------------------
+
+/// Shape of one generated input stream: traffic/NEXMark-flavoured integer
+/// payloads (Zipf-skewed ids) on a timeline with bursts and lulls, plus
+/// bounded disorder.
+struct StreamProfile {
+  std::size_t num_elements = 64;
+  /// Payloads are drawn from [0, domain).
+  Val domain = 100;
+  /// 0 = uniform payloads; > 0 = Zipf skew (hot keys, like auction ids).
+  double zipf_theta = 0.0;
+  /// Probability that a step stays at (almost) the same timestamp — bursts.
+  double burst_prob = 0.2;
+  /// Probability of a large forward jump — lulls between bursts.
+  double lull_prob = 0.05;
+  Timestamp max_step = 4;
+  Timestamp lull_step = 64;
+  /// Maximum backward displacement applied after generation (0 = in start
+  /// order). Disordered streams are fed through a ReorderingSource with
+  /// slack >= disorder, so nothing is ever dropped by the adapter.
+  Timestamp disorder = 0;
+};
+
+/// Draws a stream with the profile's shape. With disorder = 0 the result is
+/// non-decreasing in start; otherwise starts may be displaced backwards by
+/// at most `disorder`.
+Stream GenerateStream(Random& rng, const StreamProfile& profile);
+
+/// The arrival order every execution arm (and the reference) agrees on:
+/// stable sort by start. A ReorderingSource with sufficient slack releases
+/// ties in arrival order, which is exactly this.
+Stream Canonicalize(const Stream& raw);
+
+const char* OpKindName(OpKind kind);
+
+}  // namespace pipes::testing
+
+#endif  // PIPES_TESTING_SPEC_H_

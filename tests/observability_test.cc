@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -443,6 +446,67 @@ TEST(ObservabilityTest, SnapshotWhileThreadSchedulerRuns) {
   // passed through the two scheduled nodes (source and buffer).
   EXPECT_GE(profiler.total_units(), 100'000u);
   EXPECT_GT(profiler.decisions(), 0u);
+}
+
+// --- Deterministic mid-run capture (virtual time) ----------------------------
+// The single-threaded counterpart of the test above. The thread version
+// necessarily races capture points against the scheduler (that is its
+// point — TSAN watches the data paths), so *which* intermediate states it
+// observes varies run to run. Here the scheduler is stepped explicitly and
+// a snapshot is taken every few quanta: same graph, same stride, same
+// intermediate states, every time. This is the pattern the fuzz harness
+// uses for its mid-run snapshot oracle, and the reason the test suite
+// needs no wall-clock sleeps anywhere (see docs/testing.md).
+
+/// Canonical text of one capture: per-node counters keyed by name (node
+/// ids are process-global and differ between graph instances).
+std::string CanonicalCapture(const metadata::MetricsSnapshot& snap) {
+  std::vector<std::string> lines;
+  for (const metadata::NodeSnapshot& n : snap.nodes) {
+    std::ostringstream line;
+    line << n.name << " in=" << n.elements_in << " out=" << n.elements_out
+         << " shed=" << n.shed << " queue=" << n.queue_size
+         << " progress=" << (n.has_progress ? n.progress : kMinTimestamp);
+    lines.push_back(line.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream out;
+  out << "wm=" << snap.high_watermark;
+  for (const std::string& line : lines) out << '\n' << line;
+  return out.str();
+}
+
+std::vector<std::string> StepAndCapture() {
+  QueryGraph graph;
+  auto& source =
+      graph.Add<VectorSource<int>>(MakeInput(2000), "source", /*batch=*/16);
+  auto& buffer = graph.Add<Buffer<int>>();
+  auto& map = graph.Add<algebra::Map<int, int, Negate>>(Negate{}, "map");
+  auto& sink = graph.Add<CountingSink<int>>("sink");
+  source.AddSubscriber(buffer.input());
+  buffer.AddSubscriber(map.input());
+  map.AddSubscriber(sink.input());
+
+  scheduler::RoundRobinStrategy strategy;
+  scheduler::SingleThreadScheduler driver(graph, strategy);
+  std::vector<std::string> captures;
+  int steps = 0;
+  while (driver.Step()) {
+    if (++steps % 5 == 0) {
+      captures.push_back(CanonicalCapture(metadata::CaptureSnapshot(graph)));
+    }
+  }
+  captures.push_back(CanonicalCapture(metadata::CaptureSnapshot(graph)));
+  EXPECT_EQ(sink.count(), 2000u);
+  return captures;
+}
+
+TEST(ObservabilityTest, MidRunCaptureIsDeterministicUnderVirtualTime) {
+  const std::vector<std::string> first = StepAndCapture();
+  const std::vector<std::string> second = StepAndCapture();
+  // Genuinely mid-run: more than just the final quiescent state observed.
+  ASSERT_GT(first.size(), 2u);
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Tests for the deterministic simulation harness itself: the query-graph
+// generator only emits valid plans, the differential oracles actually
+// detect the bug classes they claim to (via planted canaries), a failing
+// case shrinks to a minimal repro, and the whole pipeline is a pure
+// function of its seed. The full-scale campaigns live in CI
+// (examples/pipes_fuzz); this file keeps the harness honest at unit cost.
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/testing/generate.h"
+#include "src/testing/harness.h"
+#include "src/testing/oracles.h"
+#include "src/testing/reference.h"
+#include "src/testing/spec.h"
+
+namespace pipes::testing {
+namespace {
+
+/// Mirrors RunCase's seed -> (plan, streams) derivation (also used by
+/// `pipes_fuzz --replay`).
+void Regenerate(std::uint64_t case_seed, PlanSpec* spec,
+                std::vector<Stream>* raw,
+                std::vector<StreamProfile>* profiles) {
+  Random rng(case_seed);
+  GeneratedCase gc = GenerateCase(rng, GenOptions{});
+  *spec = gc.spec;
+  *profiles = gc.profiles;
+  raw->clear();
+  for (const StreamProfile& profile : gc.profiles) {
+    raw->push_back(GenerateStream(rng, profile));
+  }
+}
+
+// --- Generator --------------------------------------------------------------
+
+// GenerateCase runs CheckValid on every plan, so structural violations
+// abort. This asserts the subtler contracts on top: the segmentation rule
+// (boundary-reading ops never consume resegmenting subplans) and that the
+// catalog actually gets explored.
+TEST(SimulationGenerator, PlansAreValidAndDiverse) {
+  std::set<OpKind> seen;
+  int resegmenting_plans = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    Random rng(CaseSeed(99, i));
+    GeneratedCase gc = GenerateCase(rng, GenOptions{});
+    const std::vector<bool> resegmented = gc.spec.ResegmentedSubplans();
+    for (const SpecNode& n : gc.spec.nodes) {
+      seen.insert(n.kind);
+      if (TraitsOf(n.kind).segmentation_sensitive) {
+        ASSERT_GE(n.in0, 0);
+        EXPECT_FALSE(resegmented[n.in0])
+            << OpKindName(n.kind) << " consumes a resegmenting subplan";
+      }
+    }
+    if (gc.spec.Resegmenting()) ++resegmenting_plans;
+    EXPECT_EQ(gc.profiles.size(),
+              static_cast<std::size_t>(gc.spec.NumStreams()));
+  }
+  // Every catalog entry appears somewhere across 200 plans.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumOpKinds));
+  // The constraint must not have priced Distinct out of the pool.
+  EXPECT_GT(resegmenting_plans, 10);
+}
+
+TEST(SimulationGenerator, RewritesPreserveReferenceSemantics) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    PlanSpec spec;
+    std::vector<Stream> raw;
+    std::vector<StreamProfile> profiles;
+    Regenerate(CaseSeed(123, i), &spec, &raw, &profiles);
+    std::vector<Stream> canonical;
+    for (const Stream& s : raw) canonical.push_back(Canonicalize(s));
+    const Stream expected = EvalReference(spec, canonical);
+
+    Random rng(CaseSeed(123, i) ^ 0xabc);
+    const PlanSpec rewritten = ApplyRandomRewrites(rng, spec, 4);
+    const Stream actual = EvalReference(rewritten, canonical);
+    const auto violation =
+        CompareSnapshots(actual, expected, SnapRel::kEqual);
+    EXPECT_FALSE(violation.has_value())
+        << "rewrite changed semantics on seed " << CaseSeed(123, i) << ": "
+        << *violation;
+  }
+}
+
+// --- Oracles ----------------------------------------------------------------
+
+TEST(SimulationOracles, SnapshotCompareFindsMultiplicityDrift) {
+  const Stream expected = {Elem(7, TimeInterval(0, 10)),
+                           Elem(7, TimeInterval(5, 15))};
+  Stream actual = expected;
+  EXPECT_FALSE(
+      CompareSnapshots(actual, expected, SnapRel::kEqual).has_value());
+
+  // Same payloads, same total mass, shifted boundary: snapshot at t in
+  // [10, 12) now has multiplicity 2 instead of 1.
+  actual[0].interval = TimeInterval(0, 12);
+  EXPECT_TRUE(
+      CompareSnapshots(actual, expected, SnapRel::kEqual).has_value());
+  // ...and that is not a subset either (extra mass).
+  EXPECT_TRUE(
+      CompareSnapshots(actual, expected, SnapRel::kSubset).has_value());
+
+  // Dropping an element is a subset but not equal.
+  Stream lossy = {expected[0]};
+  EXPECT_TRUE(
+      CompareSnapshots(lossy, expected, SnapRel::kEqual).has_value());
+  EXPECT_FALSE(
+      CompareSnapshots(lossy, expected, SnapRel::kSubset).has_value());
+}
+
+TEST(SimulationOracles, MultisetCompareIsExact) {
+  const Stream expected = {Elem(1, TimeInterval(0, 5)),
+                           Elem(2, TimeInterval(3, 9))};
+  Stream reordered = {expected[1], expected[0]};
+  EXPECT_FALSE(CompareMultisets(reordered, expected).has_value());
+  Stream corrupted = expected;
+  corrupted[1].payload = 3;
+  EXPECT_TRUE(CompareMultisets(corrupted, expected).has_value());
+}
+
+TEST(SimulationOracles, ConservationRules) {
+  EXPECT_FALSE(CheckConservation(ConservationRule::kExact, 10, 10, 0, 0, "n")
+                   .has_value());
+  EXPECT_TRUE(CheckConservation(ConservationRule::kExact, 10, 9, 0, 0, "n")
+                  .has_value());
+  EXPECT_FALSE(
+      CheckConservation(ConservationRule::kExactPlusShed, 10, 7, 3, 0, "n")
+          .has_value());
+  EXPECT_TRUE(
+      CheckConservation(ConservationRule::kExactPlusShed, 10, 7, 2, 0, "n")
+          .has_value());
+  EXPECT_FALSE(
+      CheckConservation(ConservationRule::kAtMostDoubleIn, 10, 21, 0, 0, "n")
+          .has_value());
+  EXPECT_TRUE(
+      CheckConservation(ConservationRule::kAtMostDoubleIn, 10, 22, 0, 0, "n")
+          .has_value());
+}
+
+// --- End-to-end harness -----------------------------------------------------
+
+TEST(SimulationHarness, SmallCampaignPassesClean) {
+  std::ostringstream log;
+  const FuzzStats stats = RunFuzz(/*base_seed=*/2026, /*num_cases=*/60,
+                                  HarnessOptions{}, &log);
+  EXPECT_EQ(stats.failed_cases, 0u) << stats.first_failure.Summary();
+  EXPECT_EQ(stats.cases_run, 60u);
+  // Each case runs the fixed arms plus schedule variants.
+  EXPECT_GT(stats.arms_run, stats.cases_run * 4);
+}
+
+TEST(SimulationHarness, SelfCheckCatchesEveryCanary) {
+  std::ostringstream log;
+  EXPECT_TRUE(SelfCheck(/*seed=*/5, &log)) << log.str();
+}
+
+TEST(SimulationHarness, CaseVerdictIsDeterministic) {
+  HarnessOptions options;
+  options.canary = CanaryKind::kCorruptPayload;
+  const CaseResult a = RunCase(CaseSeed(17, 0), options);
+  const CaseResult b = RunCase(CaseSeed(17, 0), options);
+  EXPECT_EQ(a.ok(), b.ok());
+  EXPECT_EQ(a.failing_arm, b.failing_arm);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+// A hand-broken pipeline (planted element-dropping bug) must shrink to a
+// minimal repro — the ISSUE acceptance bar is <= 5 nodes — that still fails
+// with the same harness options, so the printed replay line works.
+TEST(SimulationHarness, ShrinkReducesPlantedBugToMinimalRepro) {
+  HarnessOptions options;
+  options.canary = CanaryKind::kDropElement;
+  const std::uint64_t case_seed = CaseSeed(7, 0);
+
+  PlanSpec spec;
+  std::vector<Stream> raw;
+  std::vector<StreamProfile> profiles;
+  Regenerate(case_seed, &spec, &raw, &profiles);
+  const CaseResult broken = RunCaseOnSpec(spec, raw, profiles, case_seed,
+                                          options);
+  ASSERT_FALSE(broken.ok()) << "canary was not detected at all";
+  ASSERT_GT(spec.nodes.size(), 5u) << "pick a seed with a bigger plan";
+
+  const ShrinkResult shrunk =
+      Shrink(spec, raw, profiles, case_seed, options, /*max_reruns=*/300);
+  EXPECT_FALSE(shrunk.result.ok());
+  EXPECT_LE(shrunk.spec.nodes.size(), 5u);
+  // The shrunk case must replay: running it again reproduces a failure.
+  const CaseResult replay = RunCaseOnSpec(shrunk.spec, shrunk.inputs,
+                                          shrunk.profiles, case_seed, options);
+  EXPECT_FALSE(replay.ok());
+}
+
+}  // namespace
+}  // namespace pipes::testing
