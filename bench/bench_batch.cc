@@ -31,6 +31,7 @@
 #include "src/core/generator_source.h"
 #include "src/core/graph.h"
 #include "src/core/sink.h"
+#include "src/scheduler/executor.h"
 #include "src/scheduler/scheduler.h"
 #include "src/workloads/traffic_queries.h"
 
@@ -117,6 +118,40 @@ void BM_TrafficWorkload(benchmark::State& state) {
   state.SetItemsProcessed(elements);
 }
 
+// The same filter -> map -> union -> buffer chain driven by the pipe
+// executor: transfers stage columnar runs on pipe edges and the work queue
+// delivers them iteratively, so the chain pays per-run (not per-element)
+// virtual dispatch and watermark merging end to end. The before/after
+// number for the executor refactor — compare against
+// BM_FilterMapUnionBufferChain at the same batch size.
+void BM_ExecutorFilterMapUnionBufferChain(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto left = MakeInput();
+  const auto right = MakeInput();
+  for (auto _ : state) {
+    QueryGraph graph;
+    auto& sa = graph.Add<VectorSource<int>>(left, "left", batch);
+    auto& sb = graph.Add<VectorSource<int>>(right, "right", batch);
+    auto& filter = graph.Add<algebra::Filter<int, KeepMost>>(KeepMost{});
+    auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
+    auto& u = graph.Add<algebra::Union<int>>();
+    auto& buffer = graph.Add<Buffer<int>>();
+    auto& sink = graph.Add<CountingSink<int>>();
+    sa.AddSubscriber(filter.input());
+    filter.AddSubscriber(map.input());
+    map.AddSubscriber(u.left());
+    sb.AddSubscriber(u.right());
+    u.AddSubscriber(buffer.input());
+    buffer.AddSubscriber(sink.input());
+
+    scheduler::RoundRobinStrategy strategy;
+    scheduler::PipeExecutor executor(graph, strategy, /*batch_size=*/1024);
+    executor.RunToCompletion();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kElements);
+}
+
 // Cross-thread edge: source and sink halves on different workers, the
 // ConcurrentBuffer between them drained train-at-a-time. Batching cuts
 // lock acquisitions from per-element to per-train on both sides.
@@ -146,6 +181,11 @@ void BM_ConcurrentBufferEdge(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_FilterMapUnionBufferChain)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_ExecutorFilterMapUnionBufferChain)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512);
 BENCHMARK(BM_TrafficWorkload)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
 // Wall-clock timing: the work happens on the scheduler's worker threads,
 // so the bench thread's CPU time would misstate throughput.

@@ -16,6 +16,7 @@
 #include "src/core/generator_source.h"
 #include "src/core/graph.h"
 #include "src/core/sink.h"
+#include "src/scheduler/executor.h"
 #include "src/scheduler/scheduler.h"
 
 namespace {
@@ -140,6 +141,39 @@ void BM_DirectChainBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kElements);
 }
 
+// The direct chain under the pipe executor, depth swept to 64: each edge
+// stages columnar runs that the work queue delivers iteratively, so the
+// cost of one element crossing one edge must stay flat as the chain grows
+// (no per-depth recursion penalty, bounded stack at any depth). The
+// `hops_per_second` counter is elements × depth / sec — the flat number;
+// `items_per_second` stays end-to-end elements/sec like the other series.
+void BM_ExecutorChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto input = MakeInput();
+  for (auto _ : state) {
+    QueryGraph graph;
+    auto& source = graph.Add<VectorSource<int>>(input, "source", batch);
+    Source<int>* upstream = &source;
+    for (int d = 0; d < depth; ++d) {
+      auto& map = graph.Add<algebra::Map<int, int, AddOne>>(AddOne{});
+      upstream->AddSubscriber(map.input());
+      upstream = &map;
+    }
+    auto& sink = graph.Add<CountingSink<int>>();
+    upstream->AddSubscriber(sink.input());
+
+    scheduler::RoundRobinStrategy strategy;
+    scheduler::PipeExecutor executor(graph, strategy, 256);
+    executor.RunToCompletion();
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(state.iterations() * kElements);
+  state.counters["hops_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kElements * depth,
+      benchmark::Counter::kIsRate);
+}
+
 }  // namespace
 
 BENCHMARK(BM_DirectChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
@@ -152,3 +186,9 @@ BENCHMARK(BM_DirectChainBatched)
     ->Args({4, 64})
     ->Args({8, 1})
     ->Args({8, 64});
+BENCHMARK(BM_ExecutorChain)
+    ->Args({4, 64})
+    ->Args({8, 64})
+    ->Args({16, 64})
+    ->Args({32, 64})
+    ->Args({64, 64});

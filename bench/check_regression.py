@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON into a per-bench snapshot and gate on it.
+
+Two modes:
+
+  distill OUT.json IN.json [IN.json ...]
+      Reads one google-benchmark ``--json-out`` file per bench binary and
+      writes a compact snapshot: ``{"benchmarks": {"<binary>:<name>":
+      items_per_second}}``. The binary prefix comes from each input's
+      context block, so several benches merge into one snapshot without
+      name collisions. This is the format of the checked-in BENCH_PR6.json.
+
+  compare BASELINE.json CURRENT.json [--threshold=0.10] [--guard=REGEX]
+      Prints every benchmark the two snapshots share with its relative
+      delta, then fails (exit 1) if any benchmark matching ``--guard``
+      (default: the bench_batch filter→map→union chain) is more than
+      ``--threshold`` below the baseline. Benchmarks present on only one
+      side are reported but never fail the gate, so adding or renaming
+      benches does not break CI.
+
+The gate compares absolute items/s, so the checked-in baseline is only
+meaningful on comparable hardware; refresh BENCH_PR6.json (distill mode)
+whenever the perf trajectory legitimately moves or the reference machine
+changes.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+GUARD_DEFAULT = r"bench_batch:BM_(Executor)?FilterMapUnionBufferChain/"
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def distill(out_path, in_paths):
+    merged = {}
+    for path in in_paths:
+        raw = load(path)
+        executable = raw.get("context", {}).get("executable", path)
+        prefix = os.path.basename(executable)
+        for bench in raw.get("benchmarks", []):
+            # Skip aggregate rows (mean/median/stddev of repetitions); the
+            # snapshot records one figure per (benchmark, config).
+            if bench.get("run_type") == "aggregate":
+                continue
+            rate = bench.get("items_per_second")
+            if rate is None:
+                continue
+            key = f"{prefix}:{bench['name']}"
+            # Repetitions collapse to their best run: the minimum-noise
+            # estimate on a machine with background load.
+            merged[key] = max(merged.get(key, 0.0), rate)
+    snapshot = {"benchmarks": dict(sorted(merged.items()))}
+    with open(out_path, "w") as f:
+        json.dump(snapshot, f, indent=2)
+        f.write("\n")
+    print(f"distilled {len(merged)} benchmarks from "
+          f"{len(in_paths)} file(s) -> {out_path}")
+    return 0
+
+
+def fmt_rate(rate):
+    return f"{rate / 1e6:10.2f}M/s"
+
+
+def compare(baseline_path, current_path, threshold, guard):
+    baseline = load(baseline_path)["benchmarks"]
+    current = load(current_path)["benchmarks"]
+    guard_re = re.compile(guard)
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"  {name}: only in baseline")
+            continue
+        if name not in baseline:
+            print(f"  {name}: only in current ({fmt_rate(current[name])})")
+            continue
+        old, new = baseline[name], current[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        guarded = bool(guard_re.search(name))
+        marker = "*" if guarded else " "
+        print(f" {marker}{name}: {fmt_rate(old)} -> {fmt_rate(new)} "
+              f"({delta:+.1%})")
+        if guarded and delta < -threshold:
+            failures.append((name, delta))
+    if failures:
+        print(f"\nFAIL: {len(failures)} guarded benchmark(s) regressed more "
+              f"than {threshold:.0%}:")
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no guarded benchmark regressed more than {threshold:.0%} "
+          f"(guard: {guard})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    p_distill = sub.add_parser("distill")
+    p_distill.add_argument("out")
+    p_distill.add_argument("inputs", nargs="+")
+
+    p_compare = sub.add_parser("compare")
+    p_compare.add_argument("baseline")
+    p_compare.add_argument("current")
+    p_compare.add_argument("--threshold", type=float, default=0.10)
+    p_compare.add_argument("--guard", default=GUARD_DEFAULT)
+
+    args = parser.parse_args()
+    if args.mode == "distill":
+        return distill(args.out, args.inputs)
+    return compare(args.baseline, args.current, args.threshold, args.guard)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

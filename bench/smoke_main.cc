@@ -2,23 +2,30 @@
 // registered benchmark once with a minimal time budget — the CI sanity pass
 // that each experiment still constructs its graphs and drains them
 // end-to-end — while any other invocation behaves exactly like the standard
-// google-benchmark main. Binaries with semantic smoke checks
+// google-benchmark main. `--json-out=PATH` writes the per-bench results
+// (items_per_second per config) as google-benchmark JSON to PATH — the
+// machine-readable feed for BENCH_PR6.json and the CI regression gate
+// (bench/check_regression.py). Binaries with semantic smoke checks
 // (bench_observability, bench_parallel) keep their own mains.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string json_out;
   std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.reserve(static_cast<std::size_t>(argc) + 4);
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
     } else {
       args.push_back(argv[i]);
     }
@@ -30,6 +37,15 @@ int main(int argc, char** argv) {
   if (smoke) {
     args.push_back(min_time);
     args.push_back(repetitions);
+  }
+  // Spelled through the library's own file reporter so the output carries
+  // the full context block (host, CPU, build) alongside each benchmark.
+  std::string out_flag;
+  std::string out_format_flag = "--benchmark_out_format=json";
+  if (!json_out.empty()) {
+    out_flag = "--benchmark_out=" + json_out;
+    args.push_back(out_flag.data());
+    args.push_back(out_format_flag.data());
   }
 
   int args_count = static_cast<int>(args.size());

@@ -127,6 +127,7 @@ class TemporalAggregate : public UnaryPipe<In, typename Agg::Output> {
     NodeDescriptor d = UnaryPipe<In, Output>::Describe();
     d.op = "aggregate";
     d.blocking = true;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -135,23 +136,40 @@ class TemporalAggregate : public UnaryPipe<In, typename Agg::Output> {
     core_.Add(e.start(), e.end(), value_fn_(e.payload));
   }
 
+  /// Columnar kernel: feeds the sweep-line straight from the columns — the
+  /// value function walks the payload column while the interval columns are
+  /// read positionally, with no `StreamElement` rematerialization.
+  void PortRun(int /*port_id*/, const ColumnarRun<In>& run) override {
+    const std::size_t n = run.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      core_.Add(run.starts[i], run.ends[i], value_fn_(run.payloads[i]));
+    }
+  }
+
   void PortProgress(int /*port_id*/, Timestamp watermark) override {
-    core_.EmitUpTo(watermark, [this](Output out, TimeInterval iv) {
-      this->Transfer(StreamElement<Output>(std::move(out), iv));
-    });
+    EmitRun(watermark);
     this->TransferHeartbeat(std::min(watermark, core_.FirstPendingStart()));
   }
 
   void PortDone(int /*port_id*/) override {
-    core_.EmitUpTo(kMaxTimestamp, [this](Output out, TimeInterval iv) {
-      this->Transfer(StreamElement<Output>(std::move(out), iv));
-    });
+    EmitRun(kMaxTimestamp);
     this->TransferDone();
   }
 
  private:
+  /// Finalized segments leave as one columnar run per progress notification
+  /// (`EmitUpTo` releases in start order, so the run invariant holds).
+  void EmitRun(Timestamp watermark) {
+    out_run_.clear();
+    core_.EmitUpTo(watermark, [this](Output out, TimeInterval iv) {
+      out_run_.Append(std::move(out), iv.start, iv.end);
+    });
+    this->TransferRun(std::move(out_run_));
+  }
+
   ValueFn value_fn_;
   SweepLineAggregator<Agg> core_;
+  ColumnarRun<Output> out_run_;
 };
 
 /// Grouped temporal aggregate (the algebra behind CQL GROUP BY): one
@@ -188,6 +206,7 @@ class GroupedAggregate
     d.op = "group-aggregate";
     d.blocking = true;
     d.key_partitionable = true;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -198,14 +217,28 @@ class GroupedAggregate
     it->second.Add(e.start(), e.end(), value_fn_(e.payload));
   }
 
+  /// Columnar kernel: group lookup and sweep-line accumulation straight
+  /// from the columns.
+  void PortRun(int /*port_id*/, const ColumnarRun<In>& run) override {
+    const std::size_t n = run.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = groups_.try_emplace(
+          key_fn_(run.payloads[i]), SweepLineAggregator<Agg>(agg_));
+      it->second.Add(run.starts[i], run.ends[i],
+                     value_fn_(run.payloads[i]));
+    }
+  }
+
   void PortProgress(int /*port_id*/, Timestamp watermark) override {
     this->TransferHeartbeat(Release(watermark));
   }
 
   void PortDone(int /*port_id*/) override {
     Release(kMaxTimestamp);
+    out_run_.clear();
     staged_.FlushAll(
-        [this](const StreamElement<Output>& e) { this->Transfer(e); });
+        [this](const StreamElement<Output>& e) { out_run_.Append(e); });
+    this->TransferRun(std::move(out_run_));
     this->TransferDone();
   }
 
@@ -228,9 +261,11 @@ class GroupedAggregate
       }
     }
     const Timestamp bound = std::min(watermark, MinPendingStart());
+    out_run_.clear();
     staged_.FlushUpTo(bound, [this](const StreamElement<Output>& e) {
-      this->Transfer(e);
+      out_run_.Append(e);
     });
+    this->TransferRun(std::move(out_run_));
     return bound;
   }
 
@@ -247,6 +282,7 @@ class GroupedAggregate
   Agg agg_;
   std::unordered_map<Key, SweepLineAggregator<Agg>> groups_;
   OrderedOutputBuffer<Output> staged_;
+  ColumnarRun<Output> out_run_;
 };
 
 }  // namespace pipes::algebra

@@ -28,6 +28,7 @@ class Filter : public UnaryPipe<T, T> {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "filter";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -49,9 +50,28 @@ class Filter : public UnaryPipe<T, T> {
     this->TransferBatch(out_);
   }
 
+  /// Columnar kernel: the predicate runs over the payload column alone
+  /// (exactly once per element), and each maximal run of survivors is
+  /// copied as one contiguous range per column — a selective filter pays
+  /// per segment, not per element.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    run_out_.clear();
+    const std::size_t n = run.size();
+    run_out_.reserve(n);
+    std::size_t i = 0;
+    while (i < n) {
+      while (i < n && !pred_(run.payloads[i])) ++i;
+      const std::size_t begin = i;
+      while (i < n && pred_(run.payloads[i])) ++i;
+      if (i > begin) run_out_.AppendRange(run, begin, i);
+    }
+    this->TransferRun(std::move(run_out_));
+  }
+
  private:
   Pred pred_;
   std::vector<StreamElement<T>> out_;
+  ColumnarRun<T> run_out_;
 };
 
 /// Deduction helper: `auto& f = graph.Add<Filter<T, decltype(pred)>>(...)`

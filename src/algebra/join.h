@@ -88,6 +88,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
     // equi-probes — must mirror the `algebra::KeyPartitionable` trait
     // specialization (checked in tests/analysis_test.cc).
     d.key_partitionable = LeftSA::kKeyedEquiProbe && RightSA::kKeyedEquiProbe;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -112,6 +113,44 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
     Flush();
   }
 
+  /// Columnar kernels: probe the whole run against the opposite SweepArea,
+  /// then bulk-insert it and flush once. Probing everything before inserting
+  /// is equivalent to the per-element interleave — a run's elements go into
+  /// their *own* side's area, which its probes never touch. Under an active
+  /// memory limit the kernels fall back to the per-element path so shedding
+  /// decisions (which depend on the interleave) are bit-identical.
+  void OnRunLeft(const ColumnarRun<L>& run) override {
+    if (ShedActive()) {
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        OnElementLeft(run.ElementAt(i));
+      }
+      return;
+    }
+    right_sa_.QueryRun(run, [&](std::size_t i, const StreamElement<R>& r) {
+      staged_.Push(StreamElement<Out>(
+          combine_(run.payloads[i], r.payload),
+          TimeInterval(run.starts[i], run.ends[i]).Intersect(r.interval)));
+    });
+    left_sa_.InsertRun(run);
+    Flush();
+  }
+
+  void OnRunRight(const ColumnarRun<R>& run) override {
+    if (ShedActive()) {
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        OnElementRight(run.ElementAt(i));
+      }
+      return;
+    }
+    left_sa_.QueryRun(run, [&](std::size_t i, const StreamElement<L>& l) {
+      staged_.Push(StreamElement<Out>(
+          combine_(l.payload, run.payloads[i]),
+          l.interval.Intersect(TimeInterval(run.starts[i], run.ends[i]))));
+    });
+    right_sa_.InsertRun(run);
+    Flush();
+  }
+
   void OnProgressSide(int /*side*/, Timestamp /*watermark*/) override {
     // Reorganization: a stored left element can never again match once its
     // validity ended before every future right element's start (and vice
@@ -123,8 +162,10 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
 
   void OnDoneSide(int /*side*/) override {
     if (this->BothDone()) {
+      out_run_.clear();
       staged_.FlushAll(
-          [this](const StreamElement<Out>& e) { this->Transfer(e); });
+          [this](const StreamElement<Out>& e) { out_run_.Append(e); });
+      this->TransferRun(std::move(out_run_));
       this->TransferDone();
     } else {
       OnProgressSide(0, this->CombinedWatermark());
@@ -132,10 +173,18 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
   }
 
  private:
+  /// True when the memory limit can actually trigger eviction.
+  bool ShedActive() const {
+    return shed_policy_ != ShedPolicy::kNone &&
+           memory_limit_ != std::numeric_limits<std::size_t>::max();
+  }
+
   void Flush() {
     const Timestamp combined = this->CombinedWatermark();
+    out_run_.clear();
     staged_.FlushUpTo(
-        combined, [this](const StreamElement<Out>& e) { this->Transfer(e); });
+        combined, [this](const StreamElement<Out>& e) { out_run_.Append(e); });
+    this->TransferRun(std::move(out_run_));
     if (combined < kMaxTimestamp) {
       this->TransferHeartbeat(combined);
     }
@@ -159,6 +208,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
   RightSA right_sa_;
   Combine combine_;
   OrderedOutputBuffer<Out> staged_;
+  ColumnarRun<Out> out_run_;
   std::size_t memory_limit_ = std::numeric_limits<std::size_t>::max();
   ShedPolicy shed_policy_ = ShedPolicy::kEvictFromLargerArea;
   std::uint64_t shed_count_ = 0;

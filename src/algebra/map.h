@@ -25,6 +25,7 @@ class Map : public UnaryPipe<In, Out> {
     NodeDescriptor d = UnaryPipe<In, Out>::Describe();
     d.op = "map";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -45,9 +46,23 @@ class Map : public UnaryPipe<In, Out> {
     this->TransferBatch(out_);
   }
 
+  /// Columnar kernel: both timestamp columns are bulk-copied (memcpy) and
+  /// the user function runs in a tight loop over the payload column only.
+  void PortRun(int /*port_id*/, const ColumnarRun<In>& run) override {
+    run_out_.clear();
+    run_out_.starts.assign(run.starts.begin(), run.starts.end());
+    run_out_.ends.assign(run.ends.begin(), run.ends.end());
+    run_out_.payloads.reserve(run.size());
+    for (const In& p : run.payloads) {
+      run_out_.payloads.push_back(fn_(p));
+    }
+    this->TransferRun(std::move(run_out_));
+  }
+
  private:
   Fn fn_;
   std::vector<StreamElement<Out>> out_;
+  ColumnarRun<Out> run_out_;
 };
 
 }  // namespace pipes::algebra

@@ -48,6 +48,7 @@ class TimeWindow : public UnaryPipe<T, T> {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "time-window";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     d.bounds_validity = true;
     return d;
   }
@@ -70,9 +71,24 @@ class TimeWindow : public UnaryPipe<T, T> {
     this->TransferBatch(out_);
   }
 
+  /// Columnar kernel: payloads and starts are bulk-copied; only the ends
+  /// column is rewritten, in a loop over one plain timestamp array.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    run_out_.clear();
+    run_out_.starts.assign(run.starts.begin(), run.starts.end());
+    run_out_.payloads.assign(run.payloads.begin(), run.payloads.end());
+    run_out_.ends.resize(run.size());
+    const Timestamp w = size_;
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      run_out_.ends[i] = run.starts[i] + w;
+    }
+    this->TransferRun(std::move(run_out_));
+  }
+
  private:
   Timestamp size_;
   std::vector<StreamElement<T>> out_;
+  ColumnarRun<T> run_out_;
 };
 
 /// Time-based hopping window (CQL `[RANGE w SLIDE s]`): results are only
@@ -98,6 +114,7 @@ class SlideWindow : public UnaryPipe<T, T> {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "slide-window";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     d.bounds_validity = true;
     return d;
   }
@@ -129,6 +146,21 @@ class SlideWindow : public UnaryPipe<T, T> {
     this->TransferBatch(out_);
   }
 
+  /// Columnar kernel: grid-aligns both timestamp columns in one pass.
+  /// AlignUp is monotone, so survivor starts stay non-decreasing.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    run_out_.clear();
+    run_out_.reserve(run.size());
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      const Timestamp first = AlignUp(run.starts[i]);
+      const Timestamp last = AlignUp(run.starts[i] + size_);
+      if (first < last) {
+        run_out_.Append(run.payloads[i], first, last);
+      }
+    }
+    this->TransferRun(std::move(run_out_));
+  }
+
  private:
   Timestamp AlignUp(Timestamp t) const {
     // Smallest multiple of slide_ that is >= t (timestamps are >= 0 in all
@@ -139,6 +171,7 @@ class SlideWindow : public UnaryPipe<T, T> {
   Timestamp size_;
   Timestamp slide_;
   std::vector<StreamElement<T>> out_;
+  ColumnarRun<T> run_out_;
 };
 
 /// Unbounded window (CQL `[UNBOUNDED]`): every element stays valid forever
@@ -155,6 +188,7 @@ class UnboundedWindow : public UnaryPipe<T, T> {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "unbounded-window";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     d.unbounded_validity = true;
     return d;
   }
@@ -174,8 +208,18 @@ class UnboundedWindow : public UnaryPipe<T, T> {
     this->TransferBatch(out_);
   }
 
+  /// Columnar kernel: copy starts and payloads, fill ends with +inf.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    run_out_.clear();
+    run_out_.starts.assign(run.starts.begin(), run.starts.end());
+    run_out_.payloads.assign(run.payloads.begin(), run.payloads.end());
+    run_out_.ends.assign(run.size(), kMaxTimestamp);
+    this->TransferRun(std::move(run_out_));
+  }
+
  private:
   std::vector<StreamElement<T>> out_;
+  ColumnarRun<T> run_out_;
 };
 
 /// Count-based window (CQL `[ROWS n]`): each element stays valid until `n`

@@ -463,6 +463,38 @@ void CheckStalledInputs(const GraphModel& m, Linter& lint) {  // P014
   }
 }
 
+void CheckMixedExecutorAttachment(const GraphModel& m, Linter& lint) {
+  // P018. A node counts as pollable when it has an output pipe an executor
+  // could own. Sinks have no output, Partition delivers synchronously by
+  // design, and opaque nodes declare no contract — all three are exempt.
+  std::vector<const NodeInfo*> attached;
+  std::vector<const NodeInfo*> unattached;
+  for (const NodeInfo& info : m.info) {
+    const Kind kind = info.desc.kind;
+    if (kind == Kind::kSink || kind == Kind::kPartition ||
+        kind == Kind::kOpaque) {
+      continue;
+    }
+    (info.node->executor_attached() ? attached : unattached).push_back(&info);
+  }
+  if (attached.empty() || unattached.empty()) return;
+  std::string example = attached.front()->node->name();
+  for (const NodeInfo* info : attached) {
+    example = std::min(example, info->node->name());
+  }
+  for (const NodeInfo* info : unattached) {
+    lint.Emit("P018", Severity::kWarning, info->node, "",
+              "output delivers to subscribers by direct recursion while " +
+                  std::to_string(attached.size()) +
+                  " other node(s) in this graph (e.g. '" + example +
+                  "') stage output through executor pipes: mixed delivery "
+                  "re-introduces unbounded recursion depth and interleaves "
+                  "recursive calls with polled pipe delivery",
+              "attach the executor to the whole graph (PipeExecutor's "
+              "constructor attaches to every node), or to none of it");
+  }
+}
+
 void CheckMetadataAnnotations(const GraphModel& m, Linter& lint) {
   for (const NodeInfo& info : m.info) {
     if (!info.desc.deprecated.empty()) {  // P015
@@ -581,6 +613,9 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"P016", Severity::kNote, "foot-gun API use recorded on the node"},
       {"P017", Severity::kError,
        "assignment shape invalid (length or worker index out of range)"},
+      {"P018", Severity::kWarning,
+       "graph mixes executor-polled pipes with legacy recursive subscriber "
+       "edges (bounded-stack guarantee lost)"},
   };
   return kCatalog;
 }
@@ -597,6 +632,7 @@ std::vector<Diagnostic> Lint(const QueryGraph& graph) {
   CheckPartitionStages(m, lint);
   CheckBatchPathBreaks(m, lint);
   CheckStalledInputs(m, lint);
+  CheckMixedExecutorAttachment(m, lint);
   CheckMetadataAnnotations(m, lint);
   return lint.Take();
 }

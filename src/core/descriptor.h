@@ -55,6 +55,12 @@ struct NodeDescriptor {
   /// emitting `TransferBatch` trains). DESIGN.md "Batched delivery".
   bool has_batch_kernel = false;
 
+  /// Overrides the columnar delivery path (`PortRun` kernel operating on
+  /// SoA runs, DESIGN.md §4f). Operators without one still run correctly
+  /// under the executor — the default `PortRun` re-materializes — but pay
+  /// one AoS copy per run.
+  bool has_columnar_kernel = false;
+
   /// Safe to clone into keyed shared-nothing replicas — must agree with
   /// `algebra::KeyPartitionable` where the compile-time trait exists.
   bool key_partitionable = false;

@@ -1,13 +1,16 @@
 #ifndef PIPES_CORE_GENERATOR_SOURCE_H_
 #define PIPES_CORE_GENERATOR_SOURCE_H_
 
+#include <algorithm>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/macros.h"
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/core/source.h"
 
@@ -22,10 +25,13 @@ namespace pipes {
 /// implement `Generate`; returning nullopt ends the stream.
 ///
 /// With `batch_size` > 1 the source accumulates up to that many elements
-/// per scheduler invocation and emits them with a single `TransferBatch` —
-/// the batching knob of the workload generators (DESIGN.md "Batched
-/// delivery"). The default of 1 keeps the original per-element `Transfer`
-/// path, byte-for-byte.
+/// per scheduler invocation directly into a columnar scratch run and emits
+/// them with a single consuming `TransferRun` — the batching knob of the
+/// workload generators (DESIGN.md "Batched delivery"). Elements are
+/// transposed into columns exactly once, at generation time, and under an
+/// executor the scratch run's columns are swapped into the pipe (zero
+/// copies in steady state). The default of 1 keeps the original
+/// per-element `Transfer` path, byte-for-byte.
 template <typename T>
 class GeneratorSource : public Source<T> {
  public:
@@ -70,19 +76,15 @@ class GeneratorSource : public Source<T> {
       return n;
     }
     while (n < max_units && !exhausted_) {
-      batch_.clear();
+      run_.clear();
       const std::size_t want = std::min(batch_size_, max_units - n);
-      while (batch_.size() < want) {
-        std::optional<StreamElement<T>> element = Generate();
-        if (!element.has_value()) {
-          exhausted_ = true;
-          ++n;  // the end-of-stream signal counts as one unit of work
-          break;
-        }
-        batch_.push_back(std::move(*element));
+      if (FillRun(run_, want)) {
+        exhausted_ = true;
+        ++n;  // the end-of-stream signal counts as one unit of work
       }
-      n += batch_.size();
-      this->TransferBatch(batch_);
+      n += run_.size();
+      this->TransferRun(std::move(run_));
+      run_.clear();
       if (exhausted_) this->TransferDone();
     }
     return n;
@@ -93,9 +95,22 @@ class GeneratorSource : public Source<T> {
   /// end-of-stream.
   virtual std::optional<StreamElement<T>> Generate() = 0;
 
+  /// Appends up to `want` elements to `out`; returns true at end-of-stream.
+  /// The default loops over `Generate`; sources whose backing store is
+  /// already materialized (e.g. `VectorSource`) override it with a bulk
+  /// copy.
+  virtual bool FillRun(ColumnarRun<T>& out, std::size_t want) {
+    while (out.size() < want) {
+      std::optional<StreamElement<T>> element = Generate();
+      if (!element.has_value()) return true;
+      out.Append(std::move(*element));
+    }
+    return false;
+  }
+
  private:
   std::size_t batch_size_;
-  std::vector<StreamElement<T>> batch_;
+  ColumnarRun<T> run_;
   bool exhausted_ = false;
 };
 
@@ -131,6 +146,20 @@ class VectorSource : public GeneratorSource<T> {
   std::optional<StreamElement<T>> Generate() override {
     if (next_ >= elements_.size()) return std::nullopt;
     return elements_[next_++];
+  }
+
+  /// The backing vector is already materialized: a whole batch transposes
+  /// onto `out` in one contiguous-range append instead of element-wise
+  /// `Generate` calls. End-of-stream is reported only when the fill comes
+  /// up short — exactly when the `Generate` loop would have observed
+  /// nullopt — so the done signal lands on the same scheduler poll as in
+  /// the per-element path.
+  bool FillRun(ColumnarRun<T>& out, std::size_t want) override {
+    const std::size_t take = std::min(want, elements_.size() - next_);
+    out.AppendBatch(
+        std::span<const StreamElement<T>>(elements_.data() + next_, take));
+    next_ += take;
+    return take < want;
   }
 
  private:

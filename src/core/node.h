@@ -22,6 +22,9 @@
 
 namespace pipes {
 
+class ExecutorLink;
+class PipeBase;
+
 /// Base class of all query-graph nodes. Not copyable or movable: a node's
 /// identity is its address (subscriptions hold pointers to it).
 class Node {
@@ -86,6 +89,32 @@ class Node {
   /// conservation equation the simulation oracles check:
   /// elements_in == elements_out + retained_state + shed.
   virtual std::uint64_t ShedCount() const { return 0; }
+
+  // --- Executor attachment --------------------------------------------------
+  // The executor-polled execution model (DESIGN.md §4f): a `PipeExecutor`
+  // attaches to every node of a graph before running it. Nodes with a typed
+  // output (`Source<T>` and everything derived from it) create and own a
+  // `Pipe<T>` edge object and route their `Transfer*` calls into it; the
+  // default is for output-less nodes (sinks) and for splitters that deliver
+  // synchronously by design (`Partition`).
+
+  /// Creates this node's output pipe and reroutes transfers into it.
+  /// Returns the pipe, or nullptr if this node has no pollable output.
+  /// Must not be called while a run is in progress; one executor at a time.
+  virtual PipeBase* AttachExecutor(ExecutorLink* link) {
+    (void)link;
+    return nullptr;
+  }
+
+  /// Destroys the output pipe and restores direct synchronous delivery.
+  /// The pipe must be fully drained (the executor delivers everything
+  /// staged before detaching).
+  virtual void DetachExecutor() {}
+
+  /// True while an executor's pipe carries this node's output. Static
+  /// analysis (lint rule P018) uses this to detect graphs that mix
+  /// executor-polled pipes with legacy recursive subscriber edges.
+  bool executor_attached() const { return executor_attached_; }
 
   // --- Static introspection -------------------------------------------------
 
@@ -162,6 +191,10 @@ class Node {
   /// Named gauges/estimators attached by the metadata factory at runtime.
   metadata::Registry& metadata() { return metadata_; }
   const metadata::Registry& metadata() const { return metadata_; }
+
+ protected:
+  /// Maintained by the AttachExecutor/DetachExecutor overrides.
+  bool executor_attached_ = false;
 
  private:
   template <typename T>

@@ -114,6 +114,7 @@ class Partition : public Node, public PortOwner<T> {
     d.op = "partition";
     d.port_upstreams = {input_.num_upstreams()};
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     d.fan_out = outputs_.size();
     d.output_subscribers.resize(outputs_.size());
     for (std::size_t i = 0; i < outputs_.size(); ++i) {
@@ -155,6 +156,30 @@ class Partition : public Node, public PortOwner<T> {
       out.level = std::max(out.level, runs_[p].back().start());
       for (const Subscription& s : out.subscriptions) {
         s.port->ReceiveBatch(s.slot, runs_[p]);
+      }
+    }
+  }
+
+  /// Columnar kernel: routes the run into per-partition columnar sub-runs
+  /// and delivers one `ReceiveRun` per non-empty partition, so the columnar
+  /// path stays columnar through the split.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    if (col_runs_.empty()) col_runs_.resize(outputs_.size());
+    for (auto& r : col_runs_) r.clear();
+    const std::size_t n = run.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      col_runs_[PartitionIndex(run.payloads[i])].Append(
+          run.payloads[i], run.starts[i], run.ends[i]);
+    }
+    for (std::size_t p = 0; p < outputs_.size(); ++p) {
+      if (col_runs_[p].empty()) continue;
+      counts_[p].fetch_add(col_runs_[p].size(), std::memory_order_relaxed);
+      CountOut(col_runs_[p].size());
+      CountBatchOut();
+      PartitionOutput& out = outputs_[p];
+      out.level = std::max(out.level, col_runs_[p].starts.back());
+      for (const Subscription& s : out.subscriptions) {
+        s.port->ReceiveRun(s.slot, col_runs_[p]);
       }
     }
   }
@@ -202,6 +227,8 @@ class Partition : public Node, public PortOwner<T> {
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
   /// PortBatch scratch: per-partition runs of the batch being routed.
   std::vector<std::vector<StreamElement<T>>> runs_;
+  /// PortRun scratch: per-partition columnar sub-runs (lazily sized).
+  std::vector<ColumnarRun<T>> col_runs_;
   bool done_ = false;
   InputPort<T> input_;
 };
@@ -244,6 +271,7 @@ class Merge : public Source<T>, public PortOwner<T> {
       d.port_upstreams.push_back(port->num_upstreams());
     }
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     d.fan_in = ports_.size();
     return d;
   }
@@ -258,6 +286,13 @@ class Merge : public Source<T>, public PortOwner<T> {
   void PortBatch(int /*port_id*/,
                  std::span<const StreamElement<T>> batch) override {
     for (const StreamElement<T>& e : batch) staged_.Push(e);
+  }
+
+  /// Columnar kernel: stage straight from the columns.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      staged_.Push(run.ElementAt(i));
+    }
   }
 
   void PortProgress(int /*port_id*/, Timestamp /*watermark*/) override {
@@ -296,18 +331,19 @@ class Merge : public Source<T>, public PortOwner<T> {
     return true;
   }
 
-  /// Releases everything ripe below `watermark` as one downstream batch.
+  /// Releases everything ripe below `watermark` as one downstream columnar
+  /// run.
   void FlushBatched(Timestamp watermark) {
-    out_.clear();
+    out_run_.clear();
     staged_.FlushUpTo(watermark, [this](const StreamElement<T>& e) {
-      out_.push_back(e);
+      out_run_.Append(e);
     });
-    this->TransferBatch(out_);
+    this->TransferRun(std::move(out_run_));
   }
 
   std::vector<std::unique_ptr<InputPort<T>>> ports_;
   OrderedOutputBuffer<T> staged_;
-  std::vector<StreamElement<T>> out_;
+  ColumnarRun<T> out_run_;
 };
 
 }  // namespace pipes

@@ -5,9 +5,12 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/core/node.h"
+#include "src/core/pipe_edge.h"
 #include "src/core/port.h"
 #include "src/core/source.h"
 
@@ -17,6 +20,13 @@
 /// transfers its results to its subscribed sinks". `UnaryPipe` and
 /// `BinaryPipe` are the abstract pre-implementations the paper describes;
 /// the ready-to-use operator algebra in `src/algebra/` derives from them.
+///
+/// The *edge* objects of the executor-polled execution model — the
+/// three-state `Pipe<T>` (Idle/Request/Supply) that owns a source's staged
+/// columnar run, plus its type-erased `PipeBase` — live in
+/// `src/core/pipe_edge.h` (re-exported here): `Pipe<T>` is created by
+/// `Source<T>::AttachExecutor` and polled by `scheduler::PipeExecutor`, so
+/// it sits below these operator bases in the include order.
 
 namespace pipes {
 
@@ -80,6 +90,18 @@ class BinaryDispatch : public PortOwner<L>, public PortOwner<R> {
   virtual void OnBatchRight(std::span<const StreamElement<R>> batch) {
     for (const StreamElement<R>& e : batch) OnElementRight(e);
   }
+  /// Columnar variants; the defaults re-materialize and replay through the
+  /// AoS batch hooks (same shim as `PortOwner<T>::PortRun`).
+  virtual void OnRunLeft(const ColumnarRun<L>& run) {
+    std::vector<StreamElement<L>> scratch;
+    run.MaterializeTo(scratch);
+    OnBatchLeft(scratch);
+  }
+  virtual void OnRunRight(const ColumnarRun<R>& run) {
+    std::vector<StreamElement<R>> scratch;
+    run.MaterializeTo(scratch);
+    OnBatchRight(scratch);
+  }
   virtual void OnProgressSide(int side, Timestamp watermark) = 0;
   virtual void OnDoneSide(int side) = 0;
 
@@ -95,6 +117,12 @@ class BinaryDispatch : public PortOwner<L>, public PortOwner<R> {
   }
   void PortBatch(int /*port_id*/, std::span<const StreamElement<R>> b) final {
     OnBatchRight(b);
+  }
+  void PortRun(int /*port_id*/, const ColumnarRun<L>& run) final {
+    OnRunLeft(run);
+  }
+  void PortRun(int /*port_id*/, const ColumnarRun<R>& run) final {
+    OnRunRight(run);
   }
   // Identical signature in both bases: this single override covers both.
   void PortProgress(int port_id, Timestamp watermark) final {
@@ -117,6 +145,16 @@ class BinaryDispatch<T, T> : public PortOwner<T> {
   virtual void OnBatchRight(std::span<const StreamElement<T>> batch) {
     for (const StreamElement<T>& e : batch) OnElementRight(e);
   }
+  virtual void OnRunLeft(const ColumnarRun<T>& run) {
+    std::vector<StreamElement<T>> scratch;
+    run.MaterializeTo(scratch);
+    OnBatchLeft(scratch);
+  }
+  virtual void OnRunRight(const ColumnarRun<T>& run) {
+    std::vector<StreamElement<T>> scratch;
+    run.MaterializeTo(scratch);
+    OnBatchRight(scratch);
+  }
   virtual void OnProgressSide(int side, Timestamp watermark) = 0;
   virtual void OnDoneSide(int side) = 0;
 
@@ -133,6 +171,13 @@ class BinaryDispatch<T, T> : public PortOwner<T> {
       OnBatchLeft(b);
     } else {
       OnBatchRight(b);
+    }
+  }
+  void PortRun(int port_id, const ColumnarRun<T>& run) final {
+    if (port_id == kLeft) {
+      OnRunLeft(run);
+    } else {
+      OnRunRight(run);
     }
   }
   void PortProgress(int port_id, Timestamp watermark) final {

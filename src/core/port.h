@@ -8,6 +8,7 @@
 
 #include "src/common/macros.h"
 #include "src/common/time.h"
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/core/metrics.h"
 #include "src/core/node.h"
@@ -55,6 +56,19 @@ class PortOwner {
     for (const StreamElement<T>& e : batch) {
       PortElement(port_id, e);
     }
+  }
+
+  /// A columnar run arrived on port `port_id` — same contract as
+  /// `PortBatch` (non-empty, one upstream, non-decreasing starts, no
+  /// control signals) in SoA layout. The default re-materializes the run
+  /// and delegates to `PortBatch`, so operators without a columnar kernel
+  /// behave exactly as on the AoS path; the hot stateless operators
+  /// (filter/map/window/union) override it with column-at-a-time kernels
+  /// that forward a columnar run downstream (DESIGN.md §4f).
+  virtual void PortRun(int port_id, const ColumnarRun<T>& run) {
+    std::vector<StreamElement<T>> scratch;
+    run.MaterializeTo(scratch);
+    PortBatch(port_id, scratch);
   }
 
   /// The port's merged watermark advanced to `watermark`: no future element
@@ -185,6 +199,37 @@ class InputPort {
       owner_->PortBatch(port_id_, batch);
     }
     RaiseSlotWatermark(up, batch.back().start());
+    NotifyProgress();
+  }
+
+  /// Columnar delivery: `ReceiveBatch` for a SoA run. Identical
+  /// bookkeeping — order validated once, slot watermark raised to the front
+  /// start before delivery and to the back start only after (see
+  /// `ReceiveBatch` on why), one merge + progress notification per run.
+  void ReceiveRun(int slot, const ColumnarRun<T>& run) {
+    if (run.empty()) return;
+    PIPES_DCHECK(ValidSlot(slot) && slots_[slot].live);
+    Upstream& up = slots_[slot];
+    PIPES_DCHECK(run.starts.front() >= up.watermark ||
+                 up.watermark == kMinTimestamp);
+    PIPES_DCHECK(std::is_sorted(run.starts.begin(), run.starts.end()));
+    PIPES_DCHECK(run.ends.size() == run.starts.size() &&
+                 run.payloads.size() == run.starts.size());
+    RaiseSlotWatermark(up, run.starts.front());
+    owner_node_->CountIn(run.size());
+    owner_node_->CountBatchIn();
+    trace::RecordRunHops(owner_node_->id(), run.starts.data(), run.size(),
+                         trace::Hop::kReceive);
+    if (obs::MetricsEnabled() && --latency_countdown_ == 0) {
+      latency_countdown_ = obs::kLatencySamplePeriod;
+      const std::int64_t t0 = obs::SteadyNowNs();
+      owner_->PortRun(port_id_, run);
+      owner_node_->service_histogram().Record(
+          static_cast<std::uint64_t>(obs::SteadyNowNs() - t0));
+    } else {
+      owner_->PortRun(port_id_, run);
+    }
+    RaiseSlotWatermark(up, run.starts.back());
     NotifyProgress();
   }
 

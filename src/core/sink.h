@@ -66,6 +66,7 @@ class CollectorSink : public Sink<T> {
     NodeDescriptor d = Sink<T>::Describe();
     d.op = "collector-sink";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -77,6 +78,10 @@ class CollectorSink : public Sink<T> {
   void PortBatch(int /*port_id*/,
                  std::span<const StreamElement<T>> batch) override {
     elements_.insert(elements_.end(), batch.begin(), batch.end());
+  }
+
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    run.MaterializeTo(elements_);
   }
 
  private:
@@ -97,6 +102,7 @@ class CountingSink : public Sink<T> {
     NodeDescriptor d = Sink<T>::Describe();
     d.op = "counting-sink";
     d.has_batch_kernel = true;
+    d.has_columnar_kernel = true;
     return d;
   }
 
@@ -112,6 +118,14 @@ class CountingSink : public Sink<T> {
     count_ += batch.size();
     for (const StreamElement<T>& e : batch) {
       checksum_ ^= static_cast<std::uint64_t>(e.start());
+    }
+  }
+
+  /// Columnar kernel: one pass over the starts column alone.
+  void PortRun(int /*port_id*/, const ColumnarRun<T>& run) override {
+    count_ += run.size();
+    for (const Timestamp s : run.starts) {
+      checksum_ ^= static_cast<std::uint64_t>(s);
     }
   }
 

@@ -2,6 +2,7 @@
 #define PIPES_CORE_SOURCE_H_
 
 #include <algorithm>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -10,8 +11,10 @@
 #include "src/common/macros.h"
 #include "src/common/status.h"
 #include "src/common/time.h"
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/core/node.h"
+#include "src/core/pipe_edge.h"
 #include "src/core/port.h"
 #include "src/core/trace.h"
 
@@ -31,7 +34,15 @@ namespace pipes {
 /// transfer elements in non-decreasing `start()` order and must finish with
 /// `TransferDone()`.
 ///
-/// Subscription changes must not happen from inside a Transfer call chain.
+/// Under an attached `PipeExecutor` the same `Transfer*` calls *stage* into
+/// this node's `Pipe<T>` edge instead of delivering synchronously; the
+/// executor later polls the pipe and delivers the staged columnar runs
+/// (DESIGN.md §4f). Output bookkeeping (order check, `last_start_`,
+/// counters, trace) happens at staging time either way, so metrics are
+/// identical on both paths.
+///
+/// Subscription changes must not happen from inside a Transfer call chain,
+/// nor while an executor is attached.
 template <typename T>
 class Source : public Node {
  public:
@@ -80,6 +91,24 @@ class Source : public Node {
   /// heartbeat level).
   Timestamp last_start() const { return last_start_; }
 
+  /// Creates this source's `Pipe<T>` and reroutes `Transfer*` into it.
+  PipeBase* AttachExecutor(ExecutorLink* link) override {
+    PIPES_CHECK(stage_ == nullptr);
+    pipe_ = std::make_unique<Pipe<T>>(this, link);
+    stage_ = pipe_.get();
+    executor_attached_ = true;
+    return pipe_.get();
+  }
+
+  void DetachExecutor() override {
+    if (stage_ != nullptr) {
+      PIPES_CHECK(!stage_->HasStaged());
+      stage_ = nullptr;
+      pipe_.reset();
+      executor_attached_ = false;
+    }
+  }
+
  protected:
   /// Delivers `element` to all subscribers. Enforces (in debug builds) the
   /// non-decreasing start-order invariant.
@@ -91,6 +120,10 @@ class Source : public Node {
     CountOut();
     this->AdvanceProgress(last_start_);
     trace::RecordHop(this->id(), element.start(), trace::Hop::kEmit);
+    if (stage_ != nullptr) {
+      stage_->StageElement(element);
+      return;
+    }
     for (const Subscription& s : subscriptions_) {
       s.port->Receive(s.slot, element);
     }
@@ -119,8 +152,47 @@ class Source : public Node {
     this->AdvanceProgress(last_start_);
     trace::RecordBatchHops(this->id(), batch.data(), batch.size(),
                            trace::Hop::kEmit);
+    if (stage_ != nullptr) {
+      stage_->StageBatch(batch);
+      return;
+    }
     for (const Subscription& s : subscriptions_) {
       s.port->ReceiveBatch(s.slot, batch);
+    }
+  }
+
+  /// `TransferBatch` for a columnar run: same ordering contract and
+  /// bookkeeping, but the elements stay in SoA layout end to end —
+  /// subscribers receive it through `ReceiveRun`/`PortRun`, so two columnar
+  /// kernels compose without ever materializing `StreamElement`s between
+  /// them.
+  void TransferRun(const ColumnarRun<T>& run) {
+    if (run.empty()) return;
+    BookkeepRunTransfer(run);
+    if (stage_ != nullptr) {
+      stage_->StageRun(run);
+      return;
+    }
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveRun(s.slot, run);
+    }
+  }
+
+  /// Consuming `TransferRun`: under an executor the columns are swapped
+  /// into the pipe's staged entry instead of copied, and `run` comes back
+  /// cleared with recycled capacity — so an operator that keeps one scratch
+  /// run and hands it off every flush stages with zero copies and zero
+  /// allocations in steady state. On the direct path `run` is left intact
+  /// (treat it as unspecified and `clear()` before reuse either way).
+  void TransferRun(ColumnarRun<T>&& run) {
+    if (run.empty()) return;
+    BookkeepRunTransfer(run);
+    if (stage_ != nullptr) {
+      stage_->StageRun(std::move(run));
+      return;
+    }
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveRun(s.slot, run);
     }
   }
 
@@ -130,6 +202,10 @@ class Source : public Node {
     if (t <= last_start_) return;
     last_start_ = t;
     this->AdvanceProgress(t);
+    if (stage_ != nullptr) {
+      stage_->StageHeartbeat(t);
+      return;
+    }
     for (const Subscription& s : subscriptions_) {
       s.port->ReceiveHeartbeat(s.slot, t);
     }
@@ -143,12 +219,58 @@ class Source : public Node {
     // kMaxTimestamp watermark the subscribers will report — a drained graph
     // shows zero watermark lag everywhere.
     this->AdvanceProgress(kMaxTimestamp);
+    if (stage_ != nullptr) {
+      stage_->StageDone();
+      return;
+    }
     for (const Subscription& s : subscriptions_) {
       s.port->ReceiveDone(s.slot);
     }
   }
 
  private:
+  template <typename U>
+  friend class Pipe;
+
+  /// The shared order-check/bookkeeping block of both `TransferRun`
+  /// overloads (`run` is non-empty here).
+  void BookkeepRunTransfer(const ColumnarRun<T>& run) {
+    PIPES_DCHECK(!done_);
+    PIPES_DCHECK(run.starts.front() >= last_start_ ||
+                 last_start_ == kMinTimestamp);
+    PIPES_DCHECK(std::is_sorted(run.starts.begin(), run.starts.end()));
+    PIPES_DCHECK(run.ends.size() == run.starts.size() &&
+                 run.payloads.size() == run.starts.size());
+    last_start_ = std::max(last_start_, run.starts.back());
+    CountOut(run.size());
+    this->CountBatchOut();
+    this->AdvanceProgress(last_start_);
+    trace::RecordRunHops(this->id(), run.starts.data(), run.size(),
+                         trace::Hop::kEmit);
+  }
+
+  // --- Staged delivery (called from Pipe<T>::Deliver) -----------------------
+  // Bookkeeping already happened at staging time; these only run the
+  // subscriber loops. The downstream operators they invoke stage into their
+  // own pipes, so the call depth is constant regardless of chain length.
+
+  void DeliverStagedRun(const ColumnarRun<T>& run) {
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveRun(s.slot, run);
+    }
+  }
+
+  void DeliverStagedHeartbeat(Timestamp t) {
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveHeartbeat(s.slot, t);
+    }
+  }
+
+  void DeliverStagedDone() {
+    for (const Subscription& s : subscriptions_) {
+      s.port->ReceiveDone(s.slot);
+    }
+  }
   struct Subscription {
     InputPort<T>* port;
     int slot;
@@ -165,6 +287,9 @@ class Source : public Node {
   std::vector<Subscription> subscriptions_;
   Timestamp last_start_ = kMinTimestamp;
   bool done_ = false;
+  /// Non-null while a `PipeExecutor` is attached: `Transfer*` stages here.
+  Pipe<T>* stage_ = nullptr;
+  std::unique_ptr<Pipe<T>> pipe_;
 };
 
 // Out-of-line so port.h (which source.h includes) only needs the forward
@@ -172,6 +297,44 @@ class Source : public Node {
 template <typename T>
 void InputPort<T>::SubscribeTo(Source<T>& source) {
   source.AddSubscriber(*this);
+}
+
+// --- Pipe<T> member definitions --------------------------------------------
+// Out-of-line here (not in pipe_edge.h) because they call into Source<T>'s
+// private staged-delivery methods; every TU that instantiates Source<T> —
+// and hence Pipe<T>, created only by AttachExecutor above — sees them.
+
+template <typename T>
+Pipe<T>::Pipe(Source<T>* source, ExecutorLink* link)
+    : PipeBase(source, link), source_(source) {}
+
+template <typename T>
+std::size_t Pipe<T>::Deliver() {
+  delivering_.clear();
+  delivering_.swap(entries_);
+  const std::size_t units = staged_units_;
+  staged_units_ = 0;
+  ResetToIdle();
+  for (Entry& entry : delivering_) {
+    switch (entry.kind) {
+      case Entry::kRun:
+        if (!entry.run.empty()) source_->DeliverStagedRun(entry.run);
+        entry.run.clear();
+        break;
+      case Entry::kHeartbeat:
+        source_->DeliverStagedHeartbeat(entry.heartbeat);
+        break;
+      case Entry::kDone:
+        source_->DeliverStagedDone();
+        break;
+    }
+  }
+  // Recycle the entries (column capacity intact) into the staging pool.
+  for (Entry& entry : delivering_) {
+    pool_.push_back(std::move(entry));
+  }
+  delivering_.clear();
+  return units;
 }
 
 }  // namespace pipes

@@ -188,6 +188,20 @@ inline void RecordBatchHops(std::uint64_t node_id,
   }
 }
 
+/// Columnar variant: like `RecordBatchHops` but over a contiguous column of
+/// interval starts (the SoA run layout has no elements to take `.start()`
+/// of). One relaxed load when tracing is off.
+inline void RecordRunHops(std::uint64_t node_id, const Timestamp* starts,
+                          std::size_t n, Hop hop) {
+  if (!Enabled()) return;
+  const auto mask = static_cast<std::uint64_t>(SamplePeriod()) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((static_cast<std::uint64_t>(starts[i]) & mask) == 0) {
+      GlobalRing().Record(node_id, starts[i], hop);
+    }
+  }
+}
+
 }  // namespace pipes::trace
 
 #endif  // PIPES_CORE_TRACE_H_

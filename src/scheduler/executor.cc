@@ -1,0 +1,122 @@
+#include "src/scheduler/executor.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/core/metrics.h"
+
+namespace pipes::scheduler {
+
+PipeExecutor::PipeExecutor(QueryGraph& graph, Strategy& strategy,
+                           std::size_t batch_size)
+    : graph_(graph), strategy_(strategy), batch_size_(batch_size) {
+  PIPES_CHECK(batch_size > 0);
+  for (Node* node : graph_.nodes()) {
+    PipeBase* pipe = node->AttachExecutor(this);
+    if (pipe != nullptr) {
+      pipes_.push_back(pipe);
+      attached_.push_back(node);
+      // A node with pre-staged state cannot exist at attach time, but a
+      // defensive enqueue keeps the invariant "Supply pipes are queued".
+      if (pipe->HasStaged()) PipeReady(pipe);
+    }
+  }
+}
+
+PipeExecutor::~PipeExecutor() {
+  // Deliver any leftover supply (e.g. an aborted run) so detach sees
+  // drained pipes, then restore direct delivery.
+  while (!ready_.empty()) {
+    PipeBase* pipe = ready_.front();
+    ready_.pop_front();
+    pipe->ClearInQueue();
+    pipe->Deliver();
+  }
+  for (Node* node : attached_) {
+    node->DetachExecutor();
+  }
+}
+
+void PipeExecutor::PipeReady(PipeBase* pipe) { ready_.push_back(pipe); }
+
+bool PipeExecutor::AllPipesIdle() const {
+  return std::all_of(pipes_.begin(), pipes_.end(), [](const PipeBase* p) {
+    return !p->HasStaged();
+  });
+}
+
+bool PipeExecutor::Step() {
+  if (!ready_.empty()) {
+    PipeBase* pipe = ready_.front();
+    ready_.pop_front();
+    pipe->ClearInQueue();
+    ++deliver_nesting_;
+    max_deliver_nesting_ = std::max(max_deliver_nesting_, deliver_nesting_);
+    std::size_t units;
+    if (profiler_ != nullptr) {
+      const std::int64_t t0 = obs::SteadyNowNs();
+      units = pipe->Deliver();
+      const std::int64_t t1 = obs::SteadyNowNs();
+      profiler_->RecordQuantum(*pipe->producer(), 1, units,
+                               static_cast<std::uint64_t>(t1 - t0));
+    } else {
+      units = pipe->Deliver();
+    }
+    --deliver_nesting_;
+    stats_.units += units;
+    ++stats_.iterations;
+    return true;
+  }
+
+  // No ready pipe: poll an active node for fresh supply, mirroring
+  // SingleThreadScheduler's candidate collection and queue accounting.
+  std::vector<Node*> candidates;
+  std::size_t total_queue = 0;
+  for (Node* node : graph_.ActiveNodes()) {
+    total_queue += node->queue_size();
+    if (node->HasWork()) candidates.push_back(node);
+  }
+  stats_.peak_total_queue = std::max(stats_.peak_total_queue, total_queue);
+  stats_.accumulated_queue += total_queue;
+  if (candidates.empty()) return false;
+
+  const std::size_t pick = strategy_.Select(candidates);
+  PIPES_CHECK(pick < candidates.size());
+  Node* chosen = candidates[pick];
+  // Idle → Request on the polled node's pipe (if it owns one); staging
+  // flips it to Supply and enqueues it.
+  PipeBase* pipe = nullptr;
+  for (std::size_t i = 0; i < attached_.size(); ++i) {
+    if (attached_[i] == chosen) {
+      pipe = pipes_[i];
+      break;
+    }
+  }
+  if (pipe != nullptr) pipe->MarkPolled();
+  if (profiler_ != nullptr) {
+    const std::int64_t t0 = obs::SteadyNowNs();
+    const std::size_t units = chosen->DoWork(batch_size_);
+    const std::int64_t t1 = obs::SteadyNowNs();
+    profiler_->RecordQuantum(*chosen, candidates.size(), units,
+                             static_cast<std::uint64_t>(t1 - t0));
+    stats_.units += units;
+  } else {
+    stats_.units += chosen->DoWork(batch_size_);
+  }
+  if (pipe != nullptr) pipe->MarkPollDone();
+  ++stats_.iterations;
+  return true;
+}
+
+RunStats PipeExecutor::RunToCompletion(std::uint64_t max_iterations) {
+  while (stats_.iterations < max_iterations) {
+    if (!Step()) {
+      // Either fully drained, or an external (non-scheduled) source still
+      // owes input; in both cases nothing more can happen now.
+      break;
+    }
+  }
+  return stats_;
+}
+
+}  // namespace pipes::scheduler

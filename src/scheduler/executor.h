@@ -1,0 +1,98 @@
+#ifndef PIPES_SCHEDULER_EXECUTOR_H_
+#define PIPES_SCHEDULER_EXECUTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/graph.h"
+#include "src/core/pipe_edge.h"
+#include "src/scheduler/profiler.h"
+#include "src/scheduler/scheduler.h"
+#include "src/scheduler/strategy.h"
+
+/// \file
+/// The executor-polled driver (DESIGN.md §4f): the non-recursive
+/// counterpart of `SingleThreadScheduler`. On construction it attaches to
+/// every node of the graph — each `Source<T>`-derived node creates a
+/// `Pipe<T>` edge and reroutes its `Transfer*` calls into it — and the main
+/// loop then alternates between two kinds of steps:
+///
+///  1. *Deliver*: pop the next ready pipe from the FIFO work queue and
+///     deliver its staged columnar runs to the producer's subscribers. The
+///     operators invoked stage their own output and enqueue their own
+///     pipes, so a chain of any depth drains iteratively — the executor's
+///     stack never grows with chain length.
+///  2. *Poll*: when no pipe is ready, pick one active node (sources,
+///     buffers) through the layer-2 `Strategy` — exactly like
+///     `SingleThreadScheduler` — and give it a `DoWork` quantum, which
+///     stages fresh supply.
+///
+/// Delivery order is deterministic (FIFO over ready pipes, strategy over
+/// active nodes), so runs are reproducible and the fuzzer's differential
+/// oracles can compare this driver against the recursive reference.
+
+namespace pipes::scheduler {
+
+/// Deterministic one-thread, queue-driven driver.
+class PipeExecutor : public ExecutorLink {
+ public:
+  /// Attaches to every node of `graph`. `batch_size` is the max work units
+  /// per DoWork poll (Aurora-style train size), as in the schedulers.
+  PipeExecutor(QueryGraph& graph, Strategy& strategy,
+               std::size_t batch_size = 64);
+
+  /// Detaches (pipes are destroyed; direct delivery is restored).
+  ~PipeExecutor() override;
+
+  PipeExecutor(const PipeExecutor&) = delete;
+  PipeExecutor& operator=(const PipeExecutor&) = delete;
+
+  /// One step: a pipe delivery if any pipe is ready, otherwise one DoWork
+  /// quantum on a strategy-selected active node. Returns false when neither
+  /// is possible (graph drained, or an external source still owes input).
+  bool Step();
+
+  /// Runs until the graph is drained and every pipe is idle, or
+  /// `max_iterations` steps were taken.
+  RunStats RunToCompletion(
+      std::uint64_t max_iterations = std::uint64_t{1} << 62);
+
+  const RunStats& stats() const { return stats_; }
+
+  /// Attaches a profiler: DoWork quanta are recorded like the schedulers
+  /// record theirs; pipe deliveries are recorded against the producer node.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
+  /// True when every pipe has delivered everything staged.
+  bool AllPipesIdle() const;
+
+  /// Deepest observed nesting of `Deliver` calls. Structurally always 1 —
+  /// delivery never recurses into another delivery — and asserted by the
+  /// stack-safety tests; exposed so they do not need to instrument pipes.
+  std::size_t max_deliver_nesting() const { return max_deliver_nesting_; }
+
+ private:
+  /// ExecutorLink: a pipe turned Supply — enqueue it (nothing else).
+  void PipeReady(PipeBase* pipe) override;
+
+  QueryGraph& graph_;
+  Strategy& strategy_;
+  std::size_t batch_size_;
+  RunStats stats_;
+  Profiler* profiler_ = nullptr;
+
+  /// Every pipe attached at construction, for detach and idle checks.
+  std::vector<PipeBase*> pipes_;
+  /// Nodes that returned a pipe, for detach.
+  std::vector<Node*> attached_;
+  /// Ready pipes in arrival order.
+  std::deque<PipeBase*> ready_;
+
+  std::size_t deliver_nesting_ = 0;
+  std::size_t max_deliver_nesting_ = 0;
+};
+
+}  // namespace pipes::scheduler
+
+#endif  // PIPES_SCHEDULER_EXECUTOR_H_

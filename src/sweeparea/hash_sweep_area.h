@@ -11,6 +11,7 @@
 
 #include "src/common/macros.h"
 #include "src/common/time.h"
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/sweeparea/sweep_area.h"
 
@@ -57,6 +58,33 @@ class HashSweepArea {
       if (stored.interval.Overlaps(probe.interval) &&
           residual_(stored.payload, probe.payload)) {
         emit(stored);
+      }
+    }
+  }
+
+  /// Columnar bulk insert: one pass over the columns, no intermediate AoS
+  /// batch.
+  void InsertRun(const ColumnarRun<Stored>& run) {
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      Insert(run.ElementAt(i));
+    }
+  }
+
+  /// Columnar bulk probe: key extraction and interval checks read the
+  /// columns directly; `emit(probe_index, stored)` fires per match, in
+  /// probe order.
+  template <typename Emit>
+  void QueryRun(const ColumnarRun<Probe>& run, Emit&& emit) const {
+    const std::size_t n = run.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto it = buckets_.find(key_probe_(run.payloads[i]));
+      if (it == buckets_.end()) continue;
+      const TimeInterval probe_iv(run.starts[i], run.ends[i]);
+      for (const StreamElement<Stored>& stored : it->second) {
+        if (stored.interval.Overlaps(probe_iv) &&
+            residual_(stored.payload, run.payloads[i])) {
+          emit(i, stored);
+        }
       }
     }
   }

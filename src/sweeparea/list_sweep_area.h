@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/time.h"
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/sweeparea/sweep_area.h"
 
@@ -39,6 +40,29 @@ class ListSweepArea {
       if (stored.interval.Overlaps(probe.interval) &&
           pred_(stored.payload, probe.payload)) {
         emit(stored);
+      }
+    }
+  }
+
+  /// Columnar bulk insert.
+  void InsertRun(const ColumnarRun<Stored>& run) {
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      Insert(run.ElementAt(i));
+    }
+  }
+
+  /// Columnar bulk probe: `emit(probe_index, stored)` per match, in probe
+  /// order (each probe scans the whole list, as in `Query`).
+  template <typename Emit>
+  void QueryRun(const ColumnarRun<Probe>& run, Emit&& emit) const {
+    const std::size_t n = run.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TimeInterval probe_iv(run.starts[i], run.ends[i]);
+      for (const StreamElement<Stored>& stored : elements_) {
+        if (stored.interval.Overlaps(probe_iv) &&
+            pred_(stored.payload, run.payloads[i])) {
+          emit(i, stored);
+        }
       }
     }
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/core/columnar.h"
 #include "src/core/element.h"
 #include "src/sweeparea/sweep_area.h"
 
@@ -57,6 +58,32 @@ class TreeSweepArea {
       if (stored.interval.Overlaps(probe.interval) &&
           residual_(stored.payload, probe.payload)) {
         emit(stored);
+      }
+    }
+  }
+
+  /// Columnar bulk insert.
+  void InsertRun(const ColumnarRun<Stored>& run) {
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      Insert(run.ElementAt(i));
+    }
+  }
+
+  /// Columnar bulk probe: `emit(probe_index, stored)` per match, in probe
+  /// order (each probe scans its key range, as in `Query`).
+  template <typename Emit>
+  void QueryRun(const ColumnarRun<Probe>& run, Emit&& emit) const {
+    const std::size_t n = run.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [lo, hi] = range_probe_(run.payloads[i]);
+      const TimeInterval probe_iv(run.starts[i], run.ends[i]);
+      for (auto it = tree_.lower_bound(lo);
+           it != tree_.end() && !(hi < it->first); ++it) {
+        const StreamElement<Stored>& stored = it->second;
+        if (stored.interval.Overlaps(probe_iv) &&
+            residual_(stored.payload, run.payloads[i])) {
+          emit(i, stored);
+        }
       }
     }
   }

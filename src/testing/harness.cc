@@ -10,6 +10,7 @@
 #include "src/common/random.h"
 #include "src/memory/memory_manager.h"
 #include "src/metadata/snapshot.h"
+#include "src/scheduler/executor.h"
 #include "src/scheduler/scheduler.h"
 #include "src/scheduler/strategy.h"
 #include "src/testing/reference.h"
@@ -21,6 +22,7 @@ namespace {
 using scheduler::ChainStrategy;
 using scheduler::FifoStrategy;
 using scheduler::LongestQueueStrategy;
+using scheduler::PipeExecutor;
 using scheduler::RandomStrategy;
 using scheduler::RateBasedStrategy;
 using scheduler::RoundRobinStrategy;
@@ -66,18 +68,17 @@ struct DriveResult {
   bool finished = false;
 };
 
-/// Steps `m`'s graph to completion under `strategy`, opening gated sources
-/// once the rest of the graph has drained, optionally squeezing the memory
-/// budget and capturing metrics snapshots mid-run. Virtual time only —
-/// iteration count is the clock.
-DriveResult DriveGraph(Materialized& m, Strategy& strategy,
-                       std::size_t batch_size, std::uint64_t max_iterations,
-                       bool check_snapshots,
-                       memory::MemoryManager* manager = nullptr,
-                       std::uint64_t squeeze_at = 0,
-                       std::size_t squeeze_budget = 0) {
+/// Steps `m`'s graph to completion under `driver` (any type with a
+/// `bool Step()`), opening gated sources once the rest of the graph has
+/// drained, optionally squeezing the memory budget and capturing metrics
+/// snapshots mid-run. Virtual time only — iteration count is the clock.
+template <typename Driver>
+DriveResult DriveLoop(Materialized& m, Driver& sched,
+                      std::uint64_t max_iterations, bool check_snapshots,
+                      memory::MemoryManager* manager = nullptr,
+                      std::uint64_t squeeze_at = 0,
+                      std::size_t squeeze_budget = 0) {
   DriveResult r;
-  SingleThreadScheduler sched(m.graph, strategy, batch_size);
   bool gates_open = m.gates.empty();
   bool squeezed = manager == nullptr;
   std::uint64_t iterations = 0;
@@ -146,6 +147,30 @@ DriveResult DriveGraph(Materialized& m, Strategy& strategy,
   return r;
 }
 
+/// Drives on the recursive layer-2 scheduler.
+DriveResult DriveGraph(Materialized& m, Strategy& strategy,
+                       std::size_t batch_size, std::uint64_t max_iterations,
+                       bool check_snapshots,
+                       memory::MemoryManager* manager = nullptr,
+                       std::uint64_t squeeze_at = 0,
+                       std::size_t squeeze_budget = 0) {
+  SingleThreadScheduler sched(m.graph, strategy, batch_size);
+  return DriveLoop(m, sched, max_iterations, check_snapshots, manager,
+                   squeeze_at, squeeze_budget);
+}
+
+/// Drives on the executor-polled `PipeExecutor` (DESIGN.md §4f): every
+/// generated plan also runs with pipe staging + columnar delivery, checked
+/// by the same oracles as the recursive arms. The executor detaches (and
+/// drains leftover pipes) before `CheckRun` inspects the graph.
+DriveResult DriveGraphOnExecutor(Materialized& m, Strategy& strategy,
+                                 std::size_t batch_size,
+                                 std::uint64_t max_iterations,
+                                 bool check_snapshots) {
+  PipeExecutor executor(m.graph, strategy, batch_size);
+  return DriveLoop(m, executor, max_iterations, check_snapshots);
+}
+
 /// Everything checked after a drained run: build-time descriptor
 /// mismatches, sink invariant violations, per-node conservation, source
 /// completeness, and the differential comparison against the reference.
@@ -205,6 +230,9 @@ struct ArmPlan {
   std::uint64_t strategy_seed = 0;
   std::size_t batch_size = 1;
   bool snapshots = false;
+  /// Drive with the executor-polled `PipeExecutor` instead of the
+  /// recursive scheduler.
+  bool use_executor = false;
   /// Memory fault arm.
   bool squeeze_memory = false;
   /// Lossy arms (bounded buffers, memory squeeze): when anything was
@@ -279,6 +307,26 @@ CaseResult RunCaseOnSpec(const PlanSpec& spec,
     a.batch_size = quanta[rng.NextBounded(3)];
     arms.push_back(a);
   }
+  {
+    // Executor-polling arms: the same plan on the queue-driven
+    // `PipeExecutor`, per-element-staged and batched-columnar.
+    ArmPlan a;
+    a.name = "executor";
+    a.batch_size = 8;
+    a.use_executor = true;
+    arms.push_back(a);
+
+    ArmPlan b;
+    b.name = "executor-batched-32";
+    b.mat.source_batch = 32;
+    b.mat.buffer_seed = rng.Next();
+    b.mat.buffer_prob = 0.3;
+    b.strategy_id = static_cast<int>(rng.NextBounded(6));
+    b.strategy_seed = rng.Next();
+    b.batch_size = 32;
+    b.use_executor = true;
+    arms.push_back(b);
+  }
   bool any_disorder = false;
   for (const StreamProfile& p : profiles) any_disorder |= p.disorder > 0;
   if (any_disorder) {
@@ -350,8 +398,12 @@ CaseResult RunCaseOnSpec(const PlanSpec& spec,
     std::unique_ptr<Strategy> strategy =
         MakeStrategy(arm.strategy_id, arm.strategy_seed);
     DriveResult drive =
-        DriveGraph(*m, *strategy, arm.batch_size, max_iterations,
-                   arm.snapshots, manager.get(), squeeze_at, squeeze_budget);
+        arm.use_executor
+            ? DriveGraphOnExecutor(*m, *strategy, arm.batch_size,
+                                   max_iterations, arm.snapshots)
+            : DriveGraph(*m, *strategy, arm.batch_size, max_iterations,
+                         arm.snapshots, manager.get(), squeeze_at,
+                         squeeze_budget);
     if (arms_run != nullptr) ++*arms_run;
 
     std::vector<Failure> failures = std::move(drive.failures);

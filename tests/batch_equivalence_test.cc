@@ -10,12 +10,19 @@
 // union, windows, coalesce), the default replay path (join, count window),
 // and a mixed-path graph (batched source -> non-overriding operator ->
 // buffer), per DESIGN.md "Batched delivery".
+//
+// Every chain additionally runs under the `PipeExecutor` (DESIGN.md §4f),
+// where transfers stage columnar runs into pipe edges and the columnar
+// kernels carry the data: the executor run must produce the same element
+// multiset, done state, and final watermark as the per-element reference —
+// the columnar ≡ per-element kernel-equivalence check.
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -31,6 +38,7 @@
 #include "src/core/generator_source.h"
 #include "src/core/graph.h"
 #include "src/core/sink.h"
+#include "src/scheduler/executor.h"
 #include "src/scheduler/scheduler.h"
 #include "tests/snapshot_reference.h"
 
@@ -89,6 +97,36 @@ Observation RunGraph(const std::vector<std::vector<StreamElement<int>>>& inputs,
   return obs;
 }
 
+/// Same graph, driven by the executor-polled `PipeExecutor` instead of the
+/// recursive scheduler: transfers stage into pipe edges and the data flows
+/// through the columnar kernels.
+Observation RunGraphOnExecutor(
+    const std::vector<std::vector<StreamElement<int>>>& inputs,
+    std::size_t batch_size, std::size_t train_size, const BuildFn& build) {
+  QueryGraph graph;
+  auto& probe = graph.Add<ProbeSink>();
+  build(graph, inputs, batch_size, probe);
+  scheduler::RoundRobinStrategy strategy;
+  scheduler::PipeExecutor executor(graph, strategy, train_size);
+  executor.RunToCompletion();
+  Observation obs;
+  obs.elements = probe.elements;
+  obs.progress = probe.progress;
+  obs.done = probe.done();
+  obs.final_watermark = probe.watermark();
+  return obs;
+}
+
+std::vector<StreamElement<int>> SortedByElement(
+    std::vector<StreamElement<int>> v) {
+  std::sort(v.begin(), v.end(),
+            [](const StreamElement<int>& a, const StreamElement<int>& b) {
+              return std::tuple(a.start(), a.end(), a.payload) <
+                     std::tuple(b.start(), b.end(), b.payload);
+            });
+  return v;
+}
+
 bool IsSubsequence(const std::vector<Timestamp>& sub,
                    const std::vector<Timestamp>& full) {
   std::size_t i = 0;
@@ -127,9 +165,34 @@ void ExpectBatchedEqualsPerElement(
     EXPECT_TRUE(std::is_sorted(batched.progress.begin(),
                                batched.progress.end()));
     if (progress_check == ProgressCheck::kSubsequenceOfReference) {
+      // On failure, name the first batched watermark the reference run
+      // never notified — far more useful than two truncated vector dumps.
+      std::size_t matched = 0;
+      for (Timestamp t : reference.progress) {
+        if (matched < batched.progress.size() &&
+            batched.progress[matched] == t) {
+          ++matched;
+        }
+      }
       EXPECT_TRUE(IsSubsequence(batched.progress, reference.progress))
-          << "batched progress is not a subsequence of per-element progress";
+          << "batched progress is not a subsequence of per-element progress; "
+          << "first unmatched batched watermark: "
+          << batched.progress[std::min(matched, batched.progress.size() - 1)];
     }
+  }
+  // Executor arm: the same chains on the pipe-polled driver, where the
+  // columnar kernels carry the data. The executor interleaves multi-source
+  // arrivals differently from the recursive drivers, so the comparison is
+  // by element multiset plus end state.
+  for (std::size_t batch_size : {1u, 7u, 64u}) {
+    SCOPED_TRACE("executor batch_size=" + std::to_string(batch_size));
+    const Observation exec =
+        RunGraphOnExecutor(inputs, batch_size, train_size, build);
+    EXPECT_EQ(SortedByElement(exec.elements),
+              SortedByElement(reference.elements));
+    EXPECT_EQ(exec.done, reference.done);
+    EXPECT_EQ(exec.final_watermark, reference.final_watermark);
+    EXPECT_TRUE(std::is_sorted(exec.progress.begin(), exec.progress.end()));
   }
 }
 
