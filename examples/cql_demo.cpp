@@ -66,10 +66,10 @@ int main() {
 
   auto plan = cql::Compile(query_text, catalog);
   PIPES_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
-  std::printf("analyzed logical plan:\n%s\n", (*plan)->ToString().c_str());
+  std::printf("analyzed logical plan:\n%s\n", (plan->plan)->ToString().c_str());
 
   optimizer::Optimizer optimizer(&catalog);
-  auto optimized = optimizer.Optimize(*plan);
+  auto optimized = optimizer.Optimize(plan->plan);
   std::printf("optimized plan (of %zu alternatives, est. cost %.0f):\n%s\n",
               optimized.alternatives_considered, optimized.cost,
               optimized.plan->ToString().c_str());

@@ -3,11 +3,18 @@
 // person registrations.
 //
 //   Q1 (CQL):   "Return every 10 minutes the highest bid of the recent 10
-//               minutes" — a tumbling-window MAX.
-//   Q2 (CQL):   currency conversion of all bids (NEXMark query 1 flavour).
+//               minutes" — a tumbling-window MAX, registered on the engine.
+//   Q2 (CQL):   currency conversion of all bids (NEXMark query 1 flavour) —
+//               shares the bids scan with Q1 through the engine's MQO.
 //   Q3 (hybrid): bids joined with the *persons relation* through the
 //               demand-driven cursor interface — the graceful combination
 //               of data-driven and demand-driven processing.
+//
+// The typed splitter network (events -> bids-only -> bid-tuples) and the
+// hybrid join are wired directly against `engine.graph()` during setup —
+// the sanctioned window for direct mutation (DESIGN.md §4g) — while both
+// CQL queries go through `Engine::Register` and stream results out of
+// their handles.
 
 #include <cstdio>
 #include <optional>
@@ -16,12 +23,9 @@
 #include "src/algebra/filter.h"
 #include "src/algebra/map.h"
 #include "src/core/generator_source.h"
-#include "src/core/graph.h"
 #include "src/core/sink.h"
-#include "src/cql/catalog.h"
 #include "src/cursors/relation.h"
-#include "src/optimizer/plan_manager.h"
-#include "src/scheduler/scheduler.h"
+#include "src/engine/engine.h"
 #include "src/workloads/nexmark.h"
 
 namespace {
@@ -50,7 +54,8 @@ int main() {
   options.mean_interarrival_ms = 50.0;  // ~40 minutes of auction time
   workloads::NexmarkGenerator generator(options);
 
-  QueryGraph graph;
+  engine::Engine engine;
+  QueryGraph& graph = engine.graph();
 
   // The raw event stream.
   auto& events = graph.Add<FunctionSource<NexmarkEvent>>(
@@ -90,32 +95,25 @@ int main() {
       "person-loader");
   events.AddSubscriber(person_loader.input());
 
-  cql::Catalog catalog;
-  PIPES_CHECK(
-      catalog.RegisterStream("bids", BidSchema(), &bid_tuples, 20.0).ok());
-
-  optimizer::PlanManager manager(&graph, &catalog);
+  PIPES_CHECK(engine.BindStream("bids", BidSchema(), bid_tuples, 20.0).ok());
 
   // Q1: tumbling 10-minute MAX.
-  auto q1 = manager.InstallQuery(
+  auto q1 = engine.Register(
       "SELECT MAX(price) AS high FROM bids [RANGE 10 MINUTES SLIDE 10 "
       "MINUTES]");
   PIPES_CHECK_MSG(q1.ok(), q1.status().ToString().c_str());
-  auto& high_sink = graph.Add<CallbackSink<Tuple>>(
-      [](const StreamElement<Tuple>& e) {
-        std::printf("[Q1] minute %4lld: highest bid of last 10 min = %10.2f\n",
-                    static_cast<long long>(e.start() / 60000),
-                    e.payload.field(0).AsDouble());
-      },
-      "highest-bid-display");
-  q1->output->AddSubscriber(high_sink.input());
+  PIPES_CHECK(q1->OnResult([](const StreamElement<Tuple>& e) {
+                   std::printf(
+                       "[Q1] minute %4lld: highest bid of last 10 min = "
+                       "%10.2f\n",
+                       static_cast<long long>(e.start() / 60000),
+                       e.payload.field(0).AsDouble());
+                 }).ok());
 
   // Q2: currency conversion (shares the bids scan with Q1 via MQO).
-  auto q2 = manager.InstallQuery(
+  auto q2 = engine.Register(
       "SELECT auction, price * 0.89 AS eur FROM bids WHERE price > 500");
   PIPES_CHECK_MSG(q2.ok(), q2.status().ToString().c_str());
-  auto& eur_count = graph.Add<CountingSink<Tuple>>("eur-count");
-  q2->output->AddSubscriber(eur_count.input());
 
   // Q3: hybrid stream-relation join via the cursor interface.
   auto bidder_key = [](const Tuple& t) { return t.field(1).AsInt(); };
@@ -131,18 +129,17 @@ int main() {
   auto& enriched_count = graph.Add<CountingSink<std::string>>("enriched");
   hybrid.AddSubscriber(enriched_count.input());
 
-  scheduler::RoundRobinStrategy strategy;
-  scheduler::SingleThreadScheduler driver(graph, strategy, 1024);
-  driver.RunToCompletion();
+  engine.RunToCompletion();
 
+  const engine::EngineStats stats = engine.stats();
   std::printf("--\n");
   std::printf("Q2 produced %llu converted bids over 500\n",
-              static_cast<unsigned long long>(eur_count.count()));
+              static_cast<unsigned long long>(q2->results_delivered()));
   std::printf("Q3 enriched %llu bids against %zu registered persons\n",
               static_cast<unsigned long long>(enriched_count.count()),
               persons.size());
-  std::printf("MQO: operators created=%zu reused=%zu across %zu queries\n",
-              manager.total_operators_created(),
-              manager.total_operators_reused(), manager.installed_queries());
+  std::printf("MQO: operators created=%zu reused=%zu across %llu queries\n",
+              stats.operators_created, stats.operators_reused,
+              static_cast<unsigned long long>(stats.total_registered));
   return 0;
 }

@@ -11,17 +11,26 @@
 // The run is deterministic and terminating (a fixed element budget), so it
 // doubles as a smoke test for the observability layer.
 //
+// With `--connect host:port` the dashboard attaches to a running
+// `pipes_serve` instead: each frame pulls a whole-graph snapshot over the
+// wire (SNAPSHOT frame -> JSON -> SnapshotFromJson) and renders the same
+// table — the monitor never touches the engine's memory.
+//
 // Flags:
-//   --frames N    number of dashboard frames (default 5)
-//   --json        dump the final snapshot as JSON instead of a table
-//   --dot         dump the final snapshot as Graphviz DOT
+//   --frames N          number of dashboard frames (default 5)
+//   --json              dump the final snapshot as JSON instead of a table
+//   --dot               dump the final snapshot as Graphviz DOT
+//   --connect HOST:PORT monitor a remote engine instead of the local demo
+//   --interval-ms N     frame interval in remote mode (default 500)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "src/algebra/aggregate.h"
 #include "src/core/generator_source.h"
@@ -32,6 +41,7 @@
 #include "src/metadata/snapshot.h"
 #include "src/scheduler/profiler.h"
 #include "src/scheduler/scheduler.h"
+#include "src/server/client.h"
 
 namespace {
 
@@ -94,18 +104,85 @@ void PrintFrame(int frame, const metadata::MetricsSnapshot& snap,
   }
 }
 
+/// Remote mode: the same dashboard against a live pipes_serve, one
+/// whole-graph snapshot per frame over the wire.
+int MonitorRemote(const std::string& endpoint, int frames, int interval_ms,
+                  bool dump_json, bool dump_dot) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got %s\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+
+  auto client = server::Client::Connect(host, port, "pipes-top");
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  metadata::MetricsSnapshot prev;
+  std::int64_t prev_ns = obs::SteadyNowNs();
+  for (int frame = 1; frame <= frames; ++frame) {
+    auto json = client->SnapshotJson(/*whole_graph=*/true);
+    if (!json.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    if (frame == frames && dump_json) {
+      std::printf("%s\n", json->c_str());
+      return 0;
+    }
+    auto snap = metadata::SnapshotFromJson(*json);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "bad snapshot JSON: %s\n",
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    if (frame == frames && dump_dot) {
+      std::printf("%s", metadata::ToDot(*snap).c_str());
+      return 0;
+    }
+    const std::int64_t now_ns = obs::SteadyNowNs();
+    PrintFrame(frame, *snap, prev,
+               static_cast<double>(now_ns - prev_ns) / 1e9);
+    prev = *std::move(snap);
+    prev_ns = now_ns;
+    if (frame < frames) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int frames = 5;
   bool dump_json = false;
   bool dump_dot = false;
+  std::string connect;
+  int interval_ms = 500;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) dump_json = true;
     if (std::strcmp(argv[i], "--dot") == 0) dump_dot = true;
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
       frames = std::atoi(argv[++i]);
     }
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    }
+  }
+
+  if (!connect.empty()) {
+    return MonitorRemote(connect, frames, interval_ms, dump_json, dump_dot);
   }
 
   obs::SetMetricsEnabled(true);

@@ -1,24 +1,24 @@
-// Quickstart: build a query with the fluent pipeline API, run it with a
-// scheduler, and observe windowed aggregates.
+// Quickstart: build a query with the fluent pipeline API, register it on a
+// `pipes::Engine`, and observe windowed aggregates through its QueryHandle.
 //
 //   temperature readings -> filter (valid range) -> 10s time window
-//                        -> average -> print
+//                        -> average -> result callback
 //
 // Each `|` stage adds one operator to the graph and subscribes it to the
 // previous stage — sugar over the publish-subscribe core, where operators
 // connect directly (no queues) and results stream out incrementally as
-// watermarks advance.
+// watermarks advance. The engine owns the graph, executor, and the query's
+// lifecycle: `Register` grafts the pipeline on, the handle streams results
+// out, and `Cancel` would tear it down without stopping anything else
+// (DESIGN.md §4g).
 
 #include <cstdio>
-#include <memory>
 #include <optional>
 
 #include "src/common/random.h"
 #include "src/core/generator_source.h"
-#include "src/core/graph.h"
 #include "src/core/pipeline.h"
-#include "src/core/sink.h"
-#include "src/scheduler/scheduler.h"
+#include "src/engine/engine.h"
 
 namespace {
 
@@ -30,44 +30,58 @@ struct Reading {
 
 int main() {
   using namespace pipes;  // NOLINT: example brevity
+  using relational::Tuple;
+  using relational::Value;
 
-  QueryGraph graph;
+  engine::Engine engine;
   Random rng(7);
 
-  // An adapter wrapping a "raw sensor" into a source: one reading every
-  // second (timestamps in ms), 60 seconds total.
+  // One pipeline query, built against the engine's graph. The builder runs
+  // under the engine's mutation protocol, so the same call works while
+  // other queries stream.
   Timestamp now = 0;
-  auto& sensor = graph.Add<FunctionSource<Reading>>(
-      [&]() -> std::optional<StreamElement<Reading>> {
-        if (now >= 60'000) return std::nullopt;
-        const Timestamp t = now;
-        now += 1000;
-        // Occasional bogus reading from a flaky sensor.
-        const double celsius = rng.Bernoulli(0.1)
-                                   ? -273.0
-                                   : 20.0 + 5.0 * rng.Gaussian();
-        return StreamElement<Reading>::Point(Reading{celsius}, t);
-      },
-      "thermometer");
-
-  dsl::From(graph, sensor)
-      | dsl::Filter([](const Reading& r) { return r.celsius > -50; }, "valid")
-      | dsl::TimeWindow(10'000, "10s")
-      | dsl::Average([](const Reading& r) { return r.celsius; })
-      | dsl::Into(std::make_unique<CallbackSink<double>>(
-            [](const StreamElement<double>& e) {
-              std::printf("avg over [%6lld ms, %6lld ms) = %5.2f C\n",
-                          static_cast<long long>(e.start()),
-                          static_cast<long long>(e.end()), e.payload);
+  auto handle = engine.Register(
+      [&](QueryGraph& graph) -> Result<Source<Tuple>*> {
+        // An adapter wrapping a "raw sensor" into a source: one reading
+        // every second (timestamps in ms), 60 seconds total.
+        auto& sensor = graph.Add<FunctionSource<Reading>>(
+            [&rng, &now]() -> std::optional<StreamElement<Reading>> {
+              if (now >= 60'000) return std::nullopt;
+              const Timestamp t = now;
+              now += 1000;
+              // Occasional bogus reading from a flaky sensor.
+              const double celsius = rng.Bernoulli(0.1)
+                                         ? -273.0
+                                         : 20.0 + 5.0 * rng.Gaussian();
+              return StreamElement<Reading>::Point(Reading{celsius}, t);
             },
-            "printer"));
+            "thermometer");
 
-  scheduler::RoundRobinStrategy strategy;
-  scheduler::SingleThreadScheduler driver(graph, strategy);
-  const scheduler::RunStats stats = driver.RunToCompletion();
+        auto tail =
+            dsl::From(graph, sensor)
+            | dsl::Filter([](const Reading& r) { return r.celsius > -50; },
+                          "valid")
+            | dsl::TimeWindow(10'000, "10s")
+            | dsl::Average([](const Reading& r) { return r.celsius; })
+            | dsl::Map([](double avg) { return Tuple{Value(avg)}; },
+                       "to-tuple");
+        return &tail.source();
+      });
+  PIPES_CHECK_MSG(handle.ok(), handle.status().ToString().c_str());
+
+  PIPES_CHECK(handle
+                  ->OnResult([](const StreamElement<Tuple>& e) {
+                    std::printf("avg over [%6lld ms, %6lld ms) = %5.2f C\n",
+                                static_cast<long long>(e.start()),
+                                static_cast<long long>(e.end()),
+                                e.payload.field(0).AsDouble());
+                  })
+                  .ok());
+
+  const scheduler::RunStats stats = engine.RunToCompletion();
 
   const Node* filter = nullptr;
-  for (const Node* node : graph.nodes()) {
+  for (const Node* node : engine.graph().nodes()) {
     if (node->name() == "valid") filter = node;
   }
 
@@ -77,5 +91,8 @@ int main() {
   std::printf("filter passed %llu of %llu readings\n",
               static_cast<unsigned long long>(filter->elements_out()),
               static_cast<unsigned long long>(filter->elements_in()));
+  std::printf("query %llu delivered %llu windowed averages\n",
+              static_cast<unsigned long long>(handle->id()),
+              static_cast<unsigned long long>(handle->results_delivered()));
   return 0;
 }

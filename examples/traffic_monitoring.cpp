@@ -1,6 +1,6 @@
 // Traffic-management scenario (the paper's first demo application):
 // loop-detector streams from an FSP-style highway section, analyzed by two
-// continuous CQL queries:
+// continuous CQL queries registered on a `pipes::Engine`:
 //
 //   Q1: average HOV-lane speed per direction over the last hour,
 //       refreshed every 15 minutes.
@@ -8,20 +8,17 @@
 //       sustained low averages indicate incidents / congestion.
 //
 // An incident is injected between 1h and 1h30 near detector 4; watch Q2's
-// averages collapse there. The metadata monitor decorates the query
-// operators and dumps its statistics at the end.
+// averages collapse there. The engine owns the graph, shares the scan
+// between the queries, and streams results through each query's handle;
+// the metadata monitor samples the source between pumps.
 
 #include <cstdio>
 #include <iostream>
 #include <optional>
 
 #include "src/core/generator_source.h"
-#include "src/core/graph.h"
-#include "src/core/sink.h"
-#include "src/cql/catalog.h"
+#include "src/engine/engine.h"
 #include "src/metadata/monitor.h"
-#include "src/optimizer/plan_manager.h"
-#include "src/scheduler/scheduler.h"
 #include "src/workloads/traffic.h"
 
 namespace {
@@ -66,8 +63,9 @@ int main() {
   options.incidents = {incident};
   workloads::TrafficGenerator generator(options);
 
-  QueryGraph graph;
-  auto& source = graph.Add<FunctionSource<Tuple>>(
+  // --- Engine + generator-driven stream ------------------------------------
+  engine::Engine engine;
+  auto& source = engine.graph().Add<FunctionSource<Tuple>>(
       [&]() -> std::optional<StreamElement<Tuple>> {
         auto reading = generator.Next();
         if (!reading.has_value()) return std::nullopt;
@@ -75,74 +73,72 @@ int main() {
                                            reading->timestamp);
       },
       "loop-detectors");
-
-  cql::Catalog catalog;
-  PIPES_CHECK(catalog.RegisterStream("traffic", TrafficSchema(), &source,
-                                     /*rate_hint=*/100.0)
+  PIPES_CHECK(engine
+                  .BindStream("traffic", TrafficSchema(), source,
+                              /*rate_hint=*/100.0)
                   .ok());
 
   // --- Continuous queries ---------------------------------------------------
-  optimizer::PlanManager manager(&graph, &catalog);
-
-  auto q1 = manager.InstallQuery(
+  const char* q1_text =
       "SELECT direction, AVG(speed) AS avg_speed "
       "FROM traffic [RANGE 1 HOURS SLIDE 15 MINUTES] "
-      "WHERE lane = 0 GROUP BY direction");
-  PIPES_CHECK_MSG(q1.ok(), q1.status().ToString().c_str());
-
-  auto q2 = manager.InstallQuery(
+      "WHERE lane = 0 GROUP BY direction";
+  const char* q2_text =
       "SELECT detector, AVG(speed) AS avg_speed "
       "FROM traffic [RANGE 15 MINUTES SLIDE 5 MINUTES] "
-      "WHERE direction = 0 GROUP BY detector");
+      "WHERE direction = 0 GROUP BY detector";
+
+  // The one CQL entry path: compile to inspect, register to run.
+  auto q1_compiled = cql::Compile(q1_text, engine.catalog());
+  PIPES_CHECK_MSG(q1_compiled.ok(), q1_compiled.status().ToString().c_str());
+  std::printf("Q1 plan:\n%s\n", (q1_compiled->plan)->ToString().c_str());
+  auto q2_compiled = cql::Compile(q2_text, engine.catalog());
+  PIPES_CHECK_MSG(q2_compiled.ok(), q2_compiled.status().ToString().c_str());
+  std::printf("Q2 plan:\n%s\n", (q2_compiled->plan)->ToString().c_str());
+
+  auto q1 = engine.Register(q1_text);
+  PIPES_CHECK_MSG(q1.ok(), q1.status().ToString().c_str());
+  auto q2 = engine.Register(q2_text);
   PIPES_CHECK_MSG(q2.ok(), q2.status().ToString().c_str());
 
-  std::printf("Q1 plan:\n%s\n", q1->plan->ToString().c_str());
-  std::printf("Q2 plan:\n%s\n", q2->plan->ToString().c_str());
-
-  auto& hov_sink = graph.Add<CallbackSink<Tuple>>(
-      [](const StreamElement<Tuple>& e) {
-        std::printf("[Q1] dir=%lld  avg HOV speed %5.1f km/h  during %lldm-%lldm\n",
-                    static_cast<long long>(e.payload.field(0).AsInt()),
-                    e.payload.field(1).AsDouble(),
-                    static_cast<long long>(e.start() / 60000),
-                    static_cast<long long>(e.end() / 60000));
-      },
-      "hov-display");
-  q1->output->AddSubscriber(hov_sink.input());
+  PIPES_CHECK(q1->OnResult([](const StreamElement<Tuple>& e) {
+                   std::printf(
+                       "[Q1] dir=%lld  avg HOV speed %5.1f km/h  during "
+                       "%lldm-%lldm\n",
+                       static_cast<long long>(e.payload.field(0).AsInt()),
+                       e.payload.field(1).AsDouble(),
+                       static_cast<long long>(e.start() / 60000),
+                       static_cast<long long>(e.end() / 60000));
+                 }).ok());
 
   int alarms = 0;
-  auto& congestion_sink = graph.Add<CallbackSink<Tuple>>(
-      [&alarms](const StreamElement<Tuple>& e) {
-        const double avg = e.payload.field(1).AsDouble();
-        if (avg < 40.0) {
-          ++alarms;
-          std::printf(
-              "[Q2] ALERT detector=%lld avg speed %5.1f km/h during "
-              "%lldm-%lldm\n",
-              static_cast<long long>(e.payload.field(0).AsInt()), avg,
-              static_cast<long long>(e.start() / 60000),
-              static_cast<long long>(e.end() / 60000));
-        }
-      },
-      "congestion-display");
-  q2->output->AddSubscriber(congestion_sink.input());
+  PIPES_CHECK(q2->OnResult([&alarms](const StreamElement<Tuple>& e) {
+                   const double avg = e.payload.field(1).AsDouble();
+                   if (avg < 40.0) {
+                     ++alarms;
+                     std::printf(
+                         "[Q2] ALERT detector=%lld avg speed %5.1f km/h "
+                         "during %lldm-%lldm\n",
+                         static_cast<long long>(e.payload.field(0).AsInt()),
+                         avg, static_cast<long long>(e.start() / 60000),
+                         static_cast<long long>(e.end() / 60000));
+                   }
+                 }).ok());
 
   // --- Secondary metadata ----------------------------------------------------
   metadata::Monitor monitor;
   monitor.Watch(source, {metadata::MetricKind::kOutputRate,
                          metadata::MetricKind::kSubscriberCount});
 
-  scheduler::RoundRobinStrategy strategy;
-  scheduler::SingleThreadScheduler driver(graph, strategy, 1024);
-  while (driver.Step()) {
+  while (engine.Pump(1024) > 0) {
     monitor.Sample();
   }
 
+  const engine::EngineStats stats = engine.stats();
   std::printf("--\n%d congestion alerts (incident at detector 4, 60m-90m)\n",
               alarms);
-  std::printf("operators created=%zu reused=%zu\n",
-              manager.total_operators_created(),
-              manager.total_operators_reused());
+  std::printf("operators created=%zu reused=%zu\n", stats.operators_created,
+              stats.operators_reused);
   std::printf("\nmonitor output:\n");
   metadata::Monitor::WriteCsvHeader(std::cout);
   monitor.WriteCsv(std::cout);

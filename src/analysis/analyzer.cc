@@ -31,6 +31,9 @@ using Kind = NodeDescriptor::Kind;
 /// API-level hazards the descriptor itself cannot know.
 constexpr const char kDeprecatedGaugePrefix[] = "lint.deprecated:";
 constexpr const char kFootgunGaugePrefix[] = "lint.footgun:";
+/// Stamped by `engine::Engine` on every registered query's output node;
+/// the suffix is the owning tenant (see P019).
+constexpr const char kEngineOutputGaugePrefix[] = "engine.registered_output:";
 
 /// The analyzer's working copy of the graph: descriptors plus deduplicated
 /// in-graph adjacency (multi-edges collapse; edges to nodes outside the
@@ -495,6 +498,32 @@ void CheckMixedExecutorAttachment(const GraphModel& m, Linter& lint) {
   }
 }
 
+void CheckOrphanedTenantOutputs(const GraphModel& m, Linter& lint) {
+  // P019. The engine stamps every registered query's output node with an
+  // `engine.registered_output:<tenant>` gauge and subscribes its result
+  // sink to it. An output still carrying the gauge but with no downstream
+  // is an orphaned tenant subgraph: the engine's sink detached (or direct
+  // graph surgery cut it off) without the registration being cancelled, so
+  // the operators keep consuming memory and scheduler time while every
+  // result is silently dropped and the tenant's handle stays "running".
+  for (const NodeInfo& info : m.info) {
+    for (const std::string& gauge : info.node->metadata().GaugeNames()) {
+      if (gauge.rfind(kEngineOutputGaugePrefix, 0) != 0) continue;
+      if (!info.downs.empty()) continue;
+      const std::string tenant =
+          gauge.substr(sizeof(kEngineOutputGaugePrefix) - 1);
+      lint.Emit("P019", Severity::kError, info.node, "",
+                "registered query output of tenant '" + tenant +
+                    "' has no subscribers: the engine's result sink is "
+                    "gone but the query was never cancelled, so its "
+                    "operators run on with every result dropped",
+                "cancel the query through Engine::Cancel (which removes "
+                "the unshared suffix), or re-subscribe the result sink "
+                "instead of detaching it by hand");
+    }
+  }
+}
+
 void CheckMetadataAnnotations(const GraphModel& m, Linter& lint) {
   for (const NodeInfo& info : m.info) {
     if (!info.desc.deprecated.empty()) {  // P015
@@ -616,6 +645,9 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"P018", Severity::kWarning,
        "graph mixes executor-polled pipes with legacy recursive subscriber "
        "edges (bounded-stack guarantee lost)"},
+      {"P019", Severity::kError,
+       "registered query output with no subscribers (orphaned tenant "
+       "subgraph: results dropped, resources still consumed)"},
   };
   return kCatalog;
 }
@@ -633,6 +665,7 @@ std::vector<Diagnostic> Lint(const QueryGraph& graph) {
   CheckBatchPathBreaks(m, lint);
   CheckStalledInputs(m, lint);
   CheckMixedExecutorAttachment(m, lint);
+  CheckOrphanedTenantOutputs(m, lint);
   CheckMetadataAnnotations(m, lint);
   return lint.Take();
 }

@@ -362,6 +362,21 @@ LintSubject BuildMixedExecutor() {  // P018
   return s;
 }
 
+LintSubject BuildOrphanedTenantOutput() {  // P019
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "trades-scan");
+  auto& out = s.graph->Add<algebra::Filter<int, AlwaysTrue>>(AlwaysTrue{},
+                                                             "acme-output");
+  src.AddSubscriber(out.input());
+  // The engine stamps registered outputs with this gauge and keeps its
+  // result sink subscribed; detaching the sink without cancelling leaves
+  // exactly this shape behind.
+  out.metadata().SetGauge("engine.registered_output:acme", 1.0);
+  return s;
+}
+
 LintSubject BuildAssignmentShape() {  // P017
   LintSubject s;
   s.graph = NewGraph();
@@ -428,6 +443,8 @@ const std::vector<LintFixture>& BrokenGraphFixtures() {
        BuildAssignmentShape},
       {"mixed-executor", "P018", Severity::kWarning, "legacy-filter", "",
        BuildMixedExecutor},
+      {"orphaned-tenant-output", "P019", Severity::kError, "acme-output", "",
+       BuildOrphanedTenantOutput},
   };
   return kFixtures;
 }

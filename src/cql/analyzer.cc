@@ -245,10 +245,16 @@ Result<LogicalPlan> Analyze(const QueryAst& query, const Catalog& catalog) {
   return plan;
 }
 
-Result<LogicalPlan> Compile(const std::string& query_text,
-                            const Catalog& catalog) {
+Result<CompiledQuery> Compile(const std::string& query_text,
+                              const Catalog& catalog) {
   PIPES_ASSIGN_OR_RETURN(QueryAst ast, Parse(query_text));
-  return Analyze(ast, catalog);
+  PIPES_ASSIGN_OR_RETURN(LogicalPlan plan, Analyze(ast, catalog));
+  CompiledQuery compiled;
+  compiled.text = query_text;
+  compiled.ast = std::move(ast);
+  compiled.schema = plan->schema;
+  compiled.plan = std::move(plan);
+  return compiled;
 }
 
 Result<relational::ExprPtr> ResolveExpression(

@@ -21,12 +21,28 @@
 
 namespace pipes::cql {
 
-/// Lowers `query` to a logical plan, or a semantic error.
-Result<optimizer::LogicalPlan> Analyze(const QueryAst& query,
-                                       const Catalog& catalog);
+/// The fully front-ended form of one continuous query: source text, parsed
+/// AST, and the analyzed logical plan with its output schema. This is the
+/// single hand-off between the CQL front end and everything downstream
+/// (optimizer, plan manager, engine, server): produce it with `Compile`
+/// instead of hand-wiring Tokenize → Parse → Analyze.
+struct CompiledQuery {
+  std::string text;              ///< The source text as submitted.
+  QueryAst ast;                  ///< Parsed, unresolved form.
+  optimizer::LogicalPlan plan;   ///< Analyzed logical plan.
+  relational::Schema schema;     ///< Output schema (`plan->schema`).
+};
 
-/// Convenience: parse + analyze.
-Result<optimizer::LogicalPlan> Compile(const std::string& query_text,
+/// THE CQL entry point: tokenize + parse + analyze in one call. Every
+/// consumer of query text (plan manager, engine, server, examples, tests)
+/// goes through here; `Parse` and `Analyze` remain available as the
+/// individual stages it delegates to.
+Result<CompiledQuery> Compile(const std::string& query_text,
+                              const Catalog& catalog);
+
+/// Stage entry point: lowers `query` to a logical plan, or a semantic
+/// error. Prefer `Compile` unless you already hold an AST.
+Result<optimizer::LogicalPlan> Analyze(const QueryAst& query,
                                        const Catalog& catalog);
 
 /// Binds a parsed expression against `schema` (no aggregate calls). Used

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 namespace pipes::metadata {
@@ -157,12 +158,58 @@ void AppendBool(std::string& out, const char* key, bool v) {
 
 }  // namespace
 
-std::string ToJson(const MetricsSnapshot& snapshot) {
+static std::string FinishJson(std::string out,
+                              const MetricsSnapshot& snapshot);
+
+MetricsSnapshot FilterSnapshot(const MetricsSnapshot& snapshot,
+                               const SnapshotOptions& options) {
+  if (options.node_filter.empty()) return snapshot;
+  const std::set<std::uint64_t> keep(options.node_filter.begin(),
+                                     options.node_filter.end());
+  MetricsSnapshot out;
+  out.memory = snapshot.memory;
+  out.high_watermark = kMinTimestamp;
+  for (const NodeSnapshot& n : snapshot.nodes) {
+    if (keep.count(n.id) == 0) continue;
+    out.nodes.push_back(n);
+    if (n.has_progress) {
+      out.high_watermark = std::max(out.high_watermark, n.progress);
+    }
+  }
+  for (const EdgeSnapshot& e : snapshot.edges) {
+    if (keep.count(e.from) != 0 && keep.count(e.to) != 0) {
+      out.edges.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot,
+                   const SnapshotOptions& options) {
+  const MetricsSnapshot filtered = FilterSnapshot(snapshot, options);
+  const MetricsSnapshot& snap =
+      options.node_filter.empty() ? snapshot : filtered;
   std::string out;
-  out.reserve(256 + snapshot.nodes.size() * 512);
+  out.reserve(256 + snap.nodes.size() * 512);
   out += '{';
-  AppendI64(out, "high_watermark", snapshot.high_watermark);
+  if (!options.scope.empty()) {
+    out += "\"scope\":";
+    AppendEscaped(out, options.scope);
+    out += ',';
+  }
+  AppendI64(out, "high_watermark", snap.high_watermark);
   out += ",\"nodes\":[";
+  return FinishJson(std::move(out), snap);
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  return ToJson(snapshot, SnapshotOptions{});
+}
+
+/// The node/edge/memory tail shared by both ToJson entry points; `out`
+/// arrives with the document open through `"nodes":[`.
+static std::string FinishJson(std::string out,
+                              const MetricsSnapshot& snapshot) {
   for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
     const NodeSnapshot& n = snapshot.nodes[i];
     if (i > 0) out += ',';
@@ -298,6 +345,11 @@ class JsonParser {
       } else if (key == "memory") {
         snap.memory.present = true;
         PIPES_RETURN_IF_ERROR(ParseMemory(&snap.memory));
+      } else if (key == "scope") {
+        // Provenance label written by SnapshotOptions::scope; carries no
+        // snapshot state, so round-trip parses accept and drop it.
+        std::string scope;
+        PIPES_RETURN_IF_ERROR(ParseString(&scope));
       } else {
         return Unexpected("unknown key '" + key + "'");
       }
@@ -574,11 +626,18 @@ std::string HumanCount(std::uint64_t n) {
 
 }  // namespace
 
-std::string ToDot(const MetricsSnapshot& snapshot, const DotOptions& options) {
+std::string ToDot(const MetricsSnapshot& snapshot,
+                  const SnapshotOptions& options) {
+  const MetricsSnapshot filtered = FilterSnapshot(snapshot, options);
+  const MetricsSnapshot& snap =
+      options.node_filter.empty() ? snapshot : filtered;
   std::ostringstream out;
   out << "digraph pipes_metrics {\n  rankdir=BT;\n"
       << "  node [shape=box, fontsize=10];\n  edge [fontsize=9];\n";
-  for (const NodeSnapshot& n : snapshot.nodes) {
+  if (!options.scope.empty()) {
+    out << "  label=\"" << EscapeDotLabel(options.scope) << "\";\n";
+  }
+  for (const NodeSnapshot& n : snap.nodes) {
     out << "  n" << n.id << " [label=\"" << EscapeDotLabel(n.name);
     out << "\\nin " << HumanCount(n.elements_in) << " / out "
         << HumanCount(n.elements_out);
@@ -599,8 +658,8 @@ std::string ToDot(const MetricsSnapshot& snapshot, const DotOptions& options) {
     if (n.active) out << ", peripheries=2";
     out << "];\n";
   }
-  for (const EdgeSnapshot& e : snapshot.edges) {
-    const NodeSnapshot* from = snapshot.FindNode(e.from);
+  for (const EdgeSnapshot& e : snap.edges) {
+    const NodeSnapshot* from = snap.FindNode(e.from);
     out << "  n" << e.from << " -> n" << e.to;
     if (from != nullptr) {
       out << " [label=\"";
@@ -626,6 +685,17 @@ std::string ToDot(const MetricsSnapshot& snapshot, const DotOptions& options) {
   }
   out << "}\n";
   return out.str();
+}
+
+std::string ToDot(const MetricsSnapshot& snapshot) {
+  return ToDot(snapshot, SnapshotOptions{});
+}
+
+std::string ToDot(const MetricsSnapshot& snapshot, const DotOptions& options) {
+  SnapshotOptions unified;
+  unified.previous = options.previous;
+  unified.elapsed_seconds = options.elapsed_seconds;
+  return ToDot(snapshot, unified);
 }
 
 }  // namespace pipes::metadata

@@ -121,17 +121,51 @@ struct CaptureOptions {
 MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
                                 const CaptureOptions& options = {});
 
+/// The one option struct every snapshot exporter takes (JSON, DOT, and the
+/// subgraph filter). Replaces the former per-exporter positional flags:
+/// construct it with designated initializers and pass the same instance to
+/// any exporter — irrelevant fields are ignored.
+struct SnapshotOptions {
+  /// Keep only nodes whose id is in this set, and the edges between them
+  /// (the per-tenant / per-query view the engine and server expose). Empty
+  /// means keep everything.
+  std::vector<std::uint64_t> node_filter;
+
+  /// Optional provenance label (e.g. the tenant whose queries the filtered
+  /// view shows). Emitted as a `"scope"` key in JSON and a graph label in
+  /// DOT; empty emits nothing, preserving the legacy formats byte-for-byte.
+  std::string scope;
+
+  /// With a previous snapshot and the elapsed seconds between the two,
+  /// DOT edges carry rates (elements/sec) instead of cumulative counts.
+  const MetricsSnapshot* previous = nullptr;
+  double elapsed_seconds = 0.0;
+};
+
+/// Applies `options.node_filter` (when non-empty): nodes outside the set
+/// are dropped, edges survive only when both endpoints do, and the high
+/// watermark is recomputed over the kept nodes (lags keep their global
+/// values — a tenant's lag is still measured against the whole graph).
+MetricsSnapshot FilterSnapshot(const MetricsSnapshot& snapshot,
+                               const SnapshotOptions& options);
+
 /// JSON document (single object; keys are stable, doubles round-trip
-/// exactly).
+/// exactly). Filtering and scope come from `options`.
+std::string ToJson(const MetricsSnapshot& snapshot,
+                   const SnapshotOptions& options);
+
+/// Back-compat shim for the original no-options spelling; delegates to the
+/// `SnapshotOptions` overload.
 std::string ToJson(const MetricsSnapshot& snapshot);
 
-/// Parses a document produced by `ToJson`. Round-trip guarantee:
-/// `SnapshotFromJson(ToJson(s)) == s`.
+///// Parses a document produced by `ToJson`. Round-trip guarantee:
+/// `SnapshotFromJson(ToJson(s)) == s` (the optional `"scope"` key is
+/// accepted and ignored).
 Result<MetricsSnapshot> SnapshotFromJson(const std::string& json);
 
+/// Deprecated spelling of the DOT exporter options; `SnapshotOptions`
+/// subsumes it. Kept as a thin back-compat shim.
 struct DotOptions {
-  /// With a previous snapshot and the elapsed seconds between the two,
-  /// edges carry rates (elements/sec) instead of cumulative counts.
   const MetricsSnapshot* previous = nullptr;
   double elapsed_seconds = 0.0;
 };
@@ -139,9 +173,15 @@ struct DotOptions {
 /// Graphviz rendering with the monitoring overlay: nodes show element
 /// counts, queue/state sizes, and watermark lag; edges show the producing
 /// node's output volume (or rate) and selectivity — the paper's visual
-/// monitoring tool as a DOT document.
+/// monitoring tool as a DOT document. Filtering, scope label, and the rate
+/// overlay all come from `options`.
 std::string ToDot(const MetricsSnapshot& snapshot,
-                  const DotOptions& options = {});
+                  const SnapshotOptions& options);
+
+/// Back-compat shims for the original positional spellings; both delegate
+/// to the `SnapshotOptions` overload.
+std::string ToDot(const MetricsSnapshot& snapshot);
+std::string ToDot(const MetricsSnapshot& snapshot, const DotOptions& options);
 
 }  // namespace pipes::metadata
 

@@ -16,9 +16,9 @@ PlanManager::PlanManager(QueryGraph* graph, const cql::Catalog* catalog,
 
 Result<PlanManager::InstalledQuery> PlanManager::InstallQuery(
     const std::string& cql_text) {
-  PIPES_ASSIGN_OR_RETURN(LogicalPlan plan,
+  PIPES_ASSIGN_OR_RETURN(cql::CompiledQuery compiled,
                          cql::Compile(cql_text, *catalog_));
-  return InstallPlan(plan);
+  return InstallPlan(compiled.plan);
 }
 
 Result<PlanManager::InstalledQuery> PlanManager::InstallPlan(
@@ -79,6 +79,25 @@ Result<PlanManager::InstalledQuery> PlanManager::InstallPlan(
   installed.estimated_cost = optimized.cost;
   installed.alternatives_considered = optimized.alternatives_considered;
   return installed;
+}
+
+Result<std::vector<const Node*>> PlanManager::QueryNodes(
+    std::uint64_t query_id) const {
+  auto query_it = queries_.find(query_id);
+  if (query_it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(query_id) +
+                            " is not installed");
+  }
+  std::vector<const Node*> nodes;
+  std::set<const Node*> seen;
+  for (const std::string& signature : query_it->second.signatures_postorder) {
+    auto entry_it = registry_.find(signature);
+    PIPES_CHECK(entry_it != registry_.end());
+    for (const Node* node : entry_it->second.nodes) {
+      if (seen.insert(node).second) nodes.push_back(node);
+    }
+  }
+  return nodes;
 }
 
 Status PlanManager::UninstallQuery(std::uint64_t query_id) {

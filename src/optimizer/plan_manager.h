@@ -65,6 +65,13 @@ class PlanManager {
   /// Distinct subplans currently instantiated.
   std::size_t live_subplans() const { return registry_.size(); }
 
+  /// The physical nodes instantiated for (or shared into) `query_id`, in
+  /// children-before-parents subplan order. Shared nodes appear for every
+  /// query using them. Empty result for a bare catalog scan; NotFound for
+  /// an unknown/uninstalled id. The engine's per-query metrics and the
+  /// per-tenant snapshot filter are built from this.
+  Result<std::vector<const Node*>> QueryNodes(std::uint64_t query_id) const;
+
  private:
   struct QueryRecord {
     std::vector<std::string> signatures_postorder;  // children before parents

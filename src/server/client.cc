@@ -1,0 +1,192 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pipes::server {
+
+namespace {
+
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               const std::string& tenant) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("invalid port " + std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("invalid IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect to " + host + ":" +
+                               std::to_string(port) + " failed: " + error);
+  }
+  Client client;
+  client.fd_ = fd;
+  PIPES_ASSIGN_OR_RETURN(Message reply,
+                         client.RoundTrip(HelloMessage(tenant)));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kOk) {
+    return Status::Internal("unexpected HELLO reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Message> Client::RoundTrip(const Message& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  if (!SendAll(fd_, EncodeFrame(request))) {
+    Close();
+    return Status::Internal("connection lost while sending");
+  }
+  char buffer[4096];
+  while (true) {
+    PIPES_ASSIGN_OR_RETURN(std::optional<Message> message, decoder_.Next());
+    if (message.has_value()) return *std::move(message);
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Close();
+      return Status::Internal("connection closed by server");
+    }
+    decoder_.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+Result<Client::Registered> Client::Register(const std::string& cql) {
+  PIPES_ASSIGN_OR_RETURN(Message reply, RoundTrip(RegisterMessage(cql)));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kRegistered) {
+    return Status::Internal("unexpected REGISTER reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  BodyReader reader(reply.body);
+  Registered registered;
+  PIPES_ASSIGN_OR_RETURN(registered.query_id, reader.U64());
+  PIPES_ASSIGN_OR_RETURN(registered.schema, reader.String());
+  PIPES_RETURN_IF_ERROR(reader.Finish());
+  return registered;
+}
+
+Status Client::Cancel(std::uint64_t query_id) {
+  PIPES_ASSIGN_OR_RETURN(Message reply, RoundTrip(CancelMessage(query_id)));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kOk) {
+    return Status::Internal("unexpected CANCEL reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Client::Row>> Client::Fetch(std::uint64_t query_id,
+                                               std::uint32_t max_results) {
+  PIPES_ASSIGN_OR_RETURN(Message reply,
+                         RoundTrip(FetchMessage(query_id, max_results)));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kResults) {
+    return Status::Internal("unexpected FETCH reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  BodyReader reader(reply.body);
+  PIPES_ASSIGN_OR_RETURN(std::uint32_t count, reader.U32());
+  std::vector<Row> rows;
+  rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Row row;
+    PIPES_ASSIGN_OR_RETURN(row.start, reader.GetTimestamp());
+    PIPES_ASSIGN_OR_RETURN(row.end, reader.GetTimestamp());
+    PIPES_ASSIGN_OR_RETURN(row.tuple, reader.String());
+    rows.push_back(std::move(row));
+  }
+  PIPES_RETURN_IF_ERROR(reader.Finish());
+  return rows;
+}
+
+Result<std::string> Client::SnapshotJson(bool whole_graph) {
+  Message request{MsgType::kSnapshot,
+                  BodyWriter().PutU32(whole_graph ? 1u : 0u).Take()};
+  PIPES_ASSIGN_OR_RETURN(Message reply, RoundTrip(request));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kSnapshotReply) {
+    return Status::Internal("unexpected SNAPSHOT reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  BodyReader reader(reply.body);
+  PIPES_ASSIGN_OR_RETURN(std::string json, reader.String());
+  PIPES_RETURN_IF_ERROR(reader.Finish());
+  return json;
+}
+
+Status Client::Ping() {
+  PIPES_ASSIGN_OR_RETURN(Message reply, RoundTrip({MsgType::kPing, {}}));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kPong) {
+    return Status::Internal("unexpected PING reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  return Status::OK();
+}
+
+Status Client::Shutdown() {
+  PIPES_ASSIGN_OR_RETURN(Message reply, RoundTrip({MsgType::kShutdown, {}}));
+  if (reply.type == MsgType::kError) return StatusFromError(reply);
+  if (reply.type != MsgType::kOk) {
+    return Status::Internal("unexpected SHUTDOWN reply type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace pipes::server

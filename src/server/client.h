@@ -1,0 +1,87 @@
+#ifndef PIPES_SERVER_CLIENT_H_
+#define PIPES_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/server/protocol.h"
+
+/// \file
+/// Blocking client for the PIPES continuous-query server — the thin
+/// library `pipes_top --connect` and the smoke drivers build on. One
+/// request, one reply; no background threads.
+
+namespace pipes::server {
+
+/// A connected session for one tenant. Move-only (owns the socket);
+/// destruction closes the connection, which cancels every query this
+/// tenant has registered on the server.
+class Client {
+ public:
+  /// One registered query as the server reports it.
+  struct Registered {
+    std::uint64_t query_id = 0;
+    std::string schema;  ///< "(name:TYPE, ...)"
+  };
+
+  /// One result row: the element's validity interval plus the tuple
+  /// rendered as text.
+  struct Row {
+    Timestamp start = 0;
+    Timestamp end = 0;
+    std::string tuple;
+
+    friend bool operator==(const Row&, const Row&) = default;
+  };
+
+  /// Connects to `host:port` (numeric IPv4 host, e.g. "127.0.0.1") and
+  /// sends HELLO for `tenant`.
+  static Result<Client> Connect(const std::string& host, int port,
+                                const std::string& tenant);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Registers a continuous query; results accumulate server-side until
+  /// fetched.
+  Result<Registered> Register(const std::string& cql);
+
+  Status Cancel(std::uint64_t query_id);
+
+  /// Drains up to `max_results` accumulated rows of `query_id`.
+  Result<std::vector<Row>> Fetch(std::uint64_t query_id,
+                                 std::uint32_t max_results = 1024);
+
+  /// Metrics snapshot as JSON: this tenant's subgraph by default, the
+  /// whole engine graph with `whole_graph` (feed it to
+  /// `metadata::SnapshotFromJson`).
+  Result<std::string> SnapshotJson(bool whole_graph = false);
+
+  Status Ping();
+
+  /// Asks the server to stop (admin/smoke surface).
+  Status Shutdown();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Client() = default;
+
+  /// Sends `request` and blocks for the single reply frame.
+  Result<Message> RoundTrip(const Message& request);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace pipes::server
+
+#endif  // PIPES_SERVER_CLIENT_H_

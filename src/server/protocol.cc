@@ -1,0 +1,151 @@
+#include "src/server/protocol.h"
+
+#include <cstring>
+
+namespace pipes::server {
+
+namespace {
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t ReadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+}  // namespace
+
+// --- BodyWriter -------------------------------------------------------------
+
+BodyWriter& BodyWriter::PutU32(std::uint32_t v) {
+  AppendU32(body_, v);
+  return *this;
+}
+
+BodyWriter& BodyWriter::PutU64(std::uint64_t v) {
+  AppendU32(body_, static_cast<std::uint32_t>(v >> 32));
+  AppendU32(body_, static_cast<std::uint32_t>(v & 0xffffffffu));
+  return *this;
+}
+
+BodyWriter& BodyWriter::PutString(std::string_view s) {
+  AppendU32(body_, static_cast<std::uint32_t>(s.size()));
+  body_.append(s);
+  return *this;
+}
+
+// --- BodyReader -------------------------------------------------------------
+
+Result<std::uint32_t> BodyReader::U32() {
+  if (pos_ + 4 > body_.size()) {
+    return Status::InvalidArgument("truncated message body (u32)");
+  }
+  const std::uint32_t v = ReadU32(body_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> BodyReader::U64() {
+  PIPES_ASSIGN_OR_RETURN(std::uint32_t high, U32());
+  PIPES_ASSIGN_OR_RETURN(std::uint32_t low, U32());
+  return (static_cast<std::uint64_t>(high) << 32) | low;
+}
+
+Result<std::string> BodyReader::String() {
+  PIPES_ASSIGN_OR_RETURN(std::uint32_t length, U32());
+  if (pos_ + length > body_.size()) {
+    return Status::InvalidArgument("truncated message body (string)");
+  }
+  std::string s(body_.substr(pos_, length));
+  pos_ += length;
+  return s;
+}
+
+Status BodyReader::Finish() const {
+  if (pos_ != body_.size()) {
+    return Status::InvalidArgument(
+        "trailing bytes in message body: " +
+        std::to_string(body_.size() - pos_) + " unread");
+  }
+  return Status::OK();
+}
+
+// --- Framing ----------------------------------------------------------------
+
+std::string EncodeFrame(const Message& message) {
+  std::string out;
+  out.reserve(5 + message.body.size());
+  AppendU32(out, static_cast<std::uint32_t>(1 + message.body.size()));
+  out.push_back(static_cast<char>(message.type));
+  out.append(message.body);
+  return out;
+}
+
+Result<std::optional<Message>> FrameDecoder::Next() {
+  if (buffer_.size() < 4) return std::optional<Message>();
+  const std::uint32_t length = ReadU32(buffer_.data());
+  if (length == 0) {
+    return Status::InvalidArgument("zero-length frame (missing type byte)");
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument("oversized frame: " +
+                                   std::to_string(length) + " bytes");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::optional<Message>();
+  }
+  Message message;
+  message.type = static_cast<MsgType>(
+      static_cast<unsigned char>(buffer_[4]));
+  message.body = buffer_.substr(5, length - 1);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  return std::optional<Message>(std::move(message));
+}
+
+// --- Canonical builders -----------------------------------------------------
+
+Message HelloMessage(std::string_view tenant) {
+  return {MsgType::kHello, BodyWriter().PutString(tenant).Take()};
+}
+
+Message RegisterMessage(std::string_view cql) {
+  return {MsgType::kRegister, BodyWriter().PutString(cql).Take()};
+}
+
+Message CancelMessage(std::uint64_t query_id) {
+  return {MsgType::kCancel, BodyWriter().PutU64(query_id).Take()};
+}
+
+Message FetchMessage(std::uint64_t query_id, std::uint32_t max_results) {
+  return {MsgType::kFetch,
+          BodyWriter().PutU64(query_id).PutU32(max_results).Take()};
+}
+
+Message ErrorMessage(const Status& status) {
+  return {MsgType::kError, BodyWriter()
+                               .PutU32(static_cast<std::uint32_t>(
+                                   status.code()))
+                               .PutString(status.message())
+                               .Take()};
+}
+
+Status StatusFromError(const Message& message) {
+  if (message.type != MsgType::kError) {
+    return Status::InvalidArgument("not an error message");
+  }
+  BodyReader reader(message.body);
+  PIPES_ASSIGN_OR_RETURN(std::uint32_t code, reader.U32());
+  PIPES_ASSIGN_OR_RETURN(std::string text, reader.String());
+  PIPES_RETURN_IF_ERROR(reader.Finish());
+  return Status(static_cast<StatusCode>(code), std::move(text));
+}
+
+}  // namespace pipes::server

@@ -1,0 +1,138 @@
+#ifndef PIPES_SERVER_PROTOCOL_H_
+#define PIPES_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+/// \file
+/// The wire protocol of the PIPES continuous-query server (docs/server.md):
+/// length-framed binary messages over a byte stream. Every frame is
+///
+///     u32 big-endian payload length | u8 message type | body
+///
+/// and bodies are built from three primitives (u32, u64, and
+/// length-prefixed strings). Encoding and decoding are pure functions over
+/// byte buffers — no sockets here — so the codec is unit-testable and the
+/// transport (src/server/server.cc, client.cc) stays trivial.
+///
+/// Conversation shape: a client connects, sends HELLO naming its tenant,
+/// then freely interleaves REGISTER / CANCEL / FETCH / SNAPSHOT / PING.
+/// Each request gets exactly one reply frame. Disconnecting (cleanly or
+/// not) cancels every query the tenant has registered.
+
+namespace pipes::server {
+
+/// One frame's worth of message. Request types are client→server, reply
+/// types (>= 128) server→client.
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kHello = 1,     ///< body: string tenant. Must be the first frame.
+  kRegister = 2,  ///< body: string cql → kRegistered | kError
+  kCancel = 3,    ///< body: u64 query_id → kOk | kError
+  kFetch = 4,     ///< body: u64 query_id, u32 max_results → kResults|kError
+  kSnapshot = 5,  ///< body: u32 mode (0 = tenant-filtered, 1 = whole graph)
+                  ///< → kSnapshotReply (JSON)
+  kPing = 6,      ///< body: empty → kPong
+  kShutdown = 7,  ///< body: empty → kOk, then the server stops.
+
+  // Replies.
+  kOk = 128,             ///< body: empty
+  kError = 129,          ///< body: u32 status code, string message
+  kRegistered = 130,     ///< body: u64 query_id, string output schema
+  kResults = 131,        ///< body: u32 count, then per row:
+                         ///<   u64 start, u64 end, string tuple text
+  kSnapshotReply = 132,  ///< body: string json
+  kPong = 133,           ///< body: empty
+};
+
+struct Message {
+  MsgType type = MsgType::kPing;
+  std::string body;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Frames larger than this are a protocol error (corrupt length prefix or
+/// a hostile peer), not a allocation request.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{16} << 20;
+
+// --- Body primitives --------------------------------------------------------
+
+/// Appends big-endian primitives / length-prefixed strings to a body.
+class BodyWriter {
+ public:
+  BodyWriter& PutU32(std::uint32_t v);
+  BodyWriter& PutU64(std::uint64_t v);
+  /// Timestamps ride as the two's-complement u64 of their i64 value.
+  BodyWriter& PutTimestamp(Timestamp t) {
+    return PutU64(static_cast<std::uint64_t>(t));
+  }
+  BodyWriter& PutString(std::string_view s);
+
+  std::string Take() { return std::move(body_); }
+  const std::string& body() const { return body_; }
+
+ private:
+  std::string body_;
+};
+
+/// Reads a body back; every getter fails with InvalidArgument on
+/// truncation. `Finish()` additionally rejects trailing bytes.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  Result<Timestamp> GetTimestamp() {
+    PIPES_ASSIGN_OR_RETURN(std::uint64_t raw, U64());
+    return static_cast<Timestamp>(raw);
+  }
+  Result<std::string> String();
+  Status Finish() const;
+
+ private:
+  std::string_view body_;
+  std::size_t pos_ = 0;
+};
+
+// --- Framing ----------------------------------------------------------------
+
+/// One message → the exact bytes to write to the stream.
+std::string EncodeFrame(const Message& message);
+
+/// Incremental deframer over an arbitrary chunking of the byte stream.
+/// Feed bytes as they arrive; Next() yields complete messages in order.
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// One decoded message, std::nullopt while the next frame is still
+  /// incomplete, or InvalidArgument on an oversized/garbled frame (the
+  /// stream is unrecoverable then — close the connection).
+  Result<std::optional<Message>> Next();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+// --- Canonical message builders ---------------------------------------------
+
+Message HelloMessage(std::string_view tenant);
+Message RegisterMessage(std::string_view cql);
+Message CancelMessage(std::uint64_t query_id);
+Message FetchMessage(std::uint64_t query_id, std::uint32_t max_results);
+Message ErrorMessage(const Status& status);
+/// Reply-side inverse of ErrorMessage.
+Status StatusFromError(const Message& message);
+
+}  // namespace pipes::server
+
+#endif  // PIPES_SERVER_PROTOCOL_H_

@@ -89,7 +89,7 @@ TEST(Alternatives, AllJoinOrdersProduceTheSameResults) {
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 
   Optimizer optimizer(&catalog);
-  const auto alternatives = optimizer.EnumerateAlternatives(*plan);
+  const auto alternatives = optimizer.EnumerateAlternatives(plan->plan);
   ASSERT_GE(alternatives.size(), 3u);
 
   const auto reference = Execute(alternatives[0], a, b, c);
@@ -119,7 +119,7 @@ TEST(Alternatives, RateHintsSteerTheJoinOrder) {
   ASSERT_TRUE(plan.ok());
 
   Optimizer optimizer(&catalog);
-  auto result = optimizer.Optimize(*plan);
+  auto result = optimizer.Optimize(plan->plan);
   // The fat stream 'c' must not be joined first: the chosen plan joins the
   // two cheap streams (a, b) at the bottom.
   const std::string signature = result.plan->Signature();
@@ -137,7 +137,7 @@ TEST(Alternatives, RateHintsSteerTheJoinOrder) {
   // Adaptive feedback: making 'a' the fat stream flips the order.
   ASSERT_TRUE(catalog.SetRateHint("a", 5000.0).ok());
   ASSERT_TRUE(catalog.SetRateHint("c", 10.0).ok());
-  auto adapted = optimizer.Optimize(*plan);
+  auto adapted = optimizer.Optimize(plan->plan);
   const std::string adapted_signature = adapted.plan->Signature();
   EXPECT_GT(adapted_signature.find("Scan[a"),
             adapted_signature.find("Scan[c"));

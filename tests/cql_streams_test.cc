@@ -168,7 +168,7 @@ TEST_F(CqlExtensions, RStreamIsDefaultAndExplicit) {
   auto implicit = cql::Compile("SELECT k FROM obs", catalog_);
   auto explicit_mode = cql::Compile("SELECT RSTREAM k FROM obs", catalog_);
   ASSERT_TRUE(implicit.ok() && explicit_mode.ok());
-  EXPECT_EQ((*implicit)->Signature(), (*explicit_mode)->Signature());
+  EXPECT_EQ((implicit->plan)->Signature(), (explicit_mode->plan)->Signature());
 }
 
 TEST_F(CqlExtensions, IStreamQueriesShareAndUninstall) {

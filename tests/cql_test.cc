@@ -115,9 +115,9 @@ TEST(Analyzer, SelectStarIsScanOnly) {
   Catalog catalog = MakeCatalog();
   auto plan = Compile("SELECT * FROM bids", catalog);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kStreamScan);
-  EXPECT_EQ((*plan)->schema.arity(), 3u);
-  EXPECT_EQ((*plan)->schema.field(0).name, "bids.auction");
+  EXPECT_EQ((plan->plan)->kind, LogicalOp::Kind::kStreamScan);
+  EXPECT_EQ((plan->plan)->schema.arity(), 3u);
+  EXPECT_EQ((plan->plan)->schema.field(0).name, "bids.auction");
 }
 
 TEST(Analyzer, ProjectionAndFilter) {
@@ -126,10 +126,10 @@ TEST(Analyzer, ProjectionAndFilter) {
       "SELECT price * 2 AS double_price FROM bids WHERE price > 10",
       catalog);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kProject);
-  EXPECT_EQ((*plan)->schema.field(0).name, "double_price");
-  EXPECT_EQ((*plan)->schema.field(0).type, ValueType::kDouble);
-  EXPECT_EQ((*plan)->children[0]->kind, LogicalOp::Kind::kFilter);
+  EXPECT_EQ((plan->plan)->kind, LogicalOp::Kind::kProject);
+  EXPECT_EQ((plan->plan)->schema.field(0).name, "double_price");
+  EXPECT_EQ((plan->plan)->schema.field(0).type, ValueType::kDouble);
+  EXPECT_EQ((plan->plan)->children[0]->kind, LogicalOp::Kind::kFilter);
 }
 
 TEST(Analyzer, GroupByWithAggregates) {
@@ -140,13 +140,13 @@ TEST(Analyzer, GroupByWithAggregates) {
       catalog);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   // Project(GroupAggregate(Scan))
-  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kProject);
-  const auto& agg = (*plan)->children[0];
+  EXPECT_EQ((plan->plan)->kind, LogicalOp::Kind::kProject);
+  const auto& agg = (plan->plan)->children[0];
   EXPECT_EQ(agg->kind, LogicalOp::Kind::kGroupAggregate);
   EXPECT_EQ(agg->group_fields.size(), 1u);
   EXPECT_EQ(agg->aggs.size(), 2u);
-  EXPECT_EQ((*plan)->schema.field(1).name, "top");
-  EXPECT_EQ((*plan)->schema.field(2).type, ValueType::kInt);
+  EXPECT_EQ((plan->plan)->schema.field(1).name, "top");
+  EXPECT_EQ((plan->plan)->schema.field(2).type, ValueType::kInt);
 }
 
 TEST(Analyzer, JoinOfTwoStreams) {
@@ -157,9 +157,9 @@ TEST(Analyzer, JoinOfTwoStreams) {
       catalog);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   // Project(Filter(Join(scan, scan))) before optimization.
-  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kProject);
-  EXPECT_EQ((*plan)->children[0]->kind, LogicalOp::Kind::kFilter);
-  EXPECT_EQ((*plan)->children[0]->children[0]->kind, LogicalOp::Kind::kJoin);
+  EXPECT_EQ((plan->plan)->kind, LogicalOp::Kind::kProject);
+  EXPECT_EQ((plan->plan)->children[0]->kind, LogicalOp::Kind::kFilter);
+  EXPECT_EQ((plan->plan)->children[0]->children[0]->kind, LogicalOp::Kind::kJoin);
 }
 
 TEST(Parser, JoinOnSyntaxDesugarsIntoWhere) {
@@ -184,7 +184,7 @@ TEST(Parser, JoinOnSyntaxDesugarsIntoWhere) {
   ASSERT_TRUE(join_on.ok() && classic.ok());
   optimizer::Optimizer optimizer(&catalog);
   EXPECT_EQ(optimizer.Optimize(*join_on).plan->Signature(),
-            optimizer.Optimize(*classic).plan->Signature());
+            optimizer.Optimize(classic->plan).plan->Signature());
 }
 
 TEST(Parser, JoinWithoutOnIsRejected) {
@@ -217,8 +217,8 @@ TEST(Analyzer, DistinctAddsDistinctOp) {
   Catalog catalog = MakeCatalog();
   auto plan = Compile("SELECT DISTINCT bidder FROM bids", catalog);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  EXPECT_EQ((*plan)->kind, LogicalOp::Kind::kDistinct);
-  EXPECT_EQ((*plan)->children[0]->kind, LogicalOp::Kind::kProject);
+  EXPECT_EQ((plan->plan)->kind, LogicalOp::Kind::kDistinct);
+  EXPECT_EQ((plan->plan)->children[0]->kind, LogicalOp::Kind::kProject);
 }
 
 TEST(Analyzer, SignatureStableAcrossEquivalentQueries) {
@@ -226,7 +226,7 @@ TEST(Analyzer, SignatureStableAcrossEquivalentQueries) {
   auto a = Compile("SELECT price FROM bids WHERE price > 10", catalog);
   auto b = Compile("select price from bids where price > 10", catalog);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_EQ((*a)->Signature(), (*b)->Signature());
+  EXPECT_EQ((a->plan)->Signature(), (b->plan)->Signature());
 }
 
 }  // namespace

@@ -152,11 +152,11 @@ TEST(Optimizer, EnumeratesJoinOrderAlternatives) {
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 
   Optimizer optimizer(&catalog);
-  auto alternatives = optimizer.EnumerateAlternatives(*plan);
+  auto alternatives = optimizer.EnumerateAlternatives(plan->plan);
   // 3 leaves -> up to 6 join orders (plus the original), deduped.
   EXPECT_GE(alternatives.size(), 4u);
 
-  auto result = optimizer.Optimize(*plan);
+  auto result = optimizer.Optimize(plan->plan);
   EXPECT_GE(result.alternatives_considered, 4u);
   ASSERT_NE(result.plan, nullptr);
   EXPECT_GT(result.cost, 0.0);

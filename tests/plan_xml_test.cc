@@ -40,11 +40,11 @@ void ExpectRoundTrip(const std::string& query_text) {
   auto plan = cql::Compile(query_text, catalog);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 
-  const std::string xml = ToXml(*plan);
+  const std::string xml = ToXml(plan->plan);
   auto revived = FromXml(xml);
   ASSERT_TRUE(revived.ok()) << revived.status().ToString() << "\n" << xml;
-  EXPECT_EQ((*revived)->Signature(), (*plan)->Signature()) << xml;
-  EXPECT_EQ((*revived)->schema, (*plan)->schema);
+  EXPECT_EQ((*revived)->Signature(), (plan->plan)->Signature()) << xml;
+  EXPECT_EQ((*revived)->schema, (plan->plan)->schema);
   // Serialization is stable: a second trip produces identical XML.
   EXPECT_EQ(ToXml(*revived), xml);
 }
@@ -89,7 +89,7 @@ TEST(PlanXml, RoundTripsOptimizedPlans) {
       catalog);
   ASSERT_TRUE(plan.ok());
   Optimizer optimizer(&catalog);
-  auto optimized = optimizer.Optimize(*plan);
+  auto optimized = optimizer.Optimize(plan->plan);
   const std::string xml = ToXml(optimized.plan);
   auto revived = FromXml(xml);
   ASSERT_TRUE(revived.ok()) << revived.status().ToString() << "\n" << xml;
@@ -119,7 +119,7 @@ TEST(PlanXml, ReloadedPlanExecutes) {
   auto plan =
       cql::Compile("SELECT price FROM bids WHERE price > 40", catalog);
   ASSERT_TRUE(plan.ok());
-  auto revived = FromXml(ToXml(*plan));
+  auto revived = FromXml(ToXml(plan->plan));
   ASSERT_TRUE(revived.ok());
 
   PlanManager manager(&graph, &catalog);
