@@ -79,28 +79,38 @@ void PrintFrame(int frame, const metadata::MetricsSnapshot& snap,
   std::printf("\n== frame %d  (high watermark %lld) %s\n", frame,
               static_cast<long long>(snap.high_watermark),
               std::string(40, '=').c_str());
-  std::printf("%-12s %10s %10s %10s %6s %7s %8s %9s %10s\n", "node", "in",
-              "out", "el/s", "sel", "queue", "lag", "state-B", "sched-us");
+  std::printf("%-12s %10s %10s %10s %6s %7s %8s %9s %9s %10s\n", "node", "in",
+              "out", "el/s", "sel", "queue", "lag", "state-B", "spill-B",
+              "sched-us");
   for (const metadata::NodeSnapshot& n : snap.nodes) {
     const metadata::NodeSnapshot* p = prev.FindNode(n.id);
     const double rate =
         (p != nullptr && elapsed_s > 0)
             ? static_cast<double>(n.elements_out - p->elements_out) / elapsed_s
             : 0.0;
-    std::printf("%-12s %10llu %10llu %10.0f %6.2f %7llu %8lld %9llu %10.1f\n",
-                n.name.c_str(),
-                static_cast<unsigned long long>(n.elements_in),
-                static_cast<unsigned long long>(n.elements_out), rate,
-                n.selectivity, static_cast<unsigned long long>(n.queue_size),
-                static_cast<long long>(n.watermark_lag),
-                static_cast<unsigned long long>(n.memory_bytes),
-                static_cast<double>(n.sched_service_ns) / 1e3);
+    std::printf(
+        "%-12s %10llu %10llu %10.0f %6.2f %7llu %8lld %9llu %9llu %10.1f\n",
+        n.name.c_str(), static_cast<unsigned long long>(n.elements_in),
+        static_cast<unsigned long long>(n.elements_out), rate, n.selectivity,
+        static_cast<unsigned long long>(n.queue_size),
+        static_cast<long long>(n.watermark_lag),
+        static_cast<unsigned long long>(n.memory_bytes),
+        static_cast<unsigned long long>(n.spilled_bytes),
+        static_cast<double>(n.sched_service_ns) / 1e3);
   }
   if (snap.memory.present) {
     std::printf("memory: %llu / %llu bytes over %llu users\n",
                 static_cast<unsigned long long>(snap.memory.usage_bytes),
                 static_cast<unsigned long long>(snap.memory.budget_bytes),
                 static_cast<unsigned long long>(snap.memory.users));
+    if (snap.memory.disk_usage_bytes > 0 || snap.memory.spill_users > 0) {
+      std::printf("disk:   %llu / %llu bytes over %llu spill users\n",
+                  static_cast<unsigned long long>(
+                      snap.memory.disk_usage_bytes),
+                  static_cast<unsigned long long>(
+                      snap.memory.disk_budget_bytes),
+                  static_cast<unsigned long long>(snap.memory.spill_users));
+    }
   }
 }
 

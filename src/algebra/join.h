@@ -1,10 +1,12 @@
 #ifndef PIPES_ALGEBRA_JOIN_H_
 #define PIPES_ALGEBRA_JOIN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "src/core/ordered_buffer.h"
@@ -12,6 +14,7 @@
 #include "src/memory/memory_user.h"
 #include "src/sweeparea/hash_sweep_area.h"
 #include "src/sweeparea/list_sweep_area.h"
+#include "src/sweeparea/spillable_hash_sweep_area.h"
 #include "src/sweeparea/sweep_area.h"
 #include "src/sweeparea/tree_sweep_area.h"
 
@@ -27,18 +30,34 @@
 /// their stream's snapshot at t and the predicate holds — hence the output
 /// element combine(p_l, p_r) with interval l ∩ r.
 ///
-/// The join is a `memory::MemoryUser`: under a memory limit it sheds state
-/// from the larger SweepArea (approximate answers), counting what it drops.
+/// The join is a `memory::MemoryUser`. Under a memory limit it walks the
+/// RAM → disk → shed ladder (docs/memory.md): with spillable SweepAreas
+/// (`kSpillable` below) cold state pages to disk losslessly and shedding is
+/// a deliberate opt-in; with resident-only areas it sheds from the larger
+/// SweepArea (approximate answers), counting what it drops.
 
 namespace pipes::algebra {
 
-/// What to do when the memory limit is exceeded.
+/// What to do when the memory limit is exceeded and spilling is either
+/// unavailable or exhausted.
 enum class ShedPolicy {
   /// Evict elements from the larger SweepArea until within the limit.
   kEvictFromLargerArea,
-  /// Ignore the limit (measurement-only mode).
+  /// Never drop state. For resident-only areas this means measurement-only
+  /// mode (the limit is ignored); for spillable areas it is the default —
+  /// pressure resolves by paging to disk, and if the disk budget is also
+  /// exhausted the RAM bound goes soft rather than lossy.
   kNone,
 };
+
+/// Detects SweepAreas with a lossless disk tier (declare
+/// `static constexpr bool kSpillable = true`, e.g.
+/// `sweeparea::SpillableHashSweepArea`).
+template <typename SA, typename = void>
+struct IsSpillableArea : std::false_type {};
+template <typename SA>
+struct IsSpillableArea<SA, std::void_t<decltype(SA::kSpillable)>>
+    : std::bool_constant<SA::kSpillable> {};
 
 /// Symmetric temporal join. `Combine(l_payload, r_payload)` produces the
 /// output payload; `LeftSA` stores L probed by R, `RightSA` stores R probed
@@ -47,12 +66,23 @@ template <typename L, typename R, typename Out, typename LeftSA,
           typename RightSA, typename Combine>
 class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
  public:
+  /// True when both SweepAreas can page state to disk: memory pressure then
+  /// resolves by lossless spill and shedding becomes opt-in.
+  static constexpr bool kSpillable =
+      IsSpillableArea<LeftSA>::value && IsSpillableArea<RightSA>::value;
+
   TemporalJoin(LeftSA left_sa, RightSA right_sa, Combine combine,
                std::string name = "join")
       : BinaryPipe<L, R, Out>(std::move(name)),
         left_sa_(std::move(left_sa)),
         right_sa_(std::move(right_sa)),
-        combine_(std::move(combine)) {}
+        combine_(std::move(combine)) {
+    if constexpr (kSpillable) {
+      // Shedding is demoted to an explicit opt-in when a lossless tier
+      // exists (set_shed_policy re-enables it; lint P020 flags that).
+      shed_policy_ = ShedPolicy::kNone;
+    }
+  }
 
   // --- memory::MemoryUser ---------------------------------------------------
 
@@ -62,8 +92,22 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
 
   void SetMemoryLimit(std::size_t bytes) override {
     memory_limit_ = bytes;
-    Shed();
+    EnforceBudget();
   }
+
+  bool SpillCapable() const override { return kSpillable; }
+
+  std::size_t DiskUsage() const override {
+    if constexpr (kSpillable) {
+      return left_sa_.SpilledBytes() + right_sa_.SpilledBytes();
+    } else {
+      return 0;
+    }
+  }
+
+  void SetDiskBudget(std::size_t bytes) override { disk_budget_ = bytes; }
+
+  std::size_t disk_budget() const { return disk_budget_; }
 
   std::size_t memory_limit() const { return memory_limit_; }
 
@@ -77,8 +121,18 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
   std::size_t left_state_size() const { return left_sa_.size(); }
   std::size_t right_state_size() const { return right_sa_.size(); }
 
-  /// Metadata-monitor hook: join state = both SweepAreas.
+  /// Metadata-monitor hook: join state = both SweepAreas (RAM only).
   std::size_t ApproxMemoryBytes() const override { return MemoryUsage(); }
+
+  std::uint64_t SpilledBytes() const override { return DiskUsage(); }
+
+  std::uint64_t SpilledPartitions() const override {
+    if constexpr (kSpillable) {
+      return left_sa_.SpilledRunCount() + right_sa_.SpilledRunCount();
+    } else {
+      return 0;
+    }
+  }
 
   NodeDescriptor Describe() const override {
     NodeDescriptor d = BinaryPipe<L, R, Out>::Describe();
@@ -89,6 +143,8 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
     // specialization (checked in tests/analysis_test.cc).
     d.key_partitionable = LeftSA::kKeyedEquiProbe && RightSA::kKeyedEquiProbe;
     d.has_columnar_kernel = true;
+    d.spill_capable = kSpillable;
+    d.shedding_enabled = shed_policy_ != ShedPolicy::kNone;
     return d;
   }
 
@@ -99,7 +155,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
                                       e.interval.Intersect(r.interval)));
     });
     left_sa_.Insert(e);
-    Shed();
+    EnforceBudget();
     Flush();
   }
 
@@ -109,7 +165,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
                                       l.interval.Intersect(e.interval)));
     });
     right_sa_.Insert(e);
-    Shed();
+    EnforceBudget();
     Flush();
   }
 
@@ -132,6 +188,9 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
           TimeInterval(run.starts[i], run.ends[i]).Intersect(r.interval)));
     });
     left_sa_.InsertRun(run);
+    // Spill rides the columnar path: one budget check per run (bounded
+    // overshoot of one run) keeps the kernel zero-copy.
+    if constexpr (kSpillable) EnforceBudget();
     Flush();
   }
 
@@ -148,13 +207,23 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
           l.interval.Intersect(TimeInterval(run.starts[i], run.ends[i]))));
     });
     right_sa_.InsertRun(run);
+    if constexpr (kSpillable) EnforceBudget();
     Flush();
   }
 
   void OnProgressSide(int /*side*/, Timestamp /*watermark*/) override {
     // Reorganization: a stored left element can never again match once its
     // validity ended before every future right element's start (and vice
-    // versa).
+    // versa). Pending probes must be answered first — purge may delete
+    // runs they still need.
+    if constexpr (kSpillable) {
+      if ((left_sa_.HasPendingProbes() &&
+           left_sa_.MinPendingStart() < this->right().watermark()) ||
+          (right_sa_.HasPendingProbes() &&
+           right_sa_.MinPendingStart() < this->left().watermark())) {
+        ServicePending();
+      }
+    }
     left_sa_.PurgeBefore(this->right().watermark());
     right_sa_.PurgeBefore(this->left().watermark());
     Flush();
@@ -162,6 +231,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
 
   void OnDoneSide(int /*side*/) override {
     if (this->BothDone()) {
+      if constexpr (kSpillable) ServicePending();
       out_run_.clear();
       staged_.FlushAll(
           [this](const StreamElement<Out>& e) { out_run_.Append(e); });
@@ -181,6 +251,12 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
 
   void Flush() {
     const Timestamp combined = this->CombinedWatermark();
+    if constexpr (kSpillable) {
+      // Output fence: results a pending probe will still produce have
+      // start >= its staging start, so nothing may be released past the
+      // minimum pending start until those probes are answered.
+      if (combined > MinPendingStart()) ServicePending();
+    }
     out_run_.clear();
     staged_.FlushUpTo(
         combined, [this](const StreamElement<Out>& e) { out_run_.Append(e); });
@@ -190,17 +266,77 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
     }
   }
 
-  void Shed() {
-    if (shed_policy_ == ShedPolicy::kNone) return;
-    while (MemoryUsage() > memory_limit_) {
-      const bool left_bigger = left_sa_.ApproxBytes() >= right_sa_.ApproxBytes();
-      const bool evicted =
-          left_bigger ? left_sa_.EvictOne() : right_sa_.EvictOne();
-      if (!evicted) {
-        // Both areas empty yet still over the limit: nothing sheddable.
-        break;
+  /// Resolves memory pressure down the tier ladder: spill (lossless) when
+  /// the areas support it and disk remains, then shed if opted in, else
+  /// let the RAM bound go soft (never drop state silently).
+  void EnforceBudget() {
+    if constexpr (kSpillable) {
+      if (memory_limit_ == std::numeric_limits<std::size_t>::max()) return;
+      // Staged probes count against RAM; answer them once they occupy a
+      // meaningful slice of the budget.
+      if ((left_sa_.PendingBytes() + right_sa_.PendingBytes()) * 4 >
+          memory_limit_) {
+        ServicePending();
       }
-      ++shed_count_;
+      while (MemoryUsage() > memory_limit_) {
+        std::size_t freed = 0;
+        if (DiskUsage() < disk_budget_) {
+          const bool left_bigger = left_sa_.HotBytes() >= right_sa_.HotBytes();
+          freed = left_bigger ? left_sa_.SpillColdest()
+                              : right_sa_.SpillColdest();
+          if (freed == 0) {
+            freed = left_bigger ? right_sa_.SpillColdest()
+                                : left_sa_.SpillColdest();
+          }
+        }
+        if (freed > 0) continue;
+        // Disk exhausted (or nothing resident to page): shed only if the
+        // user opted in; otherwise the bound goes soft — lossless overrun.
+        if (shed_policy_ == ShedPolicy::kNone || !ShedOne()) break;
+      }
+    } else {
+      if (shed_policy_ == ShedPolicy::kNone) return;
+      while (MemoryUsage() > memory_limit_) {
+        if (!ShedOne()) break;  // both areas empty: nothing sheddable
+      }
+    }
+  }
+
+  bool ShedOne() {
+    const bool left_bigger = left_sa_.ApproxBytes() >= right_sa_.ApproxBytes();
+    const bool evicted =
+        left_bigger ? left_sa_.EvictOne() : right_sa_.EvictOne();
+    if (evicted) ++shed_count_;
+    return evicted;
+  }
+
+  /// Oldest staged probe across both areas; `kMaxTimestamp` when none.
+  Timestamp MinPendingStart() const {
+    if constexpr (kSpillable) {
+      return std::min(left_sa_.MinPendingStart(),
+                      right_sa_.MinPendingStart());
+    } else {
+      return kMaxTimestamp;
+    }
+  }
+
+  /// Answers every staged probe against the spilled runs (streamed k-way
+  /// merge inside the areas) and stages the matches; the ordered buffer
+  /// restores emission order.
+  void ServicePending() {
+    if constexpr (kSpillable) {
+      left_sa_.ServicePendingProbes(
+          [&](const StreamElement<R>& probe, const StreamElement<L>& stored) {
+            staged_.Push(StreamElement<Out>(
+                combine_(stored.payload, probe.payload),
+                stored.interval.Intersect(probe.interval)));
+          });
+      right_sa_.ServicePendingProbes(
+          [&](const StreamElement<L>& probe, const StreamElement<R>& stored) {
+            staged_.Push(StreamElement<Out>(
+                combine_(probe.payload, stored.payload),
+                probe.interval.Intersect(stored.interval)));
+          });
     }
   }
 
@@ -210,6 +346,7 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
   OrderedOutputBuffer<Out> staged_;
   ColumnarRun<Out> out_run_;
   std::size_t memory_limit_ = std::numeric_limits<std::size_t>::max();
+  std::size_t disk_budget_ = std::numeric_limits<std::size_t>::max();
   ShedPolicy shed_policy_ = ShedPolicy::kEvictFromLargerArea;
   std::uint64_t shed_count_ = 0;
 };
@@ -230,6 +367,23 @@ auto MakeHashJoin(KeyL key_l, KeyR key_r, Combine combine,
       TemporalJoin<L, R, Out, LeftSA, RightSA, Combine>>(
       LeftSA(key_l, key_r), RightSA(key_r, key_l), std::move(combine),
       std::move(name));
+}
+
+/// Lossless equi-join under bounded RAM: hash SweepAreas that page cold
+/// state to disk as sorted runs instead of shedding (docs/memory.md).
+/// Shedding stays available but only as an explicit opt-in via
+/// `set_shed_policy` — lint rule P020 flags that combination.
+template <typename L, typename R, typename KeyL, typename KeyR,
+          typename Combine>
+auto MakeSpillableHashJoin(KeyL key_l, KeyR key_r, Combine combine,
+                           std::string name = "spill-hash-join",
+                           sweeparea::SpillOptions options = {}) {
+  using Out = std::decay_t<std::invoke_result_t<Combine, const L&, const R&>>;
+  using LeftSA = sweeparea::SpillableHashSweepArea<L, R, KeyL, KeyR>;
+  using RightSA = sweeparea::SpillableHashSweepArea<R, L, KeyR, KeyL>;
+  return std::make_unique<TemporalJoin<L, R, Out, LeftSA, RightSA, Combine>>(
+      LeftSA(key_l, key_r, {}, options), RightSA(key_r, key_l, {}, options),
+      std::move(combine), std::move(name));
 }
 
 /// Theta join on an arbitrary predicate with list SweepAreas.

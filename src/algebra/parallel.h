@@ -66,6 +66,15 @@ struct KeyPartitionable<
                  sweeparea::HashSweepArea<R, L, KeyR, KeyL>, Combine>>
     : std::true_type {};
 
+/// The spillable variant is keyed the same way: spilled runs hold only
+/// this replica's keys, so state stays disjoint across replicas.
+template <typename L, typename R, typename Out, typename KeyL, typename KeyR,
+          typename Combine>
+struct KeyPartitionable<TemporalJoin<
+    L, R, Out, sweeparea::SpillableHashSweepArea<L, R, KeyL, KeyR>,
+    sweeparea::SpillableHashSweepArea<R, L, KeyR, KeyL>, Combine>>
+    : std::true_type {};
+
 // --- Replicated-stage handles ----------------------------------------------
 
 /// Untyped topology of one replicated stage, for scheduler pinning and for

@@ -548,6 +548,23 @@ void CheckMetadataAnnotations(const GraphModel& m, Linter& lint) {
   }
 }
 
+void CheckSheddingWithSpillTier(const GraphModel& m, Linter& lint) {
+  // P020. A spill-capable operator can page state to disk losslessly
+  // (docs/memory.md), so enabling load shedding on it trades recall for
+  // nothing the spill tier does not already provide — every shed element
+  // is a join result silently lost that a spilled run would have kept.
+  for (const NodeInfo& info : m.info) {
+    if (!info.desc.spill_capable || !info.desc.shedding_enabled) continue;
+    lint.Emit("P020", Severity::kWarning, info.node, "",
+              "load shedding is enabled on a spill-capable operator: under "
+              "memory pressure it will drop state (losing results) even "
+              "though it could page to disk losslessly",
+              "leave the shed policy at ShedPolicy::kNone (the spillable "
+              "default) unless disk is scarcer than recall; bound disk with "
+              "MemoryManager::set_disk_budget instead");
+  }
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -648,6 +665,9 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"P019", Severity::kError,
        "registered query output with no subscribers (orphaned tenant "
        "subgraph: results dropped, resources still consumed)"},
+      {"P020", Severity::kWarning,
+       "load shedding enabled on a spill-capable operator (recall traded "
+       "away where a lossless disk tier exists)"},
   };
   return kCatalog;
 }
@@ -666,6 +686,7 @@ std::vector<Diagnostic> Lint(const QueryGraph& graph) {
   CheckStalledInputs(m, lint);
   CheckMixedExecutorAttachment(m, lint);
   CheckOrphanedTenantOutputs(m, lint);
+  CheckSheddingWithSpillTier(m, lint);
   CheckMetadataAnnotations(m, lint);
   return lint.Take();
 }

@@ -377,6 +377,25 @@ LintSubject BuildOrphanedTenantOutput() {  // P019
   return s;
 }
 
+LintSubject BuildSheddingSpillableJoin() {  // P020
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& left = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "left");
+  auto& right = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "right");
+  auto& join = s.graph->Add(algebra::MakeSpillableHashJoin<int, int>(
+      Identity{}, Identity{}, CombineSum{}, "spilly-join"));
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  left.AddSubscriber(join.left());
+  right.AddSubscriber(join.right());
+  join.AddSubscriber(sink.input());
+  // The spillable default is ShedPolicy::kNone; opting back into shedding
+  // on an operator that can page losslessly is the P020 subject.
+  join.set_shed_policy(algebra::ShedPolicy::kEvictFromLargerArea);
+  return s;
+}
+
 LintSubject BuildAssignmentShape() {  // P017
   LintSubject s;
   s.graph = NewGraph();
@@ -445,6 +464,8 @@ const std::vector<LintFixture>& BrokenGraphFixtures() {
        BuildMixedExecutor},
       {"orphaned-tenant-output", "P019", Severity::kError, "acme-output", "",
        BuildOrphanedTenantOutput},
+      {"shed-with-spill", "P020", Severity::kWarning, "spilly-join", "",
+       BuildSheddingSpillableJoin},
   };
   return kFixtures;
 }

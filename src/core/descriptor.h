@@ -65,6 +65,16 @@ struct NodeDescriptor {
   /// `algebra::KeyPartitionable` where the compile-time trait exists.
   bool key_partitionable = false;
 
+  /// Can page state to disk losslessly under memory pressure (spillable
+  /// SweepAreas, docs/memory.md). With a spill tier available, shedding is
+  /// an opt-in fallback — lint rule P020 flags the combination below.
+  bool spill_capable = false;
+
+  /// Load shedding is currently enabled on this node (drops state for
+  /// bounded memory, trading recall). Always declared so P020 can compare
+  /// it against `spill_capable`.
+  bool shedding_enabled = false;
+
   /// Rewrites every output validity to a bounded interval (window
   /// operators, relation-to-stream): downstream state purges again even if
   /// the input was unbounded.

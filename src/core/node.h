@@ -90,6 +90,14 @@ class Node {
   /// elements_in == elements_out + retained_state + shed.
   virtual std::uint64_t ShedCount() const { return 0; }
 
+  /// Bytes of operator state currently paged to the disk tier (lossless
+  /// spill, docs/memory.md). Zero for nodes that never spill. Not part of
+  /// `ApproxMemoryBytes()`, which reports RAM only.
+  virtual std::uint64_t SpilledBytes() const { return 0; }
+
+  /// Number of on-disk runs (spilled partitions) currently held.
+  virtual std::uint64_t SpilledPartitions() const { return 0; }
+
   // --- Executor attachment --------------------------------------------------
   // The executor-polled execution model (DESIGN.md §4f): a `PipeExecutor`
   // attaches to every node of a graph before running it. Nodes with a typed

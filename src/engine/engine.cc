@@ -86,7 +86,11 @@ Engine::Engine(EngineOptions options)
     : options_(options),
       memory_(options.memory_budget_bytes,
               std::make_unique<memory::UniformStrategy>()),
-      plan_manager_(&graph_, &catalog_, options.sharing) {}
+      plan_manager_(&graph_, &catalog_, options.sharing) {
+  if (options.disk_budget_bytes > 0) {
+    memory_.set_disk_budget(options.disk_budget_bytes);
+  }
+}
 
 Engine::~Engine() {
   // Flush staged deliveries and detach before the graph goes away.
@@ -114,6 +118,12 @@ void Engine::EnsureExecutorLocked() {
 std::size_t Engine::StateBytesLocked() const {
   std::size_t total = 0;
   for (const Node* node : graph_.nodes()) total += node->ApproxMemoryBytes();
+  return total;
+}
+
+std::size_t Engine::SpilledBytesLocked() const {
+  std::size_t total = 0;
+  for (const Node* node : graph_.nodes()) total += node->SpilledBytes();
   return total;
 }
 
@@ -227,6 +237,16 @@ Status Engine::AdmissionCheckLocked(const std::string& tenant) const {
       return Status::ResourceExhausted(
           "memory budget exceeded (" + std::to_string(used) + " of " +
           std::to_string(options_.memory_budget_bytes) + " bytes in use)");
+    }
+  }
+  if (options_.disk_budget_bytes > 0) {
+    const std::size_t spilled =
+        std::max(SpilledBytesLocked(), memory_.TotalDiskUsage());
+    if (spilled >= options_.disk_budget_bytes) {
+      return Status::ResourceExhausted(
+          "disk budget exceeded (" + std::to_string(spilled) + " of " +
+          std::to_string(options_.disk_budget_bytes) +
+          " bytes spilled)");
     }
   }
   return Status::OK();
@@ -566,6 +586,7 @@ EngineStats Engine::stats() const {
   stats.operators_created = plan_manager_.total_operators_created();
   stats.operators_reused = plan_manager_.total_operators_reused();
   stats.state_bytes = StateBytesLocked();
+  stats.spilled_bytes = std::max(SpilledBytesLocked(), memory_.TotalDiskUsage());
   return stats;
 }
 

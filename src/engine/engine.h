@@ -62,6 +62,11 @@ struct EngineOptions {
   /// control rejects/queues registrations while operator state exceeds it.
   /// 0 = unlimited.
   std::size_t memory_budget_bytes = 0;
+  /// Budget for the disk spill tier (docs/memory.md): spill-capable
+  /// operators page state to disk until the sum of their on-disk runs
+  /// reaches this; admission control rejects/queues registrations past it.
+  /// 0 = unlimited.
+  std::size_t disk_budget_bytes = 0;
   AdmissionPolicy admission = AdmissionPolicy::kReject;
   /// Live-query quota per tenant (0 = unlimited).
   std::size_t max_queries_per_tenant = 0;
@@ -106,7 +111,8 @@ struct EngineStats {
   std::size_t graph_nodes = 0;
   std::size_t operators_created = 0;  ///< PlanManager total.
   std::size_t operators_reused = 0;   ///< PlanManager total.
-  std::size_t state_bytes = 0;        ///< Summed ApproxMemoryBytes.
+  std::size_t state_bytes = 0;        ///< Summed ApproxMemoryBytes (RAM).
+  std::size_t spilled_bytes = 0;      ///< Disk tier: summed Node spill.
 };
 
 /// An externally fed tuple source: host code pushes elements in, the graph
@@ -339,6 +345,7 @@ class Engine {
   /// ResourceExhausted the caller rejects/queues with.
   Status AdmissionCheckLocked(const std::string& tenant) const;
   std::size_t StateBytesLocked() const;
+  std::size_t SpilledBytesLocked() const;
   void SuspendExecutorLocked();
   void EnsureExecutorLocked();
   Result<std::vector<std::uint64_t>> QueryNodeIdsLocked(

@@ -131,6 +131,7 @@ Status MemoryManager::Unregister(MemoryUser& user) {
   }
   users_.erase(it);
   user.SetMemoryLimit(std::numeric_limits<std::size_t>::max());
+  user.SetDiskBudget(std::numeric_limits<std::size_t>::max());
   Redistribute();
   return Status::OK();
 }
@@ -150,6 +151,36 @@ void MemoryManager::Redistribute() {
   for (std::size_t i = 0; i < users_.size(); ++i) {
     users_[i].user->SetMemoryLimit(assignment[i]);
   }
+
+  // Disk tier: split the disk budget over the spill-capable users,
+  // proportional to their current spill footprint (demand-driven, like
+  // ProportionalStrategy) with no minima — disk is optional capacity.
+  std::vector<std::size_t> capable;
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    if (users_[i].user->SpillCapable()) capable.push_back(i);
+  }
+  if (capable.empty()) return;
+  if (disk_budget_ == std::numeric_limits<std::size_t>::max()) {
+    for (std::size_t i : capable) {
+      users_[i].user->SetDiskBudget(std::numeric_limits<std::size_t>::max());
+    }
+    return;
+  }
+  std::vector<UserInfo> disk_infos;
+  std::vector<double> weights;
+  disk_infos.reserve(capable.size());
+  for (std::size_t i : capable) {
+    disk_infos.push_back(UserInfo{
+        users_[i].user, users_[i].priority, users_[i].user->DiskUsage(), 0,
+        std::numeric_limits<std::size_t>::max()});
+    weights.push_back(
+        static_cast<double>(users_[i].user->DiskUsage()) + 1.0);
+  }
+  const std::vector<std::size_t> disk_assignment =
+      WeightedAssign(disk_budget_, disk_infos, weights);
+  for (std::size_t j = 0; j < capable.size(); ++j) {
+    users_[capable[j]].user->SetDiskBudget(disk_assignment[j]);
+  }
 }
 
 void MemoryManager::set_strategy(
@@ -163,6 +194,18 @@ std::size_t MemoryManager::TotalUsage() const {
   std::size_t total = 0;
   for (const Registration& r : users_) total += r.user->MemoryUsage();
   return total;
+}
+
+std::size_t MemoryManager::TotalDiskUsage() const {
+  std::size_t total = 0;
+  for (const Registration& r : users_) total += r.user->DiskUsage();
+  return total;
+}
+
+std::size_t MemoryManager::num_spill_capable_users() const {
+  std::size_t n = 0;
+  for (const Registration& r : users_) n += r.user->SpillCapable() ? 1 : 0;
+  return n;
 }
 
 }  // namespace pipes::memory

@@ -2,6 +2,7 @@
 #define PIPES_MEMORY_MEMORY_MANAGER_H_
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,9 +13,11 @@
 /// \file
 /// The adaptive memory manager: operators requiring memory subscribe to it;
 /// the manager globally assigns and redistributes the available budget at
-/// runtime according to an exchangeable strategy. When assignments shrink,
-/// users shed state through their own load-shedding strategy (approximate
-/// query answers under pressure — experiment E6).
+/// runtime according to an exchangeable strategy. Pressure resolves down
+/// the RAM → disk → shed ladder (docs/memory.md): alongside the RAM
+/// budget the manager arbitrates a disk budget over the spill-capable
+/// users, so shrinking assignments page state out losslessly; shedding
+/// (approximate answers — experiment E6) is the opt-in last resort.
 
 namespace pipes::memory {
 
@@ -80,7 +83,8 @@ class MemoryManager {
   Status Unregister(MemoryUser& user);
 
   /// Recomputes assignments with the current strategy and pushes them to
-  /// every user via SetMemoryLimit.
+  /// every user via SetMemoryLimit; then splits the disk budget over the
+  /// spill-capable users (usage-proportional) via SetDiskBudget.
   void Redistribute();
 
   void set_budget(std::size_t bytes) {
@@ -88,6 +92,14 @@ class MemoryManager {
     Redistribute();
   }
   std::size_t budget() const { return budget_; }
+
+  /// Total bytes of spill the manager hands out across spill-capable
+  /// users. Unlimited by default; set to bound the disk tier.
+  void set_disk_budget(std::size_t bytes) {
+    disk_budget_ = bytes;
+    Redistribute();
+  }
+  std::size_t disk_budget() const { return disk_budget_; }
 
   void set_strategy(std::unique_ptr<AssignmentStrategy> strategy);
   const AssignmentStrategy& strategy() const { return *strategy_; }
@@ -97,6 +109,12 @@ class MemoryManager {
   /// Sum of all users' current usage.
   std::size_t TotalUsage() const;
 
+  /// Sum of all users' spilled (on-disk) bytes.
+  std::size_t TotalDiskUsage() const;
+
+  /// Registered users that can page state to disk.
+  std::size_t num_spill_capable_users() const;
+
  private:
   struct Registration {
     MemoryUser* user;
@@ -104,6 +122,7 @@ class MemoryManager {
   };
 
   std::size_t budget_;
+  std::size_t disk_budget_ = std::numeric_limits<std::size_t>::max();
   std::unique_ptr<AssignmentStrategy> strategy_;
   std::vector<Registration> users_;
 };

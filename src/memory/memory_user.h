@@ -9,7 +9,11 @@
 /// Operators requiring memory (joins, aggregates, buffers) subscribe to a
 /// `MemoryManager`, which globally assigns and redistributes the available
 /// budget at runtime. When an operator's assignment shrinks below its
-/// current usage it must shed state (approximate answers) to fit.
+/// current usage it resolves the pressure down the RAM → disk → shed
+/// ladder (docs/memory.md): spill-capable operators page cold state to
+/// disk losslessly; shedding (approximate answers) is the explicit opt-in
+/// fallback for operators that cannot spill or have exhausted their disk
+/// budget.
 
 namespace pipes::memory {
 
@@ -18,13 +22,28 @@ class MemoryUser {
  public:
   virtual ~MemoryUser() = default;
 
-  /// Current state size in bytes (approximate accounting).
+  /// Current RAM state size in bytes (approximate accounting). Spilled
+  /// (on-disk) state is reported separately through `DiskUsage()`.
   virtual std::size_t MemoryUsage() const = 0;
 
-  /// New upper bound in bytes. Implementations must immediately shed state
-  /// (via their load-shedding strategy) until `MemoryUsage() <= bytes`, and
-  /// must respect the bound for future insertions.
+  /// New upper bound in bytes. Implementations must immediately bring
+  /// `MemoryUsage()` under `bytes` — by paging state to disk when they can
+  /// (`SpillCapable()`), by shedding when that is enabled — and must
+  /// respect the bound for future insertions.
   virtual void SetMemoryLimit(std::size_t bytes) = 0;
+
+  /// True when this user can page state to disk losslessly instead of
+  /// shedding. Spill-capable users participate in the manager's disk
+  /// budget arbitration.
+  virtual bool SpillCapable() const { return false; }
+
+  /// Bytes of state currently paged to disk.
+  virtual std::size_t DiskUsage() const { return 0; }
+
+  /// New upper bound on spilled bytes. When disk is exhausted the user
+  /// falls back to shedding if that is enabled, else the RAM bound goes
+  /// soft (lossless overrun) — see docs/memory.md.
+  virtual void SetDiskBudget(std::size_t /*bytes*/) {}
 
   /// Least assignment this user can operate with.
   virtual std::size_t MinMemoryBytes() const { return 1024; }

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -74,6 +75,8 @@ MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
     }
     ns.service = node->service_histogram().Snapshot();
     ns.partition_out = node->PartitionCounts();
+    ns.spilled_bytes = node->SpilledBytes();
+    ns.spilled_partitions = node->SpilledPartitions();
     if (options.profiler != nullptr) {
       const scheduler::NodeProfile profile = options.profiler->ForNode(*node);
       ns.sched_quanta = profile.quanta;
@@ -101,6 +104,14 @@ MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
     snap.memory.budget_bytes = options.memory_manager->budget();
     snap.memory.usage_bytes = options.memory_manager->TotalUsage();
     snap.memory.users = options.memory_manager->num_users();
+    // Unlimited disk encodes as 0 (no budget) in the gauges.
+    const std::size_t disk_budget = options.memory_manager->disk_budget();
+    snap.memory.disk_budget_bytes =
+        disk_budget == std::numeric_limits<std::size_t>::max() ? 0
+                                                               : disk_budget;
+    snap.memory.disk_usage_bytes = options.memory_manager->TotalDiskUsage();
+    snap.memory.spill_users =
+        options.memory_manager->num_spill_capable_users();
   }
   return snap;
 }
@@ -272,6 +283,14 @@ static std::string FinishJson(std::string out,
       }
       out += ']';
     }
+    // Spill metrics only appear once a node actually pages to disk, so
+    // pre-spill documents stay byte-identical.
+    if (n.spilled_bytes > 0 || n.spilled_partitions > 0) {
+      out += ',';
+      AppendU64(out, "spilled_bytes", n.spilled_bytes);
+      out += ',';
+      AppendU64(out, "spilled_partitions", n.spilled_partitions);
+    }
     out += '}';
   }
   out += "],\"edges\":[";
@@ -291,6 +310,16 @@ static std::string FinishJson(std::string out,
     AppendU64(out, "usage_bytes", snapshot.memory.usage_bytes);
     out += ',';
     AppendU64(out, "users", snapshot.memory.users);
+    if (snapshot.memory.disk_budget_bytes > 0 ||
+        snapshot.memory.disk_usage_bytes > 0 ||
+        snapshot.memory.spill_users > 0) {
+      out += ',';
+      AppendU64(out, "disk_budget_bytes", snapshot.memory.disk_budget_bytes);
+      out += ',';
+      AppendU64(out, "disk_usage_bytes", snapshot.memory.disk_usage_bytes);
+      out += ',';
+      AppendU64(out, "spill_users", snapshot.memory.spill_users);
+    }
     out += '}';
   }
   out += '}';
@@ -567,6 +596,10 @@ class JsonParser {
           return Status::OK();
         });
       }
+      if (key == "spilled_bytes") return ParseU64(&out->spilled_bytes);
+      if (key == "spilled_partitions") {
+        return ParseU64(&out->spilled_partitions);
+      }
       return Unexpected("unknown node key '" + key + "'");
     });
   }
@@ -584,6 +617,11 @@ class JsonParser {
       if (key == "budget_bytes") return ParseU64(&out->budget_bytes);
       if (key == "usage_bytes") return ParseU64(&out->usage_bytes);
       if (key == "users") return ParseU64(&out->users);
+      if (key == "disk_budget_bytes") {
+        return ParseU64(&out->disk_budget_bytes);
+      }
+      if (key == "disk_usage_bytes") return ParseU64(&out->disk_usage_bytes);
+      if (key == "spill_users") return ParseU64(&out->spill_users);
       return Unexpected("unknown memory key '" + key + "'");
     });
   }
@@ -644,6 +682,10 @@ std::string ToDot(const MetricsSnapshot& snapshot,
     if (n.queue_size > 0) out << "\\nqueue " << n.queue_size;
     if (n.memory_bytes > 0) {
       out << "\\nstate " << HumanCount(n.memory_bytes) << "B";
+    }
+    if (n.spilled_bytes > 0) {
+      out << "\\nspill " << HumanCount(n.spilled_bytes) << "B ("
+          << n.spilled_partitions << " runs)";
     }
     if (n.has_progress && n.watermark_lag > 0) {
       out << "\\nlag " << n.watermark_lag;

@@ -71,6 +71,15 @@ struct NodeSnapshot {
   /// dominating.
   std::vector<std::uint64_t> partition_out;
 
+  /// Bytes of state paged to the disk tier (`Node::SpilledBytes`, lossless
+  /// spill per docs/memory.md); 0 for nodes that never spill. Not included
+  /// in `memory_bytes`, which is RAM only.
+  std::uint64_t spilled_bytes = 0;
+
+  /// Number of on-disk runs (`Node::SpilledPartitions`) backing
+  /// `spilled_bytes`.
+  std::uint64_t spilled_partitions = 0;
+
   /// max / mean of `partition_out`: 1.0 is perfectly balanced, `n` means
   /// one partition carries everything. 0 when not a splitter or no output.
   double PartitionSkew() const;
@@ -86,12 +95,21 @@ struct EdgeSnapshot {
   friend bool operator==(const EdgeSnapshot&, const EdgeSnapshot&) = default;
 };
 
-/// Memory-manager gauges (absent unless a manager was passed).
+/// Memory-manager gauges (absent unless a manager was passed). The disk
+/// fields cover the spill tier (docs/memory.md): all zero — and absent
+/// from the JSON document — when no user can spill and no disk budget is
+/// set, which keeps pre-spill documents byte-identical.
 struct MemoryGauges {
   bool present = false;
   std::uint64_t budget_bytes = 0;
   std::uint64_t usage_bytes = 0;
   std::uint64_t users = 0;
+  /// Disk budget over all spill-capable users; 0 means unlimited.
+  std::uint64_t disk_budget_bytes = 0;
+  /// Sum of all users' spilled bytes.
+  std::uint64_t disk_usage_bytes = 0;
+  /// Registered users that can page state to disk.
+  std::uint64_t spill_users = 0;
 
   friend bool operator==(const MemoryGauges&, const MemoryGauges&) = default;
 };

@@ -1,0 +1,279 @@
+#ifndef PIPES_SWEEPAREA_SPILL_H_
+#define PIPES_SWEEPAREA_SPILL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "src/common/macros.h"
+#include "src/common/time.h"
+#include "src/core/columnar.h"
+#include "src/core/element.h"
+#include "src/cursors/cursor.h"
+
+/// \file
+/// External-memory tier for SweepArea state (TPIE-style pipelining): cold
+/// state is written to disk as *sequential sorted runs* — one file per run,
+/// written once front-to-back, columns stored contiguously so spill rides
+/// the same SoA representation as the executor's zero-copy path (DESIGN.md
+/// §4f/§4h). Reads are page-granular (three seeks per page, never one per
+/// item) and merge-reads across runs go through the demand-driven cursor
+/// algebra (`cursors::Cursor`), so downstream consumers cannot tell spilled
+/// state from resident state.
+///
+/// Crash safety: every spill file is unlinked immediately after creation
+/// (POSIX unlink-after-open). The data stays reachable through the open
+/// handle, and the OS reclaims the space the moment the process exits —
+/// cleanly or by crash. There is nothing to garbage-collect on restart.
+
+namespace pipes::sweeparea {
+
+/// Serialization policy for spilled payloads. The default raw-copy format
+/// requires trivially copyable payloads; specialize for payload types with
+/// external allocations (none of the built-in workloads need it).
+template <typename T>
+struct SpillTraits {
+  static constexpr bool kSpillable = std::is_trivially_copyable_v<T>;
+};
+
+/// Directory for spill files: $PIPES_SPILL_DIR, then $TMPDIR, then /tmp.
+inline std::string DefaultSpillDir() {
+  if (const char* dir = std::getenv("PIPES_SPILL_DIR")) return dir;
+  if (const char* dir = std::getenv("TMPDIR")) return dir;
+  return "/tmp";
+}
+
+/// Knobs for a spillable SweepArea.
+struct SpillOptions {
+  /// Where run files are created (and immediately unlinked).
+  std::string dir = DefaultSpillDir();
+  /// Fraction of resident elements kept (the newest ones) when cold state
+  /// is paged out; the oldest 1 - keep_fraction go to disk.
+  double keep_fraction = 0.5;
+};
+
+/// An anonymous on-disk scratch file. The path is removed right after the
+/// file is opened, so the only reference is the open handle: a crash (or
+/// plain process exit) reclaims the space with no cleanup pass.
+class SpillFile {
+ public:
+  explicit SpillFile(const std::string& dir) {
+    static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    path_ = dir + "/pipes-spill-" + std::to_string(pid) + "-" +
+            std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) +
+            ".run";
+    file_ = std::fopen(path_.c_str(), "wb+");
+    PIPES_CHECK(file_ != nullptr);
+    // Unlink-after-open: from here on the file exists only via `file_`.
+    std::remove(path_.c_str());
+  }
+
+  ~SpillFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  SpillFile(SpillFile&& other) noexcept
+      : file_(other.file_), path_(std::move(other.path_)) {
+    other.file_ = nullptr;
+  }
+  SpillFile& operator=(SpillFile&&) = delete;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  std::FILE* handle() const { return file_; }
+
+  /// The (already removed) path — useful only for asserting in tests that
+  /// the name really is gone from the filesystem.
+  const std::string& unlinked_path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// One sorted run on disk: `count` elements ordered by non-decreasing
+/// start, stored column-wise (all starts, then all ends, then all payloads)
+/// exactly like a `ColumnarRun<T>` laid flat. Written once, sequentially.
+///
+/// The run keeps enough metadata in RAM (count, min start, max end, epoch)
+/// that reorganization can drop a whole dead run without reading it.
+template <typename T>
+class SpilledRun {
+ public:
+  static_assert(SpillTraits<T>::kSpillable,
+                "payload type is not trivially copyable; specialize "
+                "pipes::sweeparea::SpillTraits to spill it");
+
+  /// Writes `run` (sorted by start) as one sequential pass. `seq` is the
+  /// monotone epoch assigned by the owning area.
+  SpilledRun(const ColumnarRun<T>& run, std::uint64_t seq,
+             const std::string& dir)
+      : file_(dir), seq_(seq), count_(run.size()) {
+    PIPES_CHECK(count_ > 0);
+    min_start_ = run.starts.front();
+    max_end_ = *std::max_element(run.ends.begin(), run.ends.end());
+    std::FILE* f = file_.handle();
+    PIPES_CHECK(std::fwrite(run.starts.data(), sizeof(Timestamp), count_, f) ==
+                count_);
+    PIPES_CHECK(std::fwrite(run.ends.data(), sizeof(Timestamp), count_, f) ==
+                count_);
+    PIPES_CHECK(std::fwrite(run.payloads.data(), sizeof(T), count_, f) ==
+                count_);
+    std::fflush(f);
+  }
+
+  std::size_t size() const { return count_; }
+  std::uint64_t seq() const { return seq_; }
+  Timestamp min_start() const { return min_start_; }
+  /// Exclusive upper bound of every element's validity: once a watermark
+  /// passes this, the whole run is dead and can be deleted unread.
+  Timestamp max_end() const { return max_end_; }
+  std::size_t bytes() const { return count_ * (2 * sizeof(Timestamp) + sizeof(T)); }
+
+  const SpillFile& file() const { return file_; }
+
+  /// Column base offsets inside the file.
+  long starts_offset() const { return 0; }
+  long ends_offset() const { return static_cast<long>(count_ * sizeof(Timestamp)); }
+  long payloads_offset() const {
+    return static_cast<long>(count_ * 2 * sizeof(Timestamp));
+  }
+
+ private:
+  SpillFile file_;
+  std::uint64_t seq_;
+  std::size_t count_;
+  Timestamp min_start_ = 0;
+  Timestamp max_end_ = 0;
+};
+
+/// Streams one run back in start order. Page-buffered: each refill does
+/// three seeks (one per column) and three bulk reads of `kPageElements`,
+/// never a per-item seek. At most one reader per run may be open at a time
+/// (readers share the run's file handle).
+template <typename T>
+class RunReader : public cursors::Cursor<StreamElement<T>> {
+ public:
+  static constexpr std::size_t kPageElements = 1024;
+
+  explicit RunReader(const SpilledRun<T>& run) : run_(&run) {}
+
+  std::optional<StreamElement<T>> Next() override {
+    if (page_pos_ >= page_.size() && !LoadPage()) return std::nullopt;
+    return page_.ElementAt(page_pos_++);
+  }
+
+ private:
+  bool LoadPage() {
+    if (next_ >= run_->size()) return false;
+    const std::size_t n = std::min(kPageElements, run_->size() - next_);
+    page_.starts.resize(n);
+    page_.ends.resize(n);
+    page_.payloads.resize(n);
+    std::FILE* f = run_->file().handle();
+    const long at = static_cast<long>(next_);
+    PIPES_CHECK(std::fseek(f, run_->starts_offset() +
+                                  at * static_cast<long>(sizeof(Timestamp)),
+                           SEEK_SET) == 0);
+    PIPES_CHECK(std::fread(page_.starts.data(), sizeof(Timestamp), n, f) == n);
+    PIPES_CHECK(std::fseek(f, run_->ends_offset() +
+                                  at * static_cast<long>(sizeof(Timestamp)),
+                           SEEK_SET) == 0);
+    PIPES_CHECK(std::fread(page_.ends.data(), sizeof(Timestamp), n, f) == n);
+    PIPES_CHECK(std::fseek(f, run_->payloads_offset() +
+                                  at * static_cast<long>(sizeof(T)),
+                           SEEK_SET) == 0);
+    PIPES_CHECK(std::fread(page_.payloads.data(), sizeof(T), n, f) == n);
+    next_ += n;
+    page_pos_ = 0;
+    return true;
+  }
+
+  const SpilledRun<T>* run_;
+  std::size_t next_ = 0;
+  ColumnarRun<T> page_;
+  std::size_t page_pos_ = 0;
+};
+
+/// An element read back from disk, tagged with the epoch of the run it
+/// came from — pending probes use the epoch to match exactly the runs that
+/// existed when they were staged.
+template <typename T>
+struct SpillScanItem {
+  StreamElement<T> element;
+  std::uint64_t run_seq = 0;
+};
+
+/// Streamed k-way merge over a set of runs: yields all spilled elements in
+/// global (start, run epoch) order through a single `Next()` interface.
+/// Each underlying run is still read strictly sequentially; the merge heap
+/// holds one element per run.
+template <typename T>
+class MergedRunCursor : public cursors::Cursor<SpillScanItem<T>> {
+ public:
+  explicit MergedRunCursor(const std::vector<const SpilledRun<T>*>& runs) {
+    readers_.reserve(runs.size());
+    for (const SpilledRun<T>* run : runs) {
+      readers_.push_back(
+          Source{std::make_unique<RunReader<T>>(*run), run->seq()});
+    }
+    for (std::size_t i = 0; i < readers_.size(); ++i) Refill(i);
+  }
+
+  std::optional<SpillScanItem<T>> Next() override {
+    if (heap_.empty()) return std::nullopt;
+    Entry top = heap_.top();
+    heap_.pop();
+    Refill(top.source);
+    return SpillScanItem<T>{std::move(top.element), top.seq};
+  }
+
+ private:
+  struct Source {
+    std::unique_ptr<RunReader<T>> reader;
+    std::uint64_t seq;
+  };
+  struct Entry {
+    Timestamp start;
+    std::uint64_t seq;
+    std::size_t source;
+    StreamElement<T> element;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.start != b.start ? a.start > b.start : a.seq > b.seq;
+    }
+  };
+
+  void Refill(std::size_t source) {
+    if (auto e = readers_[source].reader->Next()) {
+      heap_.push(Entry{e->start(), readers_[source].seq, source,
+                       std::move(*e)});
+    }
+  }
+
+  std::vector<Source> readers_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace pipes::sweeparea
+
+#endif  // PIPES_SWEEPAREA_SPILL_H_

@@ -366,6 +366,17 @@ CaseResult RunCaseOnSpec(const PlanSpec& spec,
     a.squeeze_memory = true;
     a.lossy = true;
     arms.push_back(a);
+
+    // The spill arm: the same mid-run budget squeeze, but the joins carry
+    // spillable SweepAreas, so pressure resolves to disk runs instead of
+    // shedding and the strict (multiset-exact) comparison still applies —
+    // a.lossy stays false on purpose.
+    ArmPlan s;
+    s.name = "fault-spill";
+    s.batch_size = 4;
+    s.mat.spillable_joins = true;
+    s.squeeze_memory = true;
+    arms.push_back(s);
   }
   if (FaultEnabled(options.fault_mix, "stall")) {
     ArmPlan a;

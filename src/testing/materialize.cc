@@ -35,6 +35,7 @@ using algebra::GroupedAggregate;
 using algebra::Intersect;
 using algebra::IStream;
 using algebra::MakeHashJoin;
+using algebra::MakeSpillableHashJoin;
 using algebra::MakeKeyedParallel;
 using algebra::MakeParallelHashJoin;
 using algebra::Map;
@@ -446,6 +447,14 @@ std::unique_ptr<Materialized> Materialize(
             PIPES_CHECK(user != nullptr);
             result->memory_users.push_back(user);
           }
+        } else if (options.spillable_joins) {
+          auto& op = g.Add(MakeSpillableHashJoin<Val, Val>(key, key,
+                                                           CombineFn{}, name));
+          in0->AddSubscriber(op.left());
+          in1->AddSubscriber(op.right());
+          outputs[i] = &op;
+          b.AddHandle(idx, n.kind, true, RuleFor(n.kind), &op);
+          result->memory_users.push_back(&op);
         } else {
           auto& op =
               g.Add(MakeHashJoin<Val, Val>(key, key, CombineFn{}, name));

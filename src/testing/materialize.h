@@ -66,6 +66,12 @@ struct MaterializeOptions {
   /// `Materialized::OpenGates`); -1 = none. The watermark-starvation arm.
   int gated_stream = -1;
 
+  /// Build hash joins with spillable SweepAreas (MakeSpillableHashJoin):
+  /// a mid-run budget squeeze then pages state to disk losslessly instead
+  /// of shedding, so the multiset-exact oracle still applies. The spill
+  /// fault arm (docs/memory.md).
+  bool spillable_joins = false;
+
   /// Planted bug for the self-check.
   CanaryKind canary = CanaryKind::kNone;
 };
