@@ -1,0 +1,128 @@
+// Dataflow abstract-interpretation throughput: certification cost per node.
+//
+// The certificate pass runs on every `Register` when the engine's
+// `certify_admission` gate is on, and `pipes_lint --certify` runs it over
+// whole plan corpora in CI, so the forward pass must stay linear and
+// cheap as graphs grow. The benchmark reuses bench_lint's wide-graph
+// shape (independent chains plus one replicated stage) and measures a
+// full `AnalyzeDataflow` pass; a second benchmark covers the plan path
+// with its optimizer cost-model cross-check.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/distinct.h"
+#include "src/algebra/parallel.h"
+#include "src/algebra/window.h"
+#include "src/analysis/dataflow.h"
+#include "src/analysis/fixtures.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/core/sink.h"
+#include "src/optimizer/logical_plan.h"
+#include "src/relational/expression.h"
+#include "src/relational/schema.h"
+
+namespace {
+
+using namespace pipes;  // NOLINT
+
+struct IntKey {
+  int operator()(const int& v) const { return v; }
+};
+struct AsDouble {
+  double operator()(const int& v) const { return static_cast<double>(v); }
+};
+
+/// `chains` parallel source->window->aggregate->sink chains plus one
+/// 4-replica Distinct stage, with the sources declaring finite feeds so
+/// every chain certifies bounded.
+void BuildWideGraph(QueryGraph& graph, int chains) {
+  for (int c = 0; c < chains; ++c) {
+    const std::string suffix = "-" + std::to_string(c);
+    auto& src = graph.Add<VectorSource<int>>(
+        std::vector<StreamElement<int>>{}, "src" + suffix);
+    src.metadata().SetGauge("dataflow.total_elements", 1000);
+    auto& window =
+        graph.Add<algebra::TimeWindow<int>>(100, "window" + suffix);
+    auto& agg = graph.Add<algebra::TemporalAggregate<
+        int, algebra::SumAgg<double>, AsDouble>>(AsDouble{},
+                                                 "agg" + suffix);
+    auto& sink = graph.Add<CountingSink<double>>("sink" + suffix);
+    src.AddSubscriber(window.input());
+    window.AddSubscriber(agg.input());
+    agg.AddSubscriber(sink.input());
+  }
+  auto& psrc = graph.Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "par-src");
+  psrc.metadata().SetGauge("dataflow.total_elements", 1000);
+  auto chain =
+      algebra::MakeKeyedParallel<algebra::Distinct<int>>(graph, 4, IntKey{});
+  auto& psink = graph.Add<CountingSink<int>>("par-sink");
+  psrc.AddSubscriber(*chain.input);
+  chain.output->AddSubscriber(psink.input());
+}
+
+void BM_CertifyWideGraph(benchmark::State& state) {
+  QueryGraph graph;
+  BuildWideGraph(graph, static_cast<int>(state.range(0)));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const analysis::DataflowResult result = analysis::AnalyzeDataflow(graph);
+    acc += result.certificate.ram_bytes + result.nodes.size();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(graph.size()));
+  state.counters["nodes"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_CertifyWideGraph)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_CertifyWorkloadGraphs(benchmark::State& state) {
+  const analysis::LintSubject traffic = analysis::BuildTrafficLintGraph();
+  const analysis::LintSubject nexmark = analysis::BuildNexmarkLintGraph();
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += analysis::AnalyzeDataflow(*traffic.graph).certificate.ram_bytes;
+    acc += analysis::AnalyzeDataflow(*nexmark.graph).certificate.ram_bytes;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(traffic.graph->size() +
+                                nexmark.graph->size()));
+}
+BENCHMARK(BM_CertifyWorkloadGraphs);
+
+/// Plan-level certification: lowering + forward pass + CostModel
+/// cross-check, the exact work `Engine::Register` adds per registration
+/// under `certify_admission`.
+void BM_CertifyPlan(benchmark::State& state) {
+  using namespace pipes::optimizer;
+  using namespace pipes::relational;
+  const Schema bids({{"auction", ValueType::kInt},
+                     {"bidder", ValueType::kInt},
+                     {"price", ValueType::kDouble}});
+  WindowSpec range;
+  range.kind = WindowKind::kRange;
+  range.range = 1000;
+  auto scan = ScanOp("bids", bids, range);
+  auto plan = DistinctOp(ProjectOp(
+      FilterOp(scan, MakeBinary(BinaryOp::kGt, MakeField(2, "price"),
+                                MakeLiteral(Value(10.0)))),
+      {MakeField(0, "auction")}, {"auction"}));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    auto analyzed = analysis::AnalyzeDataflowPlan(plan);
+    acc += analyzed.ok() ? analyzed->nodes.size() : 0;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CertifyPlan);
+
+}  // namespace

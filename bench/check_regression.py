@@ -71,16 +71,21 @@ def fmt_rate(rate):
 
 
 def compare(baseline_path, current_path, threshold, guard):
-    baseline = load(baseline_path)["benchmarks"]
-    current = load(current_path)["benchmarks"]
+    # .get(): a snapshot from an older/newer schema (or an empty one) is a
+    # comparison with nothing shared, never a crash.
+    baseline = load(baseline_path).get("benchmarks", {})
+    current = load(current_path).get("benchmarks", {})
     guard_re = re.compile(guard)
     failures = []
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
-            print(f"  {name}: only in baseline")
+            print(f"  {name}: only in baseline (informational)")
             continue
         if name not in baseline:
-            print(f"  {name}: only in current ({fmt_rate(current[name])})")
+            # A bench absent from the checked-in snapshot (e.g. newly
+            # added) is reported but can never fail the gate.
+            print(f"  {name}: only in current ({fmt_rate(current[name])}) "
+                  f"(informational)")
             continue
         old, new = baseline[name], current[name]
         delta = (new - old) / old if old > 0 else 0.0

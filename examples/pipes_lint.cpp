@@ -9,25 +9,42 @@
 //                                      in memory AND through an XML
 //                                      round-trip, verify both agree
 //   pipes_lint plan.xml [...]          lint stored plan documents
+//   pipes_lint --certify ...           dataflow abstract interpretation:
+//                                      print the per-edge fact table and
+//                                      the StateCertificate for each
+//                                      subject (workloads, plan files,
+//                                      --demo-plan, --fuzz-corpus N)
+//   pipes_lint --certify --fuzz-corpus 15
+//                                      certify N generated fuzz-corpus
+//                                      plans (seeded, deterministic)
 //
-// Options: --json (machine-readable output), --fail-on=error|warning|note
-// (exit 1 when a diagnostic at or above the threshold is present; default
-// error). Exit codes: 0 clean (below threshold), 1 findings or fixture
-// failure, 2 usage/input error.
+// Options: --json (machine-readable output, schema_version stamped),
+// --dot (Graphviz fact graph in certify mode), --corpus-seed N,
+// --fail-on=error|warning|note (exit 1 when a diagnostic at or above the
+// threshold is present; default error; in certify mode an unbounded or
+// non-progressing certificate counts as a warning). Exit codes: 0 clean
+// (below threshold), 1 findings or fixture failure, 2 usage/input error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/dataflow.h"
 #include "src/analysis/fixtures.h"
+#include "src/common/random.h"
 #include "src/optimizer/logical_plan.h"
 #include "src/optimizer/plan_xml.h"
 #include "src/relational/expression.h"
 #include "src/relational/schema.h"
+#include "src/testing/generate.h"
+#include "src/testing/harness.h"
+#include "src/testing/materialize.h"
 
 namespace {
 
@@ -36,9 +53,13 @@ using pipes::analysis::Severity;
 
 struct Options {
   bool json = false;
+  bool dot = false;
   bool rules = false;
   bool fixtures = false;
   bool demo_plan = false;
+  bool certify = false;
+  int fuzz_corpus = 0;
+  std::uint64_t corpus_seed = 1;
   Severity fail_on = Severity::kError;
   std::vector<std::string> workloads;
   std::vector<std::string> plan_files;
@@ -46,8 +67,9 @@ struct Options {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--fail-on=error|warning|note] "
-               "[--rules] [--fixtures] [--demo-plan] "
+               "usage: %s [--json] [--dot] [--fail-on=error|warning|note] "
+               "[--rules] [--fixtures] [--demo-plan] [--certify] "
+               "[--fuzz-corpus N] [--corpus-seed N] "
                "[--workload traffic|nexmark] [plan.xml ...]\n",
                argv0);
   return 2;
@@ -59,8 +81,10 @@ void Report(const std::string& subject,
             const std::vector<Diagnostic>& diags, const Options& options,
             Severity* worst) {
   if (options.json) {
-    std::printf("{\"subject\": \"%s\", \"diagnostics\": %s}\n",
-                subject.c_str(), pipes::analysis::ToJson(diags).c_str());
+    std::printf("{\"schema_version\": %d, \"subject\": \"%s\", "
+                "\"diagnostics\": %s}\n",
+                pipes::analysis::kLintJsonSchemaVersion, subject.c_str(),
+                pipes::analysis::ToJson(diags).c_str());
   } else if (diags.empty()) {
     std::printf("%s: clean\n", subject.c_str());
   } else {
@@ -69,6 +93,47 @@ void Report(const std::string& subject,
   }
   const Severity max = pipes::analysis::MaxSeverity(diags);
   if (!diags.empty() && max > *worst) *worst = max;
+}
+
+/// Renders one dataflow analysis (certify mode). Returns whether the
+/// certificate is healthy: bounded RAM, guaranteed progress, no cycle,
+/// and (when a cost cross-check ran) a cost-model rate within the
+/// certified bound. An unhealthy certificate counts as a warning-level
+/// finding for the --fail-on gate.
+bool CertifyReport(const std::string& subject,
+                   const pipes::analysis::DataflowResult& analyzed,
+                   const std::vector<Diagnostic>& diags,
+                   const Options& options) {
+  namespace an = pipes::analysis;
+  if (options.json) {
+    std::printf("{\"schema_version\": %d, \"subject\": \"%s\", "
+                "\"dataflow\": %s, \"diagnostics\": %s}\n",
+                an::kLintJsonSchemaVersion, subject.c_str(),
+                an::ToJson(analyzed).c_str(), an::ToJson(diags).c_str());
+  } else if (options.dot) {
+    std::printf("%s", an::ToDot(analyzed).c_str());
+  } else {
+    std::printf("=== %s ===\n%s", subject.c_str(),
+                an::ToText(analyzed).c_str());
+    if (!diags.empty()) {
+      std::printf("%s", an::ToText(diags).c_str());
+    }
+  }
+  std::vector<std::string> problems;
+  if (analyzed.has_cycle) problems.push_back("graph has a cycle");
+  if (!analyzed.certificate.ram_bounded()) {
+    problems.push_back("RAM certificate is unbounded");
+  }
+  if (!analyzed.certificate.progress_ok) {
+    problems.push_back("watermark progress is not guaranteed");
+  }
+  if (analyzed.has_cost_check && !analyzed.rate_consistent) {
+    problems.push_back("cost-model rate exceeds the certified rate bound");
+  }
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: certificate: %s\n", subject.c_str(), p.c_str());
+  }
+  return problems.empty();
 }
 
 /// A small plan with deliberate lint bait — DISTINCT over an UNBOUNDED
@@ -148,6 +213,18 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--dot") {
+      options.dot = true;
+    } else if (arg == "--certify") {
+      options.certify = true;
+    } else if (arg == "--fuzz-corpus") {
+      if (++i == argc) return Usage(argv[0]);
+      options.fuzz_corpus = std::atoi(argv[i]);
+      if (options.fuzz_corpus <= 0) return Usage(argv[0]);
+    } else if (arg == "--corpus-seed") {
+      if (++i == argc) return Usage(argv[0]);
+      options.corpus_seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[i], nullptr, 10));
     } else if (arg == "--rules") {
       options.rules = true;
     } else if (arg == "--fixtures") {
@@ -170,7 +247,12 @@ int main(int argc, char** argv) {
     }
   }
   if (!options.rules && !options.fixtures && !options.demo_plan &&
-      options.workloads.empty() && options.plan_files.empty()) {
+      options.workloads.empty() && options.plan_files.empty() &&
+      options.fuzz_corpus == 0) {
+    return Usage(argv[0]);
+  }
+  // --fuzz-corpus and --dot only make sense in certify mode.
+  if ((options.fuzz_corpus > 0 || options.dot) && !options.certify) {
     return Usage(argv[0]);
   }
 
@@ -195,6 +277,13 @@ int main(int argc, char** argv) {
       any_findings = true;
     }
   };
+  // Certify-mode health gate: an unhealthy certificate is a warning-level
+  // finding even when no diagnostic rule fired.
+  const auto cert_gate = [&](bool healthy) {
+    if (!healthy && Severity::kWarning >= options.fail_on) {
+      any_findings = true;
+    }
+  };
 
   for (const std::string& workload : options.workloads) {
     pipes::analysis::LintSubject subject;
@@ -207,13 +296,35 @@ int main(int argc, char** argv) {
       return 2;
     }
     const auto diags = subject.LintAll();
-    Report("workload:" + workload, diags, options, &worst);
+    if (options.certify) {
+      const auto analyzed = pipes::analysis::AnalyzeDataflow(*subject.graph);
+      cert_gate(
+          CertifyReport("workload:" + workload, analyzed, diags, options));
+    } else {
+      Report("workload:" + workload, diags, options, &worst);
+    }
     gate(diags);
   }
 
   if (options.demo_plan) {
-    const int rc = RunDemoPlan(options, &worst, gate);
-    if (rc != 0) return rc;
+    if (options.certify) {
+      const auto plan = DemoPlan();
+      auto analyzed = pipes::analysis::AnalyzeDataflowPlan(plan);
+      auto diags = pipes::analysis::LintPlan(plan);
+      if (!analyzed.ok() || !diags.ok()) {
+        std::fprintf(stderr, "demo-plan: %s\n",
+                     (!analyzed.ok() ? analyzed.status() : diags.status())
+                         .ToString()
+                         .c_str());
+        return 2;
+      }
+      cert_gate(
+          CertifyReport("demo-plan", analyzed.value(), diags.value(), options));
+      gate(diags.value());
+    } else {
+      const int rc = RunDemoPlan(options, &worst, gate);
+      if (rc != 0) return rc;
+    }
   }
 
   for (const std::string& file : options.plan_files) {
@@ -230,8 +341,53 @@ int main(int argc, char** argv) {
                    diags.status().ToString().c_str());
       return 2;
     }
-    Report(file, diags.value(), options, &worst);
+    if (options.certify) {
+      auto plan = pipes::optimizer::FromXml(xml.str());
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     plan.status().ToString().c_str());
+        return 2;
+      }
+      auto analyzed = pipes::analysis::AnalyzeDataflowPlan(plan.value());
+      if (!analyzed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     analyzed.status().ToString().c_str());
+        return 2;
+      }
+      cert_gate(CertifyReport(file, analyzed.value(), diags.value(), options));
+    } else {
+      Report(file, diags.value(), options, &worst);
+    }
     gate(diags.value());
+  }
+
+  // Certify a deterministic slice of the fuzz corpus: the same generator
+  // and seed schedule the fuzz harness uses, materialized with pristine
+  // options (no faults, no canaries). Gated on the dataflow rules plus
+  // certificate health only — generated plans may legitimately trip
+  // structural lint rules (e.g. distinct-over-unbounded bait).
+  for (int i = 0; i < options.fuzz_corpus; ++i) {
+    pipes::Random rng(pipes::testing::CaseSeed(options.corpus_seed,
+                                               static_cast<std::uint64_t>(i)));
+    const pipes::testing::GeneratedCase gc =
+        pipes::testing::GenerateCase(rng);
+    std::vector<pipes::testing::Stream> raw;
+    raw.reserve(gc.profiles.size());
+    for (const auto& profile : gc.profiles) {
+      raw.push_back(pipes::testing::GenerateStream(rng, profile));
+    }
+    const auto m = pipes::testing::Materialize(gc.spec, raw, gc.profiles);
+    if (!m->build_failures.empty()) {
+      std::fprintf(stderr, "fuzz-corpus[%d]: materialization failed\n", i);
+      return 2;
+    }
+    const auto analyzed = pipes::analysis::AnalyzeDataflow(m->graph);
+    const auto diags = pipes::analysis::DataflowDiagnostics(m->graph);
+    char subject[64];
+    std::snprintf(subject, sizeof(subject), "fuzz-corpus[%d](seed=%llu)", i,
+                  static_cast<unsigned long long>(options.corpus_seed));
+    cert_gate(CertifyReport(subject, analyzed, diags, options));
+    gate(diags);
   }
 
   if (any_findings) exit_code = std::max(exit_code, 1);

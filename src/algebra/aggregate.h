@@ -128,6 +128,12 @@ class TemporalAggregate : public UnaryPipe<In, typename Agg::Output> {
     d.op = "aggregate";
     d.blocking = true;
     d.has_columnar_kernel = true;
+    // Each input element opens at most two sweep-line boundaries, each a
+    // potential output segment; one trailing gap boundary may linger.
+    d.dataflow.output_factor = 2.0;
+    d.dataflow.state_bytes_per_element =
+        2 * (sizeof(typename Agg::State) + 48);
+    d.dataflow.state_bytes_fixed = sizeof(typename Agg::State) + 48;
     return d;
   }
 
@@ -207,6 +213,11 @@ class GroupedAggregate
     d.blocking = true;
     d.key_partitionable = true;
     d.has_columnar_kernel = true;
+    // Per input element: at most one new group entry plus two sweep-line
+    // boundaries in that group's aggregator (see ApproxMemoryBytes).
+    d.dataflow.output_factor = 2.0;
+    d.dataflow.state_bytes_per_element =
+        (sizeof(Key) + 64) + 2 * (sizeof(typename Agg::State) + 48);
     return d;
   }
 

@@ -34,6 +34,9 @@ class Coalesce : public UnaryPipe<T, T> {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "coalesce";
     d.has_batch_kernel = true;
+    // Merging abutting equal-payload intervals can extend validity without
+    // static bound.
+    d.dataflow.extends_validity = true;
     return d;
   }
 

@@ -35,6 +35,11 @@ class Difference : public BinaryPipe<T, T, T> {
     NodeDescriptor d = BinaryPipe<T, T, T>::Describe();
     d.op = "difference";
     d.blocking = true;
+    // Each input element adds at most one payload entry, two delta-map
+    // boundaries, and (eventually) one staged surplus segment per boundary.
+    d.dataflow.output_factor = 2.0;
+    d.dataflow.state_bytes_per_element =
+        (sizeof(T) + 64) + 2 * 64 + (sizeof(StreamElement<T>) + 48);
     return d;
   }
 

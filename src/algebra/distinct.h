@@ -37,6 +37,14 @@ class Distinct : public UnaryPipe<T, T> {
     d.op = "distinct";
     d.blocking = true;
     d.key_partitionable = true;
+    // Per input element: at most one map entry, one coalesced interval,
+    // and one staged output copy.
+    d.dataflow.state_bytes_per_element =
+        (sizeof(T) + 64) + sizeof(TimeInterval) +
+        (sizeof(StreamElement<T>) + 48);
+    // Coalescing abutting intervals can extend validity past any single
+    // input element's.
+    d.dataflow.extends_validity = true;
     return d;
   }
 

@@ -32,6 +32,12 @@ class Intersect : public BinaryPipe<T, T, T> {
     NodeDescriptor d = BinaryPipe<T, T, T>::Describe();
     d.op = "intersect";
     d.blocking = true;
+    // Same boundary-sweep state shape as Difference; output segments have
+    // both multiplicities positive, so validity intersects the inputs'.
+    d.dataflow.output_factor = 2.0;
+    d.dataflow.intersects_validity = true;
+    d.dataflow.state_bytes_per_element =
+        (sizeof(T) + 64) + 2 * 64 + (sizeof(StreamElement<T>) + 48);
     return d;
   }
 

@@ -145,6 +145,13 @@ class TemporalJoin : public BinaryPipe<L, R, Out>, public memory::MemoryUser {
     d.has_columnar_kernel = true;
     d.spill_capable = kSpillable;
     d.shedding_enabled = shed_policy_ != ShedPolicy::kNone;
+    d.dataflow.output_per_pair = true;
+    d.dataflow.intersects_validity = true;
+    // Each input element is inserted into its own SweepArea once and (on
+    // the spill path) may additionally be staged as a deferred probe.
+    d.dataflow.state_bytes_per_element =
+        2 * (std::max(sizeof(L), sizeof(R)) +
+             sweeparea::kPerElementOverheadBytes);
     return d;
   }
 

@@ -31,6 +31,7 @@ class IStream : public UnaryPipe<T, T> {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "istream";
     d.bounds_validity = true;
+    d.dataflow.validity_extent = 1;
     return d;
   }
 
@@ -57,6 +58,9 @@ class DStream : public UnaryPipe<T, T> {
     // watermark passes them, and unbounded inputs produce nothing at all.
     d.blocking = true;
     d.bounds_validity = true;
+    d.dataflow.validity_extent = 1;
+    // One staged point per bounded input element.
+    d.dataflow.state_bytes_per_element = sizeof(StreamElement<T>) + 48;
     return d;
   }
 

@@ -51,6 +51,12 @@ class ReorderingSource : public Source<T> {
     d.kind = NodeDescriptor::Kind::kSource;
     d.op = "reordering-source";
     d.emits_heartbeats = true;
+    // Emitted starts are ordered; the heartbeat trails max_seen_ by the
+    // slack, so downstream retention grows by the same amount. Raw-feed
+    // disorder beyond the slack is declared per-instance via the
+    // "dataflow.feed_disorder" gauge (lint P023).
+    d.dataflow.reorder_slack = slack_;
+    d.dataflow.watermark_lag = slack_;
     d.notes.push_back(
         "reordering source drops elements arriving later than the slack "
         "bound; results may silently drop data");

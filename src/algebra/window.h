@@ -50,6 +50,7 @@ class TimeWindow : public UnaryPipe<T, T> {
     d.has_batch_kernel = true;
     d.has_columnar_kernel = true;
     d.bounds_validity = true;
+    d.dataflow.validity_extent = size_;
     return d;
   }
 
@@ -116,6 +117,8 @@ class SlideWindow : public UnaryPipe<T, T> {
     d.has_batch_kernel = true;
     d.has_columnar_kernel = true;
     d.bounds_validity = true;
+    // AlignUp(t + size) - AlignUp(t) < size + slide.
+    d.dataflow.validity_extent = size_ + slide_;
     return d;
   }
 
@@ -239,7 +242,12 @@ class CountWindow : public UnaryPipe<T, T> {
   NodeDescriptor Describe() const override {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "count-window";
+    // Re-stamps validity, but an element's expiry is the start of its n-th
+    // successor — no static time bound (and the last n live forever), so
+    // dataflow.validity_extent stays at the unknown sentinel.
     d.bounds_validity = true;
+    d.dataflow.state_bytes_fixed =
+        (rows_ + 1) * (sizeof(StreamElement<T>) + 48);
     return d;
   }
 
@@ -298,8 +306,12 @@ class PartitionedWindow : public UnaryPipe<T, T> {
   NodeDescriptor Describe() const override {
     NodeDescriptor d = UnaryPipe<T, T>::Describe();
     d.op = "partitioned-window";
+    // Same unknown-extent caveat as count-window, per partition.
     d.bounds_validity = true;
     d.key_partitionable = true;
+    // One retained copy in its partition deque plus one staged copy.
+    d.dataflow.state_bytes_per_element =
+        2 * (sizeof(StreamElement<T>) + 48);
     return d;
   }
 

@@ -1,6 +1,8 @@
 #include "src/analysis/analyzer.h"
 
 #include <algorithm>
+
+#include "src/analysis/dataflow.h"
 #include <cstdio>
 #include <deque>
 #include <map>
@@ -136,11 +138,19 @@ class Linter {
     diags_.push_back(std::move(d));
   }
 
+  /// Adopts an externally built diagnostic (the dataflow rules).
+  void Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
   std::vector<Diagnostic> Take() {
+    // Sort key == the Diagnostic equality tuple (operator==), so equal
+    // diagnostic sets always order identically — the plan-XML parity
+    // contract compares whole sorted vectors.
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) {
-                return std::tie(a.rule_id, a.node, a.path, a.message) <
-                       std::tie(b.rule_id, b.node, b.path, b.message);
+                return std::tie(a.rule_id, a.severity, a.node, a.path,
+                                a.message, a.fixit) <
+                       std::tie(b.rule_id, b.severity, b.node, b.path,
+                                b.message, b.fixit);
               });
     return std::move(diags_);
   }
@@ -668,6 +678,21 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"P020", Severity::kWarning,
        "load shedding enabled on a spill-capable operator (recall traded "
        "away where a lossless disk tier exists)"},
+      {"P021", Severity::kWarning,
+       "blocking state with no static bound and no spill tier (grows until "
+       "shedding or death)"},
+      {"P022", Severity::kWarning,
+       "provable watermark starvation: a blocking operator's only input "
+       "never advances (state never purges, results withheld)"},
+      {"P023", Severity::kWarning,
+       "declared feed disorder exceeds the reordering slack (late elements "
+       "silently dropped)"},
+      {"P024", Severity::kWarning,
+       "partition underprovisioned for the certified input rate (replicas "
+       "cannot keep up)"},
+      {"P025", Severity::kWarning,
+       "state certificate exceeds the declared memory budget (admission "
+       "would be rejected)"},
   };
   return kCatalog;
 }
@@ -688,6 +713,9 @@ std::vector<Diagnostic> Lint(const QueryGraph& graph) {
   CheckOrphanedTenantOutputs(m, lint);
   CheckSheddingWithSpillTier(m, lint);
   CheckMetadataAnnotations(m, lint);
+  for (Diagnostic& d : DataflowDiagnostics(graph)) {  // P021-P025
+    lint.Add(std::move(d));
+  }
   return lint.Take();
 }
 

@@ -396,6 +396,85 @@ LintSubject BuildSheddingSpillableJoin() {  // P020
   return s;
 }
 
+LintSubject BuildUnboundedStateNoSpill() {  // P021
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  // The backing vector is a stand-in: declare the feed unbounded (no total,
+  // no rate), as a live network tap would be.
+  src.metadata().SetGauge("dataflow.total_elements", -1);
+  auto& distinct = s.graph->Add<algebra::Distinct<int>>("leaky-distinct");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(distinct.input());
+  distinct.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildWatermarkStarvedBlocking() {  // P022
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& silent = s.graph->Add<SilentSource>("silent");
+  auto& distinct = s.graph->Add<algebra::Distinct<int>>("starved-distinct");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  silent.AddSubscriber(distinct.input());
+  distinct.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildDisorderExceedsSlack() {  // P023
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "jittery-src");
+  // The feed arrives up to 50 units late, with no reordering stage (slack
+  // 0) in front of it: elements later than the slack would be dropped.
+  src.metadata().SetGauge("dataflow.feed_disorder", 50);
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(sink.input());
+  return s;
+}
+
+LintSubject BuildPartitionUnderprovisioned() {  // P024
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  src.metadata().SetGauge("dataflow.rate_per_unit", 100.0);
+  auto& split = s.graph->Add<Partition<int, Identity>>(2, Identity{},
+                                                       "partition");
+  auto& merge = s.graph->Add<Merge<int>>(2, "merge");
+  auto& sink = s.graph->Add<CountingSink<int>>("sink");
+  src.AddSubscriber(split.input());
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& buf = s.graph->Add<BasicBuffer<int>>("buf-" + std::to_string(i));
+    split.AddSubscriber(i, buf.input());
+    buf.AddSubscriber(merge.input(i));
+  }
+  merge.AddSubscriber(sink.input());
+  // Each replica keeps up with 10 elements/unit; 2 x 10 < the certified
+  // input rate of 100/unit.
+  split.metadata().SetGauge("dataflow.capacity_per_unit", 10.0);
+  return s;
+}
+
+LintSubject BuildBudgetExceeded() {  // P025
+  LintSubject s;
+  s.graph = NewGraph();
+  auto& src = s.graph->Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& agg = s.graph->Add<
+      algebra::TemporalAggregate<int, algebra::MaxAgg<double>, AsDouble>>(
+      AsDouble{}, "agg");
+  auto& sink = s.graph->Add<CountingSink<double>>("sink");
+  src.AddSubscriber(agg.input());
+  agg.AddSubscriber(sink.input());
+  // The aggregate's constant sweep-line overhead alone exceeds a declared
+  // 16-byte budget — the admission gate would reject this plan.
+  src.metadata().SetGauge("dataflow.ram_budget_bytes", 16.0);
+  return s;
+}
+
 LintSubject BuildAssignmentShape() {  // P017
   LintSubject s;
   s.graph = NewGraph();
@@ -417,10 +496,14 @@ std::vector<Diagnostic> LintSubject::LintAll() const {
         LintAssignment(*graph, assignment, num_workers);
     diags.insert(diags.end(), extra.begin(), extra.end());
   }
+  // Same key as Linter::Take() and Diagnostic equality: merged graph+
+  // assignment diagnostics order exactly as a single lint pass would.
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.rule_id, a.node, a.path, a.message) <
-                     std::tie(b.rule_id, b.node, b.path, b.message);
+              return std::tie(a.rule_id, a.severity, a.node, a.path,
+                              a.message, a.fixit) <
+                     std::tie(b.rule_id, b.severity, b.node, b.path,
+                              b.message, b.fixit);
             });
   return diags;
 }
@@ -466,6 +549,16 @@ const std::vector<LintFixture>& BrokenGraphFixtures() {
        BuildOrphanedTenantOutput},
       {"shed-with-spill", "P020", Severity::kWarning, "spilly-join", "",
        BuildSheddingSpillableJoin},
+      {"unbounded-state-no-spill", "P021", Severity::kWarning,
+       "leaky-distinct", "", BuildUnboundedStateNoSpill},
+      {"watermark-starved-blocking", "P022", Severity::kWarning,
+       "starved-distinct", "", BuildWatermarkStarvedBlocking},
+      {"disorder-exceeds-slack", "P023", Severity::kWarning, "jittery-src",
+       "", BuildDisorderExceedsSlack},
+      {"partition-underprovisioned", "P024", Severity::kWarning, "partition",
+       "", BuildPartitionUnderprovisioned},
+      {"budget-exceeded", "P025", Severity::kWarning, "src", "",
+       BuildBudgetExceeded},
   };
   return kFixtures;
 }

@@ -71,6 +71,8 @@ class BasicBuffer : public UnaryPipe<T, T> {
     d.op = "buffer";
     d.has_batch_kernel = true;
     d.has_columnar_kernel = true;
+    // Queue occupancy depends on scheduling, not on watermark progress.
+    d.dataflow.transient_state = true;
     if (capacity_ > 0) {
       d.notes.push_back(
           "bounded buffer sheds oldest elements under overload (capacity " +

@@ -2,6 +2,8 @@
 #define PIPES_CORE_DESCRIPTOR_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -107,6 +109,79 @@ struct NodeDescriptor {
   /// Non-empty when the node was built through a deprecated API; the text
   /// is the migration hint.
   std::string deprecated;
+
+  // --- Dataflow transfer functions (src/analysis/dataflow.h) ----------------
+  // Conservative per-node annotations the abstract interpreter composes into
+  // per-edge facts (cardinality, rate, validity extent, disorder, progress)
+  // and the per-plan StateCertificate. Every numeric field is an upper
+  // bound; the sentinels below mean "unknown / unbounded". Sources declare
+  // feed contracts; operators declare output and state transfer functions.
+  // Metadata gauges named "dataflow.<field>" override the corresponding
+  // declaration on a per-instance basis (used by plan lowering and the fuzz
+  // materializer, which know things the operator type cannot).
+  struct Dataflow {
+    /// Count sentinel: total element count is unknown or unbounded.
+    static constexpr std::uint64_t kUnknownCount =
+        std::numeric_limits<std::uint64_t>::max();
+    /// Time sentinel: validity extent / disorder is unknown or unbounded.
+    static constexpr std::int64_t kUnknownTime =
+        std::numeric_limits<std::int64_t>::max();
+
+    /// Sources: total elements this source will ever emit (kUnknownCount =
+    /// unbounded feed). Finite backing stores (VectorSource) declare their
+    /// size.
+    std::uint64_t total_elements = kUnknownCount;
+    /// Sources: declared peak feed rate in elements per time unit of the
+    /// graph's timestamp domain (0 = undeclared). A contract, not a
+    /// measurement: the analysis is sound relative to it.
+    double rate_per_unit = 0.0;
+    /// Sources: max backward displacement of the raw feed relative to its
+    /// own running max start, in time units (0 = in-order feed).
+    std::int64_t feed_disorder = 0;
+    /// Reordering sources: slack absorbed before elements are dropped
+    /// (-1 = not a reordering stage). Compared against feed_disorder by the
+    /// disorder-exceeds-slack rule.
+    std::int64_t reorder_slack = -1;
+    /// Emitted watermarks may trail the max emitted start by this many time
+    /// units (a reordering source's slack); downstream state retention
+    /// grows by the same amount.
+    std::int64_t watermark_lag = 0;
+
+    /// Operators: max output elements per input element (filter <= 1,
+    /// aggregates <= 2 sweep-line segments per input boundary, ...).
+    double output_factor = 1.0;
+    /// Additive output allowance independent of input count.
+    std::uint64_t output_fixed = 0;
+    /// Binary joins: output cardinality is bounded by |left| * |right|
+    /// pairs (times output_factor) instead of per-input composition.
+    bool output_per_pair = false;
+    /// Nodes with bounds_validity set: max (end - start) of any output
+    /// element in time units (kUnknownTime = the node re-stamps validity
+    /// but with no static bound, e.g. count windows before end-of-stream).
+    /// Joins intersect validities instead: see intersects_validity.
+    std::int64_t validity_extent = kUnknownTime;
+    /// Output validity is the intersection of the inputs' (temporal joins):
+    /// the output extent is bounded by the *minimum* input extent.
+    bool intersects_validity = false;
+    /// Output validity may exceed any single input element's (coalescing
+    /// merges abutting intervals): the output extent is statically
+    /// unbounded even when the input's is known.
+    bool extends_validity = false;
+
+    /// Watermark-purged state: peak bytes retained per cumulative input
+    /// element, covering the node's own accounting (`ApproxMemoryBytes` +
+    /// `SpilledBytes`). 0 on a blocking node means unknown, i.e. an
+    /// unbounded state bound.
+    std::size_t state_bytes_per_element = 0;
+    /// Constant state overhead independent of input count (e.g. a count
+    /// window's bounded pending queue).
+    std::size_t state_bytes_fixed = 0;
+    /// The node's state is scheduler-transient queue occupancy (buffers,
+    /// merge staging), not watermark-purged operator state: excluded from
+    /// the StateCertificate, which bounds the latter (docs/lint.md).
+    bool transient_state = false;
+  };
+  Dataflow dataflow;
 };
 
 /// Readable name of a descriptor kind ("source", "buffer", ...).

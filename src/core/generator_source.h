@@ -50,6 +50,18 @@ class GeneratorSource : public Source<T> {
   bool HasWork() const override { return !exhausted_; }
   bool IsFinished() const override { return exhausted_; }
 
+  /// Declared dataflow feed contract (src/analysis/dataflow.h): total
+  /// element count, peak rate in elements per time unit, and max output
+  /// validity extent. The static analysis is sound *relative to* these
+  /// declarations; workload adapters set them from generator parameters.
+  void DeclareTotalElements(std::uint64_t total) {
+    declared_.total_elements = total;
+  }
+  void DeclareRatePerUnit(double rate) { declared_.rate_per_unit = rate; }
+  void DeclareValidityExtent(Timestamp extent) {
+    declared_.validity_extent = extent;
+  }
+
   NodeDescriptor Describe() const override {
     NodeDescriptor d;
     d.kind = NodeDescriptor::Kind::kSource;
@@ -57,6 +69,7 @@ class GeneratorSource : public Source<T> {
     d.has_batch_kernel = batch_size_ > 1;
     // Monotone element starts advance downstream watermarks implicitly.
     d.emits_heartbeats = true;
+    d.dataflow = declared_;
     return d;
   }
 
@@ -111,6 +124,7 @@ class GeneratorSource : public Source<T> {
  private:
   std::size_t batch_size_;
   ColumnarRun<T> run_;
+  NodeDescriptor::Dataflow declared_;
   bool exhausted_ = false;
 };
 
@@ -127,6 +141,17 @@ class VectorSource : public GeneratorSource<T> {
       PIPES_CHECK_MSG(elements_[i - 1].start() <= elements_[i].start(),
                       "VectorSource input must be ordered by start");
     }
+    // The backing store is materialized, so the feed contract is exact.
+    this->DeclareTotalElements(elements_.size());
+    Timestamp extent = 0;
+    for (const StreamElement<T>& e : elements_) {
+      if (e.end() == kMaxTimestamp) {
+        extent = NodeDescriptor::Dataflow::kUnknownTime;
+        break;
+      }
+      extent = std::max(extent, e.end() - e.start());
+    }
+    this->DeclareValidityExtent(extent);
   }
 
   /// Convenience: wraps payloads as point elements at consecutive integer

@@ -273,6 +273,9 @@ class Merge : public Source<T>, public PortOwner<T> {
     d.has_batch_kernel = true;
     d.has_columnar_kernel = true;
     d.fan_in = ports_.size();
+    // Order-restoring staging: occupancy tracks replica scheduling skew,
+    // not watermark progress.
+    d.dataflow.transient_state = true;
     return d;
   }
 

@@ -214,7 +214,19 @@ Status StreamWriter::Close() {
 
 // --- Registration -----------------------------------------------------------
 
-Status Engine::AdmissionCheckLocked(const std::string& tenant) const {
+namespace {
+
+std::string CertifiedBytes(std::uint64_t bytes) {
+  return bytes == analysis::NodeStateBound::kUnknownBytes
+             ? std::string("unbounded")
+             : std::to_string(bytes);
+}
+
+}  // namespace
+
+Status Engine::AdmissionCheckLocked(
+    const std::string& tenant,
+    const analysis::StateCertificate* certificate) const {
   std::uint64_t live_total = 0;
   for (const auto& [unused, counters] : tenants_) live_total += counters.live;
   if (options_.max_total_queries > 0 &&
@@ -249,6 +261,41 @@ Status Engine::AdmissionCheckLocked(const std::string& tenant) const {
           " bytes spilled)");
     }
   }
+  if (certificate != nullptr) {
+    // The static gate: the plan's certified peak state must fit into the
+    // budget headroom left by everything already running. Unbounded
+    // certificates never fit a finite budget.
+    if (options_.memory_budget_bytes > 0) {
+      const std::size_t used =
+          std::max(StateBytesLocked(), memory_.TotalUsage());
+      const std::uint64_t headroom = options_.memory_budget_bytes - used;
+      if (!certificate->ram_bounded() ||
+          certificate->ram_bytes > headroom) {
+        return Status::ResourceExhausted(
+            "state certificate exceeds remaining memory budget: certified "
+            "ram=" +
+            CertifiedBytes(certificate->ram_bytes) +
+            " disk=" + CertifiedBytes(certificate->disk_bytes) + " bytes, " +
+            std::to_string(headroom) + " of " +
+            std::to_string(options_.memory_budget_bytes) + " bytes free");
+      }
+    }
+    if (options_.disk_budget_bytes > 0) {
+      const std::size_t spilled =
+          std::max(SpilledBytesLocked(), memory_.TotalDiskUsage());
+      const std::uint64_t headroom = options_.disk_budget_bytes - spilled;
+      if (!certificate->disk_bounded() ||
+          certificate->disk_bytes > headroom) {
+        return Status::ResourceExhausted(
+            "state certificate exceeds remaining disk budget: certified "
+            "ram=" +
+            CertifiedBytes(certificate->ram_bytes) +
+            " disk=" + CertifiedBytes(certificate->disk_bytes) + " bytes, " +
+            std::to_string(headroom) + " of " +
+            std::to_string(options_.disk_budget_bytes) + " bytes free");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -258,6 +305,28 @@ Status Engine::AdmitLocked(std::uint64_t query_id, QueryRecord& record) {
                          plan_manager_.InstallPlan(record.plan));
   auto& sink = graph_.Add<ResultSink>("q" + std::to_string(query_id) +
                                       "-results");
+  if (record.has_certificate) {
+    // Stamp the static certificate on the query's own sink so it rides
+    // along in QuerySnapshot (the snapshot capture lifts "dataflow."
+    // gauges into NodeSnapshot::gauges). -1 encodes unbounded.
+    const auto bytes_gauge = [](std::uint64_t v) {
+      return v == analysis::NodeStateBound::kUnknownBytes
+                 ? -1.0
+                 : static_cast<double>(v);
+    };
+    sink.metadata().SetGauge("dataflow.cert_ram_bytes",
+                             bytes_gauge(record.certificate.ram_bytes));
+    sink.metadata().SetGauge("dataflow.cert_disk_bytes",
+                             bytes_gauge(record.certificate.disk_bytes));
+    sink.metadata().SetGauge("dataflow.cert_progress_ok",
+                             record.certificate.progress_ok ? 1.0 : 0.0);
+    sink.metadata().SetGauge(
+        "dataflow.cert_disorder_bound",
+        record.certificate.disorder_bound ==
+                NodeDescriptor::Dataflow::kUnknownTime
+            ? -1.0
+            : static_cast<double>(record.certificate.disorder_bound));
+  }
   installed.output->AddSubscriber(sink.input());
   installed.output->metadata().SetGauge(OutputGaugeName(record.tenant),
                                         static_cast<double>(query_id));
@@ -275,7 +344,20 @@ Status Engine::AdmitLocked(std::uint64_t query_id, QueryRecord& record) {
 
 Result<QueryHandle> Engine::RegisterPlanLocked(
     const optimizer::LogicalPlan& plan, const RegisterOptions& options) {
-  const Status admission = AdmissionCheckLocked(options.tenant);
+  analysis::StateCertificate certificate;
+  bool has_certificate = false;
+  if (options_.certify_admission) {
+    // The abstract interpretation runs over a scratch materialization of
+    // the plan (the engine graph is untouched), seeded from the catalog's
+    // per-stream rate hints.
+    Result<analysis::DataflowResult> analyzed =
+        analysis::AnalyzeDataflowPlan(plan, &catalog_);
+    if (!analyzed.ok()) return analyzed.status();
+    certificate = analyzed->certificate;
+    has_certificate = true;
+  }
+  const Status admission = AdmissionCheckLocked(
+      options.tenant, has_certificate ? &certificate : nullptr);
   if (!admission.ok()) {
     if (options_.admission == AdmissionPolicy::kReject) {
       ++rejected_count_;
@@ -288,6 +370,8 @@ Result<QueryHandle> Engine::RegisterPlanLocked(
     record.state = QueryState::kQueued;
     record.plan = plan;
     record.schema = plan->schema;
+    record.certificate = certificate;
+    record.has_certificate = has_certificate;
     pending_.push_back(id);
     ++tenants_[options.tenant].queued;
     return QueryHandle(this, id, options.tenant, plan->schema);
@@ -296,6 +380,8 @@ Result<QueryHandle> Engine::RegisterPlanLocked(
   QueryRecord record;
   record.tenant = options.tenant;
   record.plan = plan;
+  record.certificate = certificate;
+  record.has_certificate = has_certificate;
   const Status status = AdmitLocked(id, record);
   if (!status.ok()) return status;
   queries_[id] = std::move(record);
@@ -443,7 +529,12 @@ void Engine::AdmitPendingLocked() {
     auto it = queries_.find(id);
     PIPES_CHECK(it != queries_.end());
     QueryRecord& record = it->second;
-    if (!AdmissionCheckLocked(record.tenant).ok()) return;
+    if (!AdmissionCheckLocked(record.tenant, record.has_certificate
+                                                 ? &record.certificate
+                                                 : nullptr)
+             .ok()) {
+      return;
+    }
     pending_.erase(pending_.begin());
     --tenants_[record.tenant].queued;
     const Status status = AdmitLocked(id, record);

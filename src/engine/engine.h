@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/dataflow.h"
 #include "src/common/status.h"
 #include "src/core/graph.h"
 #include "src/core/sink.h"
@@ -68,6 +69,15 @@ struct EngineOptions {
   /// 0 = unlimited.
   std::size_t disk_budget_bytes = 0;
   AdmissionPolicy admission = AdmissionPolicy::kReject;
+  /// Static admission gate: run the dataflow abstract interpretation over
+  /// every plan registration (`analysis::AnalyzeDataflowPlan`) and
+  /// reject/queue it when the certified peak state exceeds what remains of
+  /// the RAM/disk budgets — before a single element flows. The certificate
+  /// is stamped on the query's result sink as `dataflow.cert_*` gauges
+  /// (visible in `QuerySnapshot`) and quoted in the ResourceExhausted
+  /// message. Runtime admission (observed usage) applies either way.
+  /// Pipeline registrations are never certified (no plan to analyze).
+  bool certify_admission = false;
   /// Live-query quota per tenant (0 = unlimited).
   std::size_t max_queries_per_tenant = 0;
   /// Live-query quota across all tenants (0 = unlimited).
@@ -333,6 +343,10 @@ class Engine {
     std::vector<std::uint64_t> node_ids;    ///< Pipeline queries only.
     PipelineTeardown teardown;              ///< Pipeline queries only.
     std::uint64_t results_delivered = 0;    ///< Final count after teardown.
+    /// Static state certificate, valid iff `has_certificate` (plan
+    /// registrations under `EngineOptions::certify_admission`).
+    analysis::StateCertificate certificate;
+    bool has_certificate = false;
   };
 
   // All private helpers below assume mu_ is held.
@@ -342,8 +356,12 @@ class Engine {
   Status CancelLocked(std::uint64_t query_id);
   void AdmitPendingLocked();
   /// Quota/budget verdict for one more query of `tenant`. OK, or the
-  /// ResourceExhausted the caller rejects/queues with.
-  Status AdmissionCheckLocked(const std::string& tenant) const;
+  /// ResourceExhausted the caller rejects/queues with. A non-null
+  /// `certificate` is additionally checked against the budget headroom
+  /// (the static gate of `EngineOptions::certify_admission`).
+  Status AdmissionCheckLocked(
+      const std::string& tenant,
+      const analysis::StateCertificate* certificate = nullptr) const;
   std::size_t StateBytesLocked() const;
   std::size_t SpilledBytesLocked() const;
   void SuspendExecutorLocked();

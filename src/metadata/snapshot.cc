@@ -77,6 +77,11 @@ MetricsSnapshot CaptureSnapshot(const QueryGraph& graph,
     ns.partition_out = node->PartitionCounts();
     ns.spilled_bytes = node->SpilledBytes();
     ns.spilled_partitions = node->SpilledPartitions();
+    for (const std::string& gauge : node->metadata().GaugeNames()) {
+      if (gauge.rfind("dataflow.", 0) != 0) continue;
+      const std::optional<double> value = node->metadata().Gauge(gauge);
+      if (value.has_value()) ns.gauges.emplace_back(gauge, *value);
+    }
     if (options.profiler != nullptr) {
       const scheduler::NodeProfile profile = options.profiler->ForNode(*node);
       ns.sched_quanta = profile.quanta;
@@ -290,6 +295,19 @@ static std::string FinishJson(std::string out,
       AppendU64(out, "spilled_bytes", n.spilled_bytes);
       out += ',';
       AppendU64(out, "spilled_partitions", n.spilled_partitions);
+    }
+    // Dataflow gauges only appear on decorated nodes (certificate stamps,
+    // per-instance transfer-function overrides).
+    if (!n.gauges.empty()) {
+      out += ",\"gauges\":{";
+      for (std::size_t g = 0; g < n.gauges.size(); ++g) {
+        if (g > 0) out += ',';
+        AppendEscaped(out, n.gauges[g].first);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ":%.17g", n.gauges[g].second);
+        out += buf;
+      }
+      out += '}';
     }
     out += '}';
   }
@@ -599,6 +617,14 @@ class JsonParser {
       if (key == "spilled_bytes") return ParseU64(&out->spilled_bytes);
       if (key == "spilled_partitions") {
         return ParseU64(&out->spilled_partitions);
+      }
+      if (key == "gauges") {
+        return ParseObject([&](const std::string& gauge) -> Status {
+          double value = 0.0;
+          PIPES_RETURN_IF_ERROR(ParseDouble(&value));
+          out->gauges.emplace_back(gauge, value);
+          return Status::OK();
+        });
       }
       return Unexpected("unknown node key '" + key + "'");
     });

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -79,6 +80,14 @@ struct NodeSnapshot {
   /// Number of on-disk runs (`Node::SpilledPartitions`) backing
   /// `spilled_bytes`.
   std::uint64_t spilled_partitions = 0;
+
+  /// "dataflow."-prefixed metadata gauges, sorted by name: the static
+  /// state-certificate stamps the engine writes on its result sinks
+  /// (`dataflow.cert_*`, -1 = unbounded) and any per-instance transfer
+  /// function overrides (docs/lint.md). Empty for undecorated nodes and
+  /// absent from the JSON document when empty, so documents predating the
+  /// certificate work are byte-identical.
+  std::vector<std::pair<std::string, double>> gauges;
 
   /// max / mean of `partition_out`: 1.0 is perfectly balanced, `n` means
   /// one partition carries everything. 0 when not a splitter or no output.

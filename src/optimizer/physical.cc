@@ -427,6 +427,25 @@ Result<Source<Tuple>*> PhysicalBuilder::BuildNode(
   }
 
   PIPES_CHECK(entry.output != nullptr);
+  // Stateful tuple operators declare per-element state bytes in terms of
+  // sizeof(Tuple), which misses the heap the schema's values occupy. Stamp
+  // the schema-based estimate as a dataflow gauge so the abstract
+  // interpreter (src/analysis/dataflow.h) bounds real retention.
+  const std::size_t tuple_bytes =
+      sizeof(Tuple) +
+      plan->schema.fields().size() * (sizeof(relational::Value) + 16);
+  for (Node* node : entry.nodes) {
+    const NodeDescriptor desc = node->Describe();
+    if (desc.dataflow.state_bytes_per_element == 0 && !desc.blocking) {
+      continue;
+    }
+    // Mirror the template formulas' shape conservatively: up to two
+    // retained copies per input element, each with key/boundary overhead.
+    node->metadata().SetGauge(
+        "dataflow.bytes_per_element",
+        static_cast<double>(2 * (tuple_bytes + 64) +
+                            desc.dataflow.state_bytes_per_element));
+  }
   Source<Tuple>* output = entry.output;
   (*registry)[signature] = std::move(entry);
   remember_use();

@@ -62,6 +62,10 @@ class MultiwayJoin : public Source<std::vector<T>>, public PortOwner<T> {
       d.port_upstreams.push_back(port->num_upstreams());
     }
     d.blocking = true;
+    // Each input element is inserted into its own SweepArea exactly once.
+    d.dataflow.state_bytes_per_element = sizeof(T) + 48;
+    d.dataflow.output_per_pair = true;
+    d.dataflow.intersects_validity = true;
     return d;
   }
 

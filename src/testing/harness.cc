@@ -1,12 +1,14 @@
 #include "src/testing/harness.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "src/analysis/dataflow.h"
 #include "src/common/random.h"
 #include "src/memory/memory_manager.h"
 #include "src/metadata/snapshot.h"
@@ -66,6 +68,11 @@ enum class CompareMode { kExactMultiset, kSnapshotEqual, kSnapshotSubset,
 struct DriveResult {
   std::vector<Failure> failures;
   bool finished = false;
+  /// Per-node peak observed state (RAM / spilled bytes), sampled on a
+  /// prime stride plus once after the drain. Only filled when the caller
+  /// asked for bound tracking (the static-certificate oracle).
+  std::map<std::uint64_t, std::uint64_t> peak_ram;
+  std::map<std::uint64_t, std::uint64_t> peak_disk;
 };
 
 /// Steps `m`'s graph to completion under `driver` (any type with a
@@ -77,7 +84,8 @@ DriveResult DriveLoop(Materialized& m, Driver& sched,
                       std::uint64_t max_iterations, bool check_snapshots,
                       memory::MemoryManager* manager = nullptr,
                       std::uint64_t squeeze_at = 0,
-                      std::size_t squeeze_budget = 0) {
+                      std::size_t squeeze_budget = 0,
+                      bool track_bounds = false) {
   DriveResult r;
   bool gates_open = m.gates.empty();
   bool squeezed = manager == nullptr;
@@ -86,6 +94,18 @@ DriveResult DriveLoop(Materialized& m, Driver& sched,
   bool have_prev = false;
   // A prime stride so captures land on varying graph states.
   const std::uint64_t snap_every = 97;
+  // Dense prime stride for state-peak sampling (the certificate oracle):
+  // sampling can only under-observe the true peak, which keeps the bound
+  // check sound — it may miss a violation, never invent one.
+  const std::uint64_t bound_every = 7;
+  const auto sample_peaks = [&] {
+    for (const Node* node : m.graph.nodes()) {
+      std::uint64_t& ram = r.peak_ram[node->id()];
+      ram = std::max<std::uint64_t>(ram, node->ApproxMemoryBytes());
+      std::uint64_t& disk = r.peak_disk[node->id()];
+      disk = std::max<std::uint64_t>(disk, node->SpilledBytes());
+    }
+  };
 
   while (iterations < max_iterations) {
     if (!sched.Step()) {
@@ -97,6 +117,7 @@ DriveResult DriveLoop(Materialized& m, Driver& sched,
       break;
     }
     ++iterations;
+    if (track_bounds && iterations % bound_every == 0) sample_peaks();
     if (!squeezed && iterations >= squeeze_at) {
       manager->set_budget(squeeze_budget);
       squeezed = true;
@@ -125,6 +146,7 @@ DriveResult DriveLoop(Materialized& m, Driver& sched,
       have_prev = true;
     }
   }
+  if (track_bounds) sample_peaks();
   r.finished = m.graph.Finished();
   if (!r.finished) {
     r.failures.push_back(Failure{
@@ -153,10 +175,11 @@ DriveResult DriveGraph(Materialized& m, Strategy& strategy,
                        bool check_snapshots,
                        memory::MemoryManager* manager = nullptr,
                        std::uint64_t squeeze_at = 0,
-                       std::size_t squeeze_budget = 0) {
+                       std::size_t squeeze_budget = 0,
+                       bool track_bounds = false) {
   SingleThreadScheduler sched(m.graph, strategy, batch_size);
   return DriveLoop(m, sched, max_iterations, check_snapshots, manager,
-                   squeeze_at, squeeze_budget);
+                   squeeze_at, squeeze_budget, track_bounds);
 }
 
 /// Drives on the executor-polled `PipeExecutor` (DESIGN.md §4f): every
@@ -166,9 +189,11 @@ DriveResult DriveGraph(Materialized& m, Strategy& strategy,
 DriveResult DriveGraphOnExecutor(Materialized& m, Strategy& strategy,
                                  std::size_t batch_size,
                                  std::uint64_t max_iterations,
-                                 bool check_snapshots) {
+                                 bool check_snapshots,
+                                 bool track_bounds = false) {
   PipeExecutor executor(m.graph, strategy, batch_size);
-  return DriveLoop(m, executor, max_iterations, check_snapshots);
+  return DriveLoop(m, executor, max_iterations, check_snapshots, nullptr, 0,
+                   0, track_bounds);
 }
 
 /// Everything checked after a drained run: build-time descriptor
@@ -220,6 +245,41 @@ void CheckRun(const Materialized& m, const PlanSpec& spec,
   }
   if (diff.has_value()) {
     failures->push_back(Failure{"differential", *diff});
+  }
+}
+
+/// The static-vs-runtime differential oracle: on a drained, non-shedding
+/// run, no node's observed peak RAM (or spilled bytes) may exceed the
+/// bound the dataflow abstract interpretation certified for it before the
+/// run. Transient nodes (buffers, staging) and nodes with no static bound
+/// are outside the certificate and skipped.
+void CheckStateBounds(const analysis::DataflowResult& certified,
+                      const DriveResult& drive,
+                      std::vector<Failure>* failures) {
+  for (const analysis::NodeFacts& nf : certified.nodes) {
+    if (nf.state.transient) continue;
+    const auto ram_it = drive.peak_ram.find(nf.node_id);
+    const std::uint64_t ram =
+        ram_it == drive.peak_ram.end() ? 0 : ram_it->second;
+    if (nf.state.ram_bytes != analysis::NodeStateBound::kUnknownBytes &&
+        ram > nf.state.ram_bytes) {
+      std::ostringstream out;
+      out << nf.name << ": observed peak RAM " << ram
+          << " B exceeds static certificate bound " << nf.state.ram_bytes
+          << " B";
+      failures->push_back(Failure{"state-bound", out.str()});
+    }
+    const auto disk_it = drive.peak_disk.find(nf.node_id);
+    const std::uint64_t disk =
+        disk_it == drive.peak_disk.end() ? 0 : disk_it->second;
+    if (nf.state.disk_bytes != analysis::NodeStateBound::kUnknownBytes &&
+        disk > nf.state.disk_bytes) {
+      std::ostringstream out;
+      out << nf.name << ": observed peak spill " << disk
+          << " B exceeds static certificate bound " << nf.state.disk_bytes
+          << " B";
+      failures->push_back(Failure{"state-bound", out.str()});
+    }
   }
 }
 
@@ -392,6 +452,15 @@ CaseResult RunCaseOnSpec(const PlanSpec& spec,
     std::unique_ptr<Materialized> m =
         Materialize(spec, raw_inputs, profiles, mat);
 
+    // The certificate oracle applies to arms that promise losslessness:
+    // the abstract interpretation runs over the physical graph BEFORE any
+    // element flows, and the observed per-node peaks must stay under its
+    // bounds (skipped post-hoc if the arm shed anything after all).
+    const bool bound_oracle =
+        !arm.lossy && options.canary == CanaryKind::kNone;
+    std::optional<analysis::DataflowResult> certified;
+    if (bound_oracle) certified = analysis::AnalyzeDataflow(m->graph);
+
     std::unique_ptr<memory::MemoryManager> manager;
     std::uint64_t squeeze_at = 0;
     std::size_t squeeze_budget = 0;
@@ -411,10 +480,11 @@ CaseResult RunCaseOnSpec(const PlanSpec& spec,
     DriveResult drive =
         arm.use_executor
             ? DriveGraphOnExecutor(*m, *strategy, arm.batch_size,
-                                   max_iterations, arm.snapshots)
+                                   max_iterations, arm.snapshots,
+                                   bound_oracle)
             : DriveGraph(*m, *strategy, arm.batch_size, max_iterations,
                          arm.snapshots, manager.get(), squeeze_at,
-                         squeeze_budget);
+                         squeeze_budget, bound_oracle);
     if (arms_run != nullptr) ++*arms_run;
 
     std::vector<Failure> failures = std::move(drive.failures);
@@ -428,6 +498,9 @@ CaseResult RunCaseOnSpec(const PlanSpec& spec,
                                : CompareMode::kInvariantsOnly;
       }
       CheckRun(*m, spec, raw_inputs, expected, mode, &failures);
+      if (certified.has_value() && m->TotalShed() == 0) {
+        CheckStateBounds(*certified, drive, &failures);
+      }
     }
     if (!failures.empty()) {
       result.failing_arm = arm.name;

@@ -354,6 +354,14 @@ std::unique_ptr<Materialized> Materialize(
           };
           auto& src = g.Add<ReorderingSource<Val>>(std::move(generator),
                                                    profile.disorder, name);
+          // The generator hides the feed from Describe(), so declare the
+          // finite total and the raw feed's disorder as per-instance
+          // dataflow gauges — the static analysis bounds downstream state
+          // with them, and the fuzz bound-oracle holds it to that.
+          src.metadata().SetGauge("dataflow.total_elements",
+                                  static_cast<double>(raw.size()));
+          src.metadata().SetGauge("dataflow.feed_disorder",
+                                  static_cast<double>(profile.disorder));
           outputs[i] = &src;
           b.AddHandle(idx, n.kind, true, ConservationRule::kNone, &src);
         } else {

@@ -108,6 +108,9 @@ class GatedVectorSource : public Source<Val> {
     NodeDescriptor d;
     d.kind = NodeDescriptor::Kind::kSource;
     d.op = "gated-source";
+    // While closed the source provably advances no watermark (lint P022).
+    d.emits_heartbeats = open_;
+    d.dataflow.total_elements = elements_.size();
     d.notes.push_back(
         "gated source emits nothing until opened; downstream watermarks "
         "starve while it is closed");

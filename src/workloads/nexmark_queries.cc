@@ -9,7 +9,7 @@ FunctionSource<NexmarkEvent>& AddNexmarkSource(QueryGraph& graph,
                                                NexmarkOptions options,
                                                std::size_t batch_size) {
   auto generator = std::make_shared<NexmarkGenerator>(options);
-  return graph.Add<FunctionSource<NexmarkEvent>>(
+  auto& source = graph.Add<FunctionSource<NexmarkEvent>>(
       [generator]() -> std::optional<StreamElement<NexmarkEvent>> {
         auto event = generator->Next();
         if (!event.has_value()) return std::nullopt;
@@ -17,6 +17,12 @@ FunctionSource<NexmarkEvent>& AddNexmarkSource(QueryGraph& graph,
         return StreamElement<NexmarkEvent>::Point(std::move(*event), t);
       },
       "nexmark", batch_size);
+  // Dataflow feed contract: interarrival gaps are clamped to >= 1 ms and
+  // the generator stops after num_events point elements.
+  source.DeclareRatePerUnit(1.0);
+  source.DeclareTotalElements(generator->options().num_events);
+  source.DeclareValidityExtent(1);
+  return source;
 }
 
 BidStream& BuildBidStream(QueryGraph& graph, Source<NexmarkEvent>& events) {

@@ -8,7 +8,8 @@ FunctionSource<TrafficReading>& AddTrafficSource(QueryGraph& graph,
                                                  TrafficOptions options,
                                                  std::size_t batch_size) {
   auto generator = std::make_shared<TrafficGenerator>(std::move(options));
-  return graph.Add<FunctionSource<TrafficReading>>(
+  const TrafficOptions& opts = generator->options();
+  auto& source = graph.Add<FunctionSource<TrafficReading>>(
       [generator]() -> std::optional<StreamElement<TrafficReading>> {
         auto reading = generator->Next();
         if (!reading.has_value()) return std::nullopt;
@@ -16,6 +17,16 @@ FunctionSource<TrafficReading>& AddTrafficSource(QueryGraph& graph,
         return StreamElement<TrafficReading>::Point(std::move(*reading), t);
       },
       "traffic", batch_size);
+  // Dataflow feed contract: each (detector, lane, direction) stream emits
+  // at most one reading per ms (ScheduleNext clamps gaps to >= 1), and
+  // nothing past duration_ms.
+  const std::uint64_t streams = static_cast<std::uint64_t>(opts.num_detectors) *
+                                static_cast<std::uint64_t>(opts.num_lanes) * 2;
+  source.DeclareRatePerUnit(static_cast<double>(streams));
+  source.DeclareTotalElements(streams *
+                              static_cast<std::uint64_t>(opts.duration_ms));
+  source.DeclareValidityExtent(1);  // point elements
+  return source;
 }
 
 HovAverageSpeed& BuildHovAverageSpeedQuery(QueryGraph& graph,

@@ -63,6 +63,9 @@ class SustainedConditionDetector
   NodeDescriptor Describe() const override {
     NodeDescriptor d = UnaryPipe<In, Alarm>::Describe();
     d.op = "sustained-condition";
+    // At most one Run entry per key, one key per input element; at most
+    // one alarm per run.
+    d.dataflow.state_bytes_per_element = sizeof(Key) + 64 + 32;
     return d;
   }
 

@@ -10,6 +10,7 @@
 #include "src/algebra/parallel.h"
 #include "src/algebra/window.h"
 #include "src/analysis/analyzer.h"
+#include "src/analysis/dataflow.h"
 #include "src/analysis/fixtures.h"
 #include "src/core/generator_source.h"
 #include "src/core/graph.h"
@@ -72,6 +73,31 @@ TEST(Fixtures, SeveritiesMatchCatalog) {
               static_cast<int>(it->severity))
         << fixture.rule_id;
   }
+}
+
+/// Catalog <-> fixture parity is a bijection: every rule has EXACTLY one
+/// firing fixture and every fixture names a cataloged rule. The lint CLI's
+/// `--fixtures` self-check iterates this same corpus, so this test fails
+/// on any drift between the catalog, the fixtures, and the CLI gate.
+TEST(Fixtures, ExactlyOneFixturePerRule) {
+  const auto& catalog = RuleCatalog();
+  for (const RuleInfo& rule : catalog) {
+    int hits = 0;
+    for (const LintFixture& fixture : BrokenGraphFixtures()) {
+      if (fixture.rule_id == rule.id) ++hits;
+    }
+    EXPECT_EQ(hits, 1) << "rule " << rule.id << " must have exactly one "
+                       << "fixture, found " << hits;
+  }
+  for (const LintFixture& fixture : BrokenGraphFixtures()) {
+    const auto it = std::find_if(
+        catalog.begin(), catalog.end(),
+        [&](const RuleInfo& r) { return fixture.rule_id == r.id; });
+    EXPECT_NE(it, catalog.end())
+        << "fixture " << fixture.name << " names unknown rule "
+        << fixture.rule_id;
+  }
+  EXPECT_EQ(BrokenGraphFixtures().size(), catalog.size());
 }
 
 // --- Per-rule exactness beyond the corpus ------------------------------------
@@ -275,6 +301,121 @@ TEST(Render, MaxSeverityAndCatalogOrdered) {
   for (std::size_t i = 1; i < catalog.size(); ++i) {
     EXPECT_LT(std::string(catalog[i - 1].id), std::string(catalog[i].id));
   }
+}
+
+// --- Dataflow abstract interpretation ----------------------------------------
+
+const NodeFacts* FactsOf(const DataflowResult& result,
+                         const std::string& name) {
+  for (const NodeFacts& nf : result.nodes) {
+    if (nf.name == name) return &nf;
+  }
+  return nullptr;
+}
+
+/// The forward pass propagates declared feed disorder, window
+/// resegmentation, validity extents, and cardinalities along the chain.
+TEST(Dataflow, FactsPropagateAlongChain) {
+  QueryGraph graph;
+  auto& src = graph.Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  src.metadata().SetGauge("dataflow.total_elements", 100);
+  src.metadata().SetGauge("dataflow.feed_disorder", 5);
+  auto& window = graph.Add<algebra::TimeWindow<int>>(100, "window");
+  auto& distinct = graph.Add<algebra::Distinct<int>>("distinct");
+  auto& sink = graph.Add<CountingSink<int>>("sink");
+  src.AddSubscriber(window.input());
+  window.AddSubscriber(distinct.input());
+  distinct.AddSubscriber(sink.input());
+
+  const DataflowResult result = AnalyzeDataflow(graph);
+  ASSERT_FALSE(result.has_cycle);
+
+  const NodeFacts* s = FactsOf(result, "src");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->out.order, EdgeFacts::Order::kBoundedDisorder);
+  EXPECT_EQ(s->out.disorder, 5);
+  EXPECT_EQ(s->out.max_elements, 100u);
+
+  const NodeFacts* w = FactsOf(result, "window");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->out.order, EdgeFacts::Order::kResegmented);
+  EXPECT_EQ(w->out.validity_extent, 100);
+  EXPECT_EQ(w->out.max_elements, 100u);
+
+  // Bounded feed + bounded extent: the blocking distinct is certifiable.
+  const NodeFacts* d = FactsOf(result, "distinct");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->state.blocking);
+  EXPECT_NE(d->state.ram_bytes, NodeStateBound::kUnknownBytes);
+
+  EXPECT_TRUE(result.certificate.ram_bounded());
+  EXPECT_TRUE(result.certificate.progress_ok);
+
+  // The declared disorder exceeds the (absent) reordering slack, so the
+  // only dataflow diagnostic is P023 on the source.
+  const auto diags = DataflowDiagnostics(graph);
+  ASSERT_EQ(diags.size(), 1u) << ToText(diags);
+  EXPECT_EQ(diags[0].rule_id, "P023");
+  EXPECT_EQ(diags[0].node, "src");
+}
+
+/// Both demo workload graphs certify bounded, progressing state — the same
+/// invariant `pipes_lint --certify --fail-on=warning` gates in CI.
+TEST(Dataflow, CleanWorkloadsCertifyBoundedAndProgressing) {
+  for (const LintSubject& subject :
+       {BuildTrafficLintGraph(), BuildNexmarkLintGraph()}) {
+    const DataflowResult result = AnalyzeDataflow(*subject.graph);
+    EXPECT_FALSE(result.has_cycle);
+    EXPECT_TRUE(result.certificate.ram_bounded());
+    EXPECT_TRUE(result.certificate.progress_ok);
+    EXPECT_NE(result.certificate.disorder_bound,
+              NodeDescriptor::Dataflow::kUnknownTime);
+    EXPECT_GT(result.certificate.ram_bytes, 0u);
+  }
+}
+
+/// Plan-level analysis cross-checks the optimizer's cost-model rate
+/// estimate against the certified static rate bound.
+TEST(Dataflow, PlanAnalysisRunsCostModelCrossCheck) {
+  WindowSpec range;
+  range.kind = WindowKind::kRange;
+  range.range = 1000;
+  auto scan = optimizer::ScanOp("bids", BidSchema(), range);
+  auto plan = optimizer::FilterOp(
+      scan, MakeBinary(relational::BinaryOp::kGt, MakeField(2, "price"),
+                       MakeLiteral(Value(10.0))));
+  auto analyzed = AnalyzeDataflowPlan(plan);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_TRUE(analyzed->has_cost_check);
+  EXPECT_GT(analyzed->certified_rate_eps, 0.0);
+  EXPECT_TRUE(analyzed->rate_consistent)
+      << "model=" << analyzed->cost_model_rate_eps
+      << " certified=" << analyzed->certified_rate_eps;
+}
+
+/// Machine-readable dataflow documents stamp the schema version, are
+/// parseable back, and never contain inf/NaN (unbounded encodes as -1).
+TEST(Dataflow, JsonSchemaVersionRoundTrip) {
+  QueryGraph graph;
+  auto& src = graph.Add<VectorSource<int>>(
+      std::vector<StreamElement<int>>{}, "src");
+  auto& sink = graph.Add<CountingSink<int>>("sink");
+  src.AddSubscriber(sink.input());
+  const std::string json = ToJson(AnalyzeDataflow(graph));
+
+  auto version = ParseLintJsonSchemaVersion(json);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(version.value(), kLintJsonSchemaVersion);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+
+  // Documents predating the version stamp are rejected, not misread.
+  EXPECT_FALSE(ParseLintJsonSchemaVersion("{\"diagnostics\": []}").ok());
+  EXPECT_FALSE(ParseLintJsonSchemaVersion("{\"schema_version\": \"x\"}").ok());
+  auto spaced = ParseLintJsonSchemaVersion("{ \"schema_version\" :  7 }");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced.value(), 7);
 }
 
 }  // namespace

@@ -273,6 +273,125 @@ TEST_F(EngineTest, MemoryBudgetGatesAdmission) {
   EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
 }
 
+// --- Certificate-gated admission --------------------------------------------
+
+// Identical shape to kAvgQuery but a 60x window: the static certificate
+// must scale with the window extent, so this query certifies far more
+// state than its 1-second twin.
+constexpr const char* kBigWindowQuery =
+    "SELECT symbol, AVG(price) AS avg_price FROM trades "
+    "[RANGE 60 SECONDS SLIDE 60 SECONDS] WHERE price > 10 GROUP BY symbol";
+
+/// The `dataflow.cert_ram_bytes` gauge stamped on a query's result sink,
+/// or -2 when no node carries it.
+double CertRamGauge(const metadata::MetricsSnapshot& snap) {
+  for (const auto& node : snap.nodes) {
+    for (const auto& [name, value] : node.gauges) {
+      if (name == "dataflow.cert_ram_bytes") return value;
+    }
+  }
+  return -2.0;
+}
+
+TEST_F(EngineTest, CertificateGatesAdmissionStatically) {
+  // Probe run (no budget): read both queries' certified RAM bounds off
+  // their result-sink gauges so the gated budget below self-calibrates.
+  double small_cert = 0.0, big_cert = 0.0;
+  {
+    EngineOptions options;
+    options.certify_admission = true;
+    Engine probe(options);
+    auto writer = AddTrades(probe);
+    ASSERT_TRUE(writer.ok());
+    auto small = probe.Register(kAvgQuery);
+    ASSERT_TRUE(small.ok()) << small.status().ToString();
+    auto big = probe.Register(kBigWindowQuery);
+    ASSERT_TRUE(big.ok()) << big.status().ToString();
+    auto small_snap = small->Snapshot();
+    auto big_snap = big->Snapshot();
+    ASSERT_TRUE(small_snap.ok() && big_snap.ok());
+    small_cert = CertRamGauge(*small_snap);
+    big_cert = CertRamGauge(*big_snap);
+    ASSERT_GT(small_cert, 0.0) << "certificate gauge missing from snapshot";
+    ASSERT_GT(big_cert, small_cert)
+        << "a 60x window must certify more state than its 1s twin";
+  }
+
+  // Gated run: a budget between the two certificates admits the small
+  // query and statically rejects the big one before any element flows —
+  // the runtime usage at registration time is zero in both cases, so only
+  // the certificate can tell them apart.
+  EngineOptions options;
+  options.certify_admission = true;
+  options.memory_budget_bytes =
+      static_cast<std::size_t>((small_cert + big_cert) / 2);
+  Engine engine(options);
+  auto writer = AddTrades(engine);
+  ASSERT_TRUE(writer.ok());
+  auto small = engine.Register(kAvgQuery);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  auto big = engine.Register(kBigWindowQuery);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(big.status().ToString().find(
+                "state certificate exceeds remaining memory budget"),
+            std::string::npos)
+      << big.status().ToString();
+  EXPECT_EQ(engine.stats().rejected_queries, 1u);
+}
+
+TEST_F(EngineTest, QueuedCertificateAdmitsWhenHeadroomFrees) {
+  // Calibrate the big query's certificate on a throwaway engine.
+  double big_cert = 0.0;
+  {
+    EngineOptions options;
+    options.certify_admission = true;
+    Engine probe(options);
+    auto writer = AddTrades(probe);
+    ASSERT_TRUE(writer.ok());
+    auto big = probe.Register(kBigWindowQuery);
+    ASSERT_TRUE(big.ok()) << big.status().ToString();
+    auto snap = big->Snapshot();
+    ASSERT_TRUE(snap.ok());
+    big_cert = CertRamGauge(*snap);
+    ASSERT_GT(big_cert, 0.0);
+  }
+
+  // Budget fits the big certificate only when the engine is idle. A small
+  // running query whose accumulated state eats into the headroom parks
+  // the big registration; cancelling the state-holder re-admits it.
+  EngineOptions options;
+  options.certify_admission = true;
+  options.admission = AdmissionPolicy::kQueue;
+  options.memory_budget_bytes = static_cast<std::size_t>(big_cert) + 1000;
+  Engine engine(options);
+  auto writer = AddTrades(engine);
+  ASSERT_TRUE(writer.ok());
+
+  auto small = engine.Register(kAvgQuery);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  // A dense burst inside one window, spread over many groups: nothing is
+  // purgeable yet, so the aggregate holds live per-group state well above
+  // the 1000-byte slack in the budget.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(writer
+                    ->Push(Tuple{Value(static_cast<std::int64_t>(i % 50)),
+                                 Value(20.0 + i)},
+                           i)
+                    .ok());
+  }
+  engine.Pump(4096);
+
+  auto big = engine.Register(kBigWindowQuery);
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(big->state(), QueryState::kQueued)
+      << "accumulated state must shrink the headroom below the certificate";
+
+  ASSERT_TRUE(small->Cancel().ok());
+  EXPECT_EQ(big->state(), QueryState::kRunning)
+      << "freed headroom must re-admit the queued certificate";
+}
+
 // --- Stream writer contract -------------------------------------------------
 
 TEST_F(EngineTest, StreamWriterValidatesOrderAndClose) {
