@@ -1,0 +1,124 @@
+// pipes_conformance: the blackbox conformance-corpus gate (docs/workloads.md).
+//
+//   pipes_conformance                      run tests/corpus under all arms
+//   pipes_conformance --corpus-dir DIR     run a different corpus directory
+//   pipes_conformance --arm engine ...     restrict to named arms
+//                                          (reference | engine | per-element
+//                                           | columnar | keyed-parallel)
+//   pipes_conformance --artifact-dir DIR   on failure, write one
+//                                          <case>.diff file per failing case
+//                                          with the expected and actual
+//                                          interval tables (the CI artifact)
+//   pipes_conformance --quiet              summary only, no per-case lines
+//
+// Every corpus case runs under every requested execution arm and is diffed
+// against its expected interval table via snapshot equivalence (equal
+// payload multisets at every instant). Exit codes: 0 all cases equivalent,
+// 1 at least one diff or arm error, 2 usage/load error.
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/testing/conformance.h"
+
+namespace conf = pipes::testing::conformance;
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: pipes_conformance [--corpus-dir DIR] [--arm NAME ...]\n"
+         "                         [--artifact-dir DIR] [--quiet]\n"
+         "arms: reference engine per-element columnar keyed-parallel\n";
+  return 2;
+}
+
+bool ParseArm(const std::string& name, conf::Arm* out) {
+  for (conf::Arm arm : conf::AllArms()) {
+    if (name == conf::ArmName(arm)) {
+      *out = arm;
+      return true;
+    }
+  }
+  return false;
+}
+
+// One artifact file per failing case: the diff message plus both canonical
+// interval tables, ready for side-by-side inspection in CI.
+void WriteArtifact(const std::string& dir, const conf::CaseResult& failure) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(dir + "/" + failure.name + ".diff");
+  out << "case: " << failure.name << " (" << failure.file << ")\n"
+      << "failing arm: " << failure.failing_arm << "\n\n"
+      << failure.message << "\n\n"
+      << "--- expected interval table (canonical) ---\n"
+      << failure.expected_rendered
+      << "--- actual interval table (" << failure.failing_arm << ") ---\n"
+      << failure.actual_rendered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir = "tests/corpus";
+  std::string artifact_dir;
+  std::vector<conf::Arm> arms;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--corpus-dir" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--arm" && i + 1 < argc) {
+      conf::Arm arm;
+      if (!ParseArm(argv[++i], &arm)) {
+        std::cerr << "unknown arm: " << argv[i] << "\n";
+        return Usage();
+      }
+      arms.push_back(arm);
+    } else if (arg == "--artifact-dir" && i + 1 < argc) {
+      artifact_dir = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (arms.empty()) arms = conf::AllArms();
+
+  auto corpora = conf::LoadCorpusDir(corpus_dir);
+  if (!corpora.ok()) {
+    std::cerr << "failed to load corpus dir '" << corpus_dir
+              << "': " << corpora.status().ToString() << "\n";
+    return 2;
+  }
+  std::size_t total_cases = 0;
+  for (const conf::Corpus& c : *corpora) total_cases += c.cases.size();
+  std::cout << "conformance: " << corpora->size() << " corpus files, "
+            << total_cases << " cases, " << arms.size() << " arms\n";
+
+  conf::CorpusRunStats stats =
+      conf::RunCorpora(*corpora, arms, quiet ? nullptr : &std::cout);
+
+  for (const conf::CaseResult& failure : stats.failures) {
+    std::cout << "\nFAIL " << failure.name << " (" << failure.file << ") arm "
+              << failure.failing_arm << "\n"
+              << failure.message << "\n"
+              << "--- expected interval table (canonical) ---\n"
+              << failure.expected_rendered
+              << "--- actual interval table (" << failure.failing_arm
+              << ") ---\n"
+              << failure.actual_rendered;
+    if (!artifact_dir.empty()) WriteArtifact(artifact_dir, failure);
+  }
+
+  std::cout << "\nconformance: " << stats.cases_run << " cases x "
+            << arms.size() << " arms (" << stats.arms_run << " runs), "
+            << stats.cases_failed << " failed\n";
+  return stats.cases_failed == 0 ? 0 : 1;
+}

@@ -70,7 +70,7 @@ int Usage(const char* argv0) {
                "usage: %s [--json] [--dot] [--fail-on=error|warning|note] "
                "[--rules] [--fixtures] [--demo-plan] [--certify] "
                "[--fuzz-corpus N] [--corpus-seed N] "
-               "[--workload traffic|nexmark] [plan.xml ...]\n",
+               "[--workload traffic|nexmark|espbench] [plan.xml ...]\n",
                argv0);
   return 2;
 }
@@ -291,6 +291,8 @@ int main(int argc, char** argv) {
       subject = pipes::analysis::BuildTrafficLintGraph();
     } else if (workload == "nexmark") {
       subject = pipes::analysis::BuildNexmarkLintGraph();
+    } else if (workload == "espbench") {
+      subject = pipes::analysis::BuildEspbenchLintGraph();
     } else {
       std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
       return 2;

@@ -46,11 +46,25 @@ class ReorderingSource : public Source<T> {
 
   std::uint64_t ShedCount() const override { return dropped_; }
 
+  /// Declared dataflow feed contract of the *raw* generator (same meaning
+  /// as `GeneratorSource::Declare*`): the reorderer forwards every in-slack
+  /// element, so the emitted stream inherits the raw feed's cardinality,
+  /// rate, and validity-extent bounds. Workload adapters set these from
+  /// generator parameters so the static state analysis stays bounded.
+  void DeclareTotalElements(std::uint64_t total) {
+    declared_.total_elements = total;
+  }
+  void DeclareRatePerUnit(double rate) { declared_.rate_per_unit = rate; }
+  void DeclareValidityExtent(Timestamp extent) {
+    declared_.validity_extent = extent;
+  }
+
   NodeDescriptor Describe() const override {
     NodeDescriptor d;
     d.kind = NodeDescriptor::Kind::kSource;
     d.op = "reordering-source";
     d.emits_heartbeats = true;
+    d.dataflow = declared_;
     // Emitted starts are ordered; the heartbeat trails max_seen_ by the
     // slack, so downstream retention grows by the same amount. Raw-feed
     // disorder beyond the slack is declared per-instance via the
@@ -101,6 +115,7 @@ class ReorderingSource : public Source<T> {
 
   Generator generator_;
   Timestamp slack_;
+  NodeDescriptor::Dataflow declared_;
   OrderedOutputBuffer<T> staged_;
   Timestamp max_seen_ = kMinTimestamp;
   bool exhausted_ = false;

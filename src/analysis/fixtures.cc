@@ -19,6 +19,7 @@
 #include "src/core/parallel.h"
 #include "src/core/pipe_edge.h"
 #include "src/core/sink.h"
+#include "src/workloads/espbench_queries.h"
 #include "src/workloads/nexmark_queries.h"
 #include "src/workloads/traffic_queries.h"
 
@@ -632,6 +633,41 @@ LintSubject BuildNexmarkLintGraph() {
   chain.output->AddSubscriber(stats_sink.input());
   s.num_workers = 3;
   s.assignment = chain.PinnedAssignment(*s.graph, s.num_workers);
+  return s;
+}
+
+LintSubject BuildEspbenchLintGraph() {
+  LintSubject s;
+  s.graph = NewGraph();
+  workloads::EspbenchOptions options;
+  options.duration_ms = 30'000;
+  options.disorder_slack_ms = 40;
+  options.burst_period_ms = 5'000;
+  options.overloads = {{/*begin=*/5'000, /*end=*/15'000, /*machine=*/3,
+                        /*power_factor=*/2.0}};
+  auto& events = workloads::AddReorderedEspbenchSource(*s.graph, options);
+
+  auto& alerts = workloads::BuildPowerThresholdAlertQuery(
+      *s.graph, events, /*threshold_w=*/1'300.0, /*min_duration=*/2'000);
+  auto& alert_sink =
+      s.graph->Add<CountingSink<workloads::Sustained<std::int64_t>>>(
+          "alert-sink");
+  alerts.AddSubscriber(alert_sink.input());
+
+  auto& power = workloads::BuildMachinePowerQuery(*s.graph, events,
+                                                  /*range=*/1'000,
+                                                  /*slide=*/500);
+  auto& power_sink = s.graph->Add<
+      CountingSink<std::pair<std::int64_t, double>>>("power-sink");
+  power.AddSubscriber(power_sink.input());
+
+  auto& orders = workloads::AddOrderDimensionSource(
+      *s.graph, workloads::GenerateOrders(options));
+  auto& enriched =
+      workloads::BuildOrderEnrichmentJoin(*s.graph, events, orders);
+  auto& enriched_sink =
+      s.graph->Add<CountingSink<workloads::EventWithOrder>>("enriched-sink");
+  enriched.AddSubscriber(enriched_sink.input());
   return s;
 }
 

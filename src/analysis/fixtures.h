@@ -55,10 +55,12 @@ const std::vector<LintFixture>& BrokenGraphFixtures();
 std::string CheckFixture(const LintFixture& fixture);
 
 /// Clean builds of the demo workloads (traffic congestion query chain,
-/// NEXMark bid statistics + open-auction join). Both must produce no
-/// diagnostics of severity >= kWarning.
+/// NEXMark bid statistics + open-auction join, ESPBench reordered
+/// telemetry + ERP enrichment). All must produce no diagnostics of
+/// severity >= kWarning.
 LintSubject BuildTrafficLintGraph();
 LintSubject BuildNexmarkLintGraph();
+LintSubject BuildEspbenchLintGraph();
 
 }  // namespace pipes::analysis
 

@@ -88,7 +88,8 @@ Result<LogicalPlan> Analyze(const QueryAst& query, const Catalog& catalog) {
     return Status::InvalidArgument("SELECT list is empty");
   }
 
-  // 1. Stream scans, schemas qualified by alias.
+  // 1. Stream scans (or recursively analyzed derived tables), schemas
+  // qualified by alias.
   std::set<std::string> aliases;
   LogicalPlan plan;
   for (const StreamRef& ref : query.from) {
@@ -96,10 +97,31 @@ Result<LogicalPlan> Analyze(const QueryAst& query, const Catalog& catalog) {
       return Status::InvalidArgument("duplicate stream alias '" + ref.alias +
                                      "'");
     }
-    PIPES_ASSIGN_OR_RETURN(const Catalog::StreamInfo* info,
-                           catalog.Lookup(ref.stream));
-    LogicalPlan scan = optimizer::ScanOp(
-        ref.stream, info->schema.WithPrefix(ref.alias), ref.window);
+    LogicalPlan scan;
+    if (ref.subquery != nullptr) {
+      // Derived table: the subquery's plan, re-qualified under the alias by
+      // an identity projection (field i stays field i; only names change).
+      // Inner qualification is dropped first ("obs.v" -> "alias.v") so the
+      // outer query addresses columns as alias.name.
+      PIPES_ASSIGN_OR_RETURN(scan, Analyze(*ref.subquery, catalog));
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (std::size_t i = 0; i < scan->schema.arity(); ++i) {
+        const std::string& inner = scan->schema.field(i).name;
+        const std::size_t dot = inner.rfind('.');
+        const std::string base =
+            dot == std::string::npos ? inner : inner.substr(dot + 1);
+        exprs.push_back(relational::MakeField(i, inner));
+        names.push_back(ref.alias + "." + base);
+      }
+      scan = optimizer::ProjectOp(std::move(scan), std::move(exprs),
+                                  std::move(names));
+    } else {
+      PIPES_ASSIGN_OR_RETURN(const Catalog::StreamInfo* info,
+                             catalog.Lookup(ref.stream));
+      scan = optimizer::ScanOp(ref.stream,
+                               info->schema.WithPrefix(ref.alias), ref.window);
+    }
     // 2. Left-deep cross-join chain in FROM order; the optimizer extracts
     // equi keys from the WHERE predicate afterwards.
     plan = plan == nullptr

@@ -38,6 +38,10 @@ std::string QueryAst::ToString() const {
   out += " FROM ";
   for (std::size_t i = 0; i < from.size(); ++i) {
     if (i > 0) out += ", ";
+    if (from[i].subquery != nullptr) {
+      out += "(" + from[i].subquery->ToString() + ") AS " + from[i].alias;
+      continue;
+    }
     out += from[i].stream + " [" + from[i].window.ToString() + "]";
     if (from[i].alias != from[i].stream) out += " AS " + from[i].alias;
   }

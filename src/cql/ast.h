@@ -46,11 +46,16 @@ struct SelectItem {
   bool star = false;
 };
 
-/// FROM entry: stream name with optional window and alias.
+struct QueryAst;
+
+/// FROM entry: either a named stream with optional window and alias, or a
+/// parenthesized derived table `( SELECT ... ) AS alias` (subquery is
+/// non-null then; windows attach inside the subquery, not on the result).
 struct StreamRef {
   std::string stream;
   std::string alias;  // defaults to the stream name
   optimizer::WindowSpec window;  // defaults to NOW
+  std::shared_ptr<const QueryAst> subquery;
 };
 
 /// CQL relation-to-stream mode of the query result.

@@ -26,7 +26,18 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<QueryAst> ParseQuery() {
+    PIPES_ASSIGN_OR_RETURN(QueryAst query, ParseQueryBody());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+  Result<QueryAst> ParseQueryBody() {
     QueryAst query;
+    // Each (sub)query collects its own JOIN ... ON conjuncts.
+    std::vector<ExprAstPtr> saved_conditions;
+    saved_conditions.swap(join_conditions_);
     PIPES_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     // Relation-to-stream mode (CQL's ISTREAM/DSTREAM/RSTREAM), accepted as
     // a SELECT modifier.
@@ -73,9 +84,7 @@ class Parser {
         PIPES_ASSIGN_OR_RETURN(query.having, ParseExpr());
       }
     }
-    if (Peek().kind != TokenKind::kEnd) {
-      return Error("unexpected trailing input");
-    }
+    join_conditions_ = std::move(saved_conditions);
     return query;
   }
 
@@ -164,6 +173,27 @@ class Parser {
 
   Status ParseStreamRef(QueryAst* query) {
     StreamRef ref;
+    if (Peek().IsSymbol("(")) {
+      // Derived table: ( SELECT ... ) AS alias. The alias is mandatory —
+      // there is no stream name to fall back on.
+      Advance();
+      PIPES_ASSIGN_OR_RETURN(QueryAst sub, ParseQueryBody());
+      PIPES_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ref.subquery = std::make_shared<QueryAst>(std::move(sub));
+      ref.window.kind = WindowKind::kNow;
+      if (Peek().IsSymbol("[")) {
+        return Error("windows attach to streams inside the subquery, not to "
+                     "the derived table");
+      }
+      if (Peek().Is("AS")) Advance();
+      if (Peek().kind != TokenKind::kIdent || Peek().Is("WHERE") ||
+          Peek().Is("GROUP") || Peek().Is("JOIN") || Peek().Is("ON")) {
+        return Error("expected alias for derived table");
+      }
+      ref.alias = Advance().text;
+      query->from.push_back(std::move(ref));
+      return Status::OK();
+    }
     if (Peek().kind != TokenKind::kIdent) {
       return Error("expected stream name");
     }

@@ -155,6 +155,51 @@ GeneratedCase GenerateCase(Random& rng, const GenOptions& opts) {
     }
   }
 
+  // ESPBench-shaped enrichment appendix: stream <-> relation join (the
+  // telemetry-x-ERP-dimension mix of the enterprise workload). The relation
+  // side is a source held entirely open by an unbounded window — rows stay
+  // valid once seen, exactly how the workload feeds dimension relations —
+  // and a raw telemetry source probes it through a modular-key hash join.
+  // Parameters are folded out of the already-drawn plan instead of the rng,
+  // so the rng cursor (and with it every pre-existing seed's operator draws
+  // AND input streams) is untouched: old corpus seeds replay byte-for-byte
+  // modulo this deterministic appendix.
+  if (opts.enrichment) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const SpecNode& n : out.spec.nodes) {
+      h ^= (static_cast<std::uint64_t>(n.kind) + 1) * 0x100000001b3ull;
+      h = (h << 7) | (h >> 57);
+      h ^= static_cast<std::uint64_t>(n.p0 + 3) +
+           static_cast<std::uint64_t>(n.p1 + 7) * 0xbf58476d1ce4e5b9ull;
+    }
+    for (const StreamProfile& p : out.profiles) {
+      h = h * 0x100000001b3ull ^ static_cast<std::uint64_t>(p.num_elements);
+    }
+    if ((h & 3) == 0) {  // ~one case in four carries the enrichment mix
+      const int relation =
+          static_cast<int>((h >> 2) % static_cast<std::uint64_t>(num_streams));
+      const int probe =
+          static_cast<int>((h >> 9) % static_cast<std::uint64_t>(num_streams));
+      SpecNode rel;
+      rel.kind = OpKind::kUnboundedWindow;
+      rel.in0 = relation;  // sources occupy indices [0, num_streams)
+      SpecNode join;
+      join.kind = OpKind::kHashJoin;
+      join.p0 = 3 + static_cast<std::int64_t>((h >> 17) % 5);
+      join.in0 = probe;
+      join.in1 = static_cast<int>(out.spec.nodes.size());
+      const std::size_t e = EstimateSize(join, est[probe], est[relation]);
+      if (e <= opts.max_est_size) {
+        out.spec.nodes.push_back(rel);
+        est.push_back(est[relation]);
+        reseg.push_back(false);
+        out.spec.nodes.push_back(join);
+        est.push_back(e);
+        reseg.push_back(false);
+      }
+    }
+  }
+
   // Union dangling subplans until exactly one root remains, so every node is
   // reachable from the root and no generated work is dead.
   std::vector<bool> consumed(out.spec.nodes.size(), false);

@@ -37,6 +37,11 @@ struct GenOptions {
   /// are rerolled so pathological plans (stacked joins feeding aggregates)
   /// cannot blow up the O(n*m) reference sweeps.
   std::size_t max_est_size = 3000;
+  /// Mix in the ESPBench-shaped stream<->relation enrichment appendix (a
+  /// hash join probing a source held open by an unbounded window) on ~1/4
+  /// of cases. Derived draw-free from the plan already generated, so
+  /// toggling it never changes a seed's operator draws or input streams.
+  bool enrichment = true;
 };
 
 struct GeneratedCase {

@@ -1,0 +1,148 @@
+#include "src/workloads/espbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace pipes::workloads {
+
+EspbenchGenerator::EspbenchGenerator(EspbenchOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  PIPES_CHECK(options_.num_machines > 0);
+  PIPES_CHECK(options_.sensors_per_machine > 0);
+  PIPES_CHECK(options_.duration_ms > 0);
+  PIPES_CHECK(options_.mean_interarrival_ms > 0);
+  PIPES_CHECK(options_.disorder_slack_ms >= 0);
+  PIPES_CHECK(options_.late_extra_ms >= 0);
+}
+
+double EspbenchGenerator::RateMultiplier(Timestamp t) const {
+  if (options_.burst_period_ms <= 0) return 1.0;
+  const Timestamp phase = t % options_.burst_period_ms;
+  const auto burst_len = static_cast<Timestamp>(
+      options_.burst_duty * static_cast<double>(options_.burst_period_ms));
+  return phase < burst_len ? options_.burst_intensity : 1.0;
+}
+
+bool EspbenchGenerator::OverloadActive(std::int64_t machine, Timestamp t,
+                                       double* factor) const {
+  for (const OverloadEpisode& episode : options_.overloads) {
+    if (episode.machine == machine && t >= episode.begin && t < episode.end) {
+      if (factor != nullptr) *factor = episode.power_factor;
+      return true;
+    }
+  }
+  return false;
+}
+
+MachineEvent EspbenchGenerator::MakeEvent(Timestamp t) {
+  MachineEvent e;
+  e.machine = static_cast<std::int64_t>(
+      rng_.NextBounded(static_cast<std::uint64_t>(options_.num_machines)));
+  e.sensor = static_cast<std::int32_t>(
+      rng_.NextBounded(static_cast<std::uint64_t>(
+          options_.sensors_per_machine)));
+  e.timestamp = t;
+  // Normal operation: 60-90% of base power plus Gaussian sensor noise;
+  // overload episodes multiply the draw past the machine's rated power.
+  const double load = 0.6 + 0.3 * rng_.UniformDouble();
+  double power = options_.base_power_w * load +
+                 rng_.Gaussian() * options_.power_noise_stddev;
+  double factor = 1.0;
+  if (OverloadActive(e.machine, t, &factor)) power *= factor;
+  e.power_w = std::max(0.0, power);
+  e.temperature_c = options_.base_temperature_c +
+                    10.0 * (e.power_w / options_.base_power_w) +
+                    rng_.Gaussian() * options_.temperature_noise_stddev;
+  return e;
+}
+
+void EspbenchGenerator::Pump() {
+  // Any future logical event has arrival >= its timestamp >= clock_, so
+  // once clock_ passes the earliest pending arrival that element can be
+  // released without violating arrival order.
+  while (!exhausted_ &&
+         (pending_.empty() || clock_ <= pending_.top().arrival)) {
+    const double rate = RateMultiplier(clock_);
+    const double gap = rng_.Exponential(rate / options_.mean_interarrival_ms);
+    clock_ += std::max<Timestamp>(1, static_cast<Timestamp>(std::llround(gap)));
+    if (clock_ >= options_.duration_ms) {
+      exhausted_ = true;
+      break;
+    }
+    Pending p;
+    p.event = MakeEvent(clock_);
+    p.seq = seq_++;
+    Timestamp delay = 0;
+    if (options_.late_fraction > 0 && rng_.Bernoulli(options_.late_fraction)) {
+      // A true straggler: beyond the declared slack by at least 1 ms.
+      delay = options_.disorder_slack_ms + 1 +
+              static_cast<Timestamp>(rng_.NextBounded(
+                  static_cast<std::uint64_t>(options_.late_extra_ms) + 1));
+      ++late_injected_;
+    } else if (options_.disorder_slack_ms > 0 &&
+               rng_.Bernoulli(options_.disorder_fraction)) {
+      delay = static_cast<Timestamp>(rng_.NextBounded(
+          static_cast<std::uint64_t>(options_.disorder_slack_ms) + 1));
+    }
+    p.arrival = p.event.timestamp + delay;
+    pending_.push(std::move(p));
+  }
+}
+
+std::optional<MachineEvent> EspbenchGenerator::Next() {
+  Pump();
+  if (pending_.empty()) return std::nullopt;
+  MachineEvent e = pending_.top().event;
+  pending_.pop();
+  return e;
+}
+
+std::vector<MachineInfo> GenerateMachines(const EspbenchOptions& options) {
+  // Derived stream: the dimension is reproducible from the seed without
+  // perturbing the telemetry draw sequence.
+  Random rng(options.seed ^ 0x9e3779b97f4a7c15ull);
+  static const char* const kTypes[] = {"press", "mill", "lathe", "oven"};
+  std::vector<MachineInfo> machines;
+  machines.reserve(static_cast<std::size_t>(options.num_machines));
+  for (std::int64_t id = 0; id < options.num_machines; ++id) {
+    MachineInfo m;
+    m.id = id;
+    m.production_group = static_cast<std::int32_t>(rng.NextBounded(4));
+    m.rated_power_w = options.base_power_w * rng.UniformDouble(1.15, 1.5);
+    m.type = kTypes[id % 4];
+    machines.push_back(std::move(m));
+  }
+  return machines;
+}
+
+std::vector<ProductionOrder> GenerateOrders(const EspbenchOptions& options) {
+  Random rng(options.seed ^ 0xbf58476d1ce4e5b9ull);
+  std::vector<ProductionOrder> orders;
+  orders.reserve(static_cast<std::size_t>(options.num_orders));
+  for (std::int64_t id = 0; id < options.num_orders; ++id) {
+    ProductionOrder o;
+    o.id = id;
+    o.machine = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(options.num_machines)));
+    o.quantity = rng.UniformInt(1, 500);
+    o.start = static_cast<Timestamp>(rng.NextBounded(
+        static_cast<std::uint64_t>(std::max<Timestamp>(
+            1, options.duration_ms * 3 / 4))));
+    const Timestamp span =
+        options.duration_ms / 8 +
+        static_cast<Timestamp>(rng.NextBounded(static_cast<std::uint64_t>(
+            std::max<Timestamp>(1, options.duration_ms / 4))));
+    o.due = o.start + std::max<Timestamp>(1, span);
+    orders.push_back(std::move(o));
+  }
+  std::sort(orders.begin(), orders.end(),
+            [](const ProductionOrder& a, const ProductionOrder& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+  return orders;
+}
+
+}  // namespace pipes::workloads

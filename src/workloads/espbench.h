@@ -1,0 +1,176 @@
+#ifndef PIPES_WORKLOADS_ESPBENCH_H_
+#define PIPES_WORKLOADS_ESPBENCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/time.h"
+
+/// \file
+/// Enterprise stream-processing workload modelled on ESPBench (Hesse et
+/// al.): machine/sensor power telemetry from a production floor, enriched
+/// against ERP-style dimension relations (machine master data, production
+/// orders). Unlike the traffic and NEXMark generators this feed is
+/// deliberately *imperfect* — tunable bounded disorder, beyond-bound
+/// stragglers ("late data"), and load bursts — so it exercises the
+/// reordering adapter, the dataflow disorder annotations, and the
+/// late-data-sensitive query variants the benchmark is about.
+
+namespace pipes::workloads {
+
+/// One sensor measurement from one machine. `timestamp` is the event time;
+/// the generator may *deliver* events out of timestamp order (see
+/// `EspbenchOptions`).
+struct MachineEvent {
+  std::int64_t machine = 0;
+  std::int32_t sensor = 0;
+  Timestamp timestamp = 0;  // event time, ms since epoch start
+  double power_w = 0;
+  double temperature_c = 0;
+
+  friend bool operator==(const MachineEvent&, const MachineEvent&) = default;
+};
+
+/// ERP dimension: machine master data. A static relation — rows are valid
+/// on [0, kMaxTimestamp).
+struct MachineInfo {
+  std::int64_t id = 0;
+  std::int32_t production_group = 0;  // cost-center style grouping
+  double rated_power_w = 0;           // nameplate capacity
+  std::string type;                   // "press", "mill", ...
+
+  friend bool operator==(const MachineInfo&, const MachineInfo&) = default;
+};
+
+/// ERP dimension: a production order occupying one machine. Temporal
+/// relation — a row is valid while the order is scheduled, [start, due).
+struct ProductionOrder {
+  std::int64_t id = 0;
+  std::int64_t machine = 0;
+  std::int64_t quantity = 0;
+  Timestamp start = 0;
+  Timestamp due = 0;
+
+  friend bool operator==(const ProductionOrder&,
+                         const ProductionOrder&) = default;
+};
+
+/// Injected ground truth for the threshold-alerting query: `machine` draws
+/// `power_factor` times its normal power during [begin, end).
+struct OverloadEpisode {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  std::int64_t machine = 0;
+  double power_factor = 2.0;
+};
+
+struct EspbenchOptions {
+  std::uint64_t seed = 42;
+  std::int64_t num_machines = 12;
+  std::int32_t sensors_per_machine = 3;
+  Timestamp duration_ms = 60'000;
+  /// Mean gap between consecutive events (across all machines), off-burst.
+  double mean_interarrival_ms = 2.0;
+
+  // --- Power model ------------------------------------------------------
+  double base_power_w = 1000.0;
+  double power_noise_stddev = 40.0;
+  double base_temperature_c = 60.0;
+  double temperature_noise_stddev = 3.0;
+  /// Overload episodes (deterministic alerting ground truth).
+  std::vector<OverloadEpisode> overloads;
+
+  // --- Burst knob -------------------------------------------------------
+  /// When > 0, the arrival rate cycles: the first `burst_duty` fraction of
+  /// every period runs at `burst_intensity` times the base rate.
+  Timestamp burst_period_ms = 0;
+  double burst_duty = 0.2;
+  double burst_intensity = 4.0;
+
+  // --- Disorder / late-data knobs ---------------------------------------
+  /// Bound on injected delivery delay: an event's arrival is its timestamp
+  /// plus a delay in [0, disorder_slack_ms]. 0 = perfectly ordered feed.
+  /// Delivered-stream guarantee (pinned by espbench_test): a delivered
+  /// timestamp regresses from the running maximum by at most this bound,
+  /// so a `ReorderingSource` with exactly this slack drops nothing.
+  Timestamp disorder_slack_ms = 0;
+  /// Fraction of events delayed at all (the rest ship immediately).
+  double disorder_fraction = 0.25;
+  /// Fraction of events delayed *beyond* the declared slack — true late
+  /// data that a slack-bounded reorderer is expected to drop.
+  double late_fraction = 0.0;
+  /// How far beyond the slack stragglers arrive (at most).
+  Timestamp late_extra_ms = 50;
+
+  // --- ERP dimensions ---------------------------------------------------
+  std::int64_t num_orders = 30;
+};
+
+/// Deterministic machine-telemetry generator. `Next()` yields events in
+/// *arrival* order: timestamps are non-decreasing only when all disorder
+/// knobs are zero. Wrap with `algebra::ReorderingSource` (slack =
+/// `disorder_slack_ms`) to restore the start-order invariant.
+class EspbenchGenerator {
+ public:
+  explicit EspbenchGenerator(EspbenchOptions options);
+
+  /// Next event in arrival order; nullopt once the feed is drained.
+  std::optional<MachineEvent> Next();
+
+  const EspbenchOptions& options() const { return options_; }
+
+  /// Arrival-rate multiplier at event time `t` (burst cycle). Exposed for
+  /// tests.
+  double RateMultiplier(Timestamp t) const;
+
+  /// True if an overload episode covers `machine` at time `t`; fills
+  /// `factor` with its power multiplier.
+  bool OverloadActive(std::int64_t machine, Timestamp t,
+                      double* factor = nullptr) const;
+
+  /// Events injected with a delay beyond `disorder_slack_ms` so far.
+  std::uint64_t late_injected() const { return late_injected_; }
+
+ private:
+  struct Pending {
+    Timestamp arrival = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break: determinism at equal arrivals
+    MachineEvent event;
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.seq > b.seq;
+    }
+  };
+
+  MachineEvent MakeEvent(Timestamp t);
+  /// Generates logical events (in timestamp order) until the earliest
+  /// pending arrival can no longer be preempted by a future event.
+  void Pump();
+
+  EspbenchOptions options_;
+  Random rng_;
+  Timestamp clock_ = 0;
+  bool exhausted_ = false;
+  std::uint64_t seq_ = 0;
+  std::uint64_t late_injected_ = 0;
+  std::priority_queue<Pending, std::vector<Pending>, Later> pending_;
+};
+
+/// Machine master data, deterministic from `options.seed`. Rated power sits
+/// 15–50% above `base_power_w`, so normal operation stays under it and
+/// `OverloadEpisode`s (factor 2) exceed it.
+std::vector<MachineInfo> GenerateMachines(const EspbenchOptions& options);
+
+/// `options.num_orders` production orders, deterministic from
+/// `options.seed`, sorted by `start` (the relation-as-stream feed order).
+std::vector<ProductionOrder> GenerateOrders(const EspbenchOptions& options);
+
+}  // namespace pipes::workloads
+
+#endif  // PIPES_WORKLOADS_ESPBENCH_H_

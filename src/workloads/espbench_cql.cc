@@ -1,0 +1,139 @@
+#include "src/workloads/espbench_cql.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/workloads/espbench_queries.h"
+
+namespace pipes::workloads {
+
+using relational::Field;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+Schema EspbenchEventSchema() {
+  return Schema({Field{"machine", ValueType::kInt},
+                 Field{"sensor", ValueType::kInt},
+                 Field{"power", ValueType::kDouble},
+                 Field{"temp", ValueType::kDouble}});
+}
+
+Schema EspbenchMachineSchema() {
+  return Schema({Field{"id", ValueType::kInt},
+                 Field{"grp", ValueType::kInt},
+                 Field{"rated_power", ValueType::kDouble},
+                 Field{"mtype", ValueType::kString}});
+}
+
+Schema EspbenchOrderSchema() {
+  return Schema({Field{"id", ValueType::kInt},
+                 Field{"machine", ValueType::kInt},
+                 Field{"quantity", ValueType::kInt}});
+}
+
+namespace {
+
+Tuple EventTuple(const MachineEvent& e) {
+  return Tuple({Value(e.machine), Value(std::int64_t{e.sensor}),
+                Value(e.power_w), Value(e.temperature_c)});
+}
+
+}  // namespace
+
+std::vector<StreamElement<Tuple>> EspbenchEventRows(
+    const EspbenchOptions& options) {
+  const Timestamp slack = options.disorder_slack_ms;
+  EspbenchGenerator generator(options);
+  // Reorder exactly as AddReorderedEspbenchSource would: release an event
+  // once nothing earlier than its timestamp can still arrive, drop
+  // beyond-slack stragglers.
+  std::vector<StreamElement<MachineEvent>> delivered;
+  Timestamp max_seen = kMinTimestamp;
+  while (auto event = generator.Next()) {
+    const Timestamp t = event->timestamp;
+    if (max_seen > kMinTimestamp && t < max_seen - slack) continue;
+    max_seen = std::max(max_seen, t);
+    delivered.push_back(StreamElement<MachineEvent>::Point(*event, t));
+  }
+  std::stable_sort(delivered.begin(), delivered.end(),
+                   [](const StreamElement<MachineEvent>& a,
+                      const StreamElement<MachineEvent>& b) {
+                     return a.start() < b.start();
+                   });
+  std::vector<StreamElement<Tuple>> rows;
+  rows.reserve(delivered.size());
+  for (const StreamElement<MachineEvent>& e : delivered) {
+    rows.push_back(StreamElement<Tuple>(EventTuple(e.payload), e.interval));
+  }
+  return rows;
+}
+
+std::vector<StreamElement<Tuple>> EspbenchMachineRows(
+    const std::vector<MachineInfo>& machines) {
+  std::vector<StreamElement<Tuple>> rows;
+  rows.reserve(machines.size());
+  for (const MachineInfo& m : machines) {
+    rows.push_back(StreamElement<Tuple>(
+        Tuple({Value(m.id), Value(std::int64_t{m.production_group}),
+               Value(m.rated_power_w), Value(m.type)}),
+        0, kMaxTimestamp));
+  }
+  return rows;
+}
+
+std::vector<StreamElement<Tuple>> EspbenchOrderRows(
+    const std::vector<ProductionOrder>& orders) {
+  OrderValidity validity;
+  std::vector<StreamElement<Tuple>> rows;
+  rows.reserve(orders.size());
+  for (const ProductionOrder& o : orders) {
+    rows.push_back(StreamElement<Tuple>(
+        Tuple({Value(o.id), Value(o.machine), Value(o.quantity)}),
+        validity(o)));
+  }
+  return rows;
+}
+
+const std::vector<EspbenchCqlQuery>& EspbenchCqlCatalog() {
+  static const std::vector<EspbenchCqlQuery> kCatalog = {
+      {"threshold-alert",
+       "SELECT machine, power FROM events WHERE power > 1300.0"},
+      {"order-enrichment",
+       "SELECT e.machine, o.id, o.quantity FROM events AS e, orders AS o "
+       "WHERE e.machine = o.machine"},
+      {"machine-power",
+       "SELECT machine, AVG(power) AS avg_power FROM events "
+       "[RANGE 1000 MILLISECONDS SLIDE 500 MILLISECONDS] GROUP BY machine"},
+      {"over-capacity",
+       "SELECT e.machine, e.power, m.rated_power FROM events AS e, "
+       "machines AS m WHERE e.machine = m.id AND e.power > m.rated_power"},
+      {"late-data-audit",
+       "SELECT machine, COUNT(power) AS n FROM events "
+       "[RANGE 500 MILLISECONDS SLIDE 500 MILLISECONDS] GROUP BY machine"},
+  };
+  return kCatalog;
+}
+
+Status BindEspbenchStreams(engine::Engine& engine,
+                           const EspbenchOptions& options,
+                           std::size_t batch_size) {
+  auto& events = engine.graph().Add<VectorSource<Tuple>>(
+      EspbenchEventRows(options), "espbench(events)", batch_size);
+  PIPES_RETURN_IF_ERROR(
+      engine.BindStream("events", EspbenchEventSchema(), events));
+  auto& machines = engine.graph().Add<VectorSource<Tuple>>(
+      EspbenchMachineRows(GenerateMachines(options)), "espbench(machines)",
+      batch_size);
+  PIPES_RETURN_IF_ERROR(
+      engine.BindStream("machines", EspbenchMachineSchema(), machines));
+  auto& orders = engine.graph().Add<VectorSource<Tuple>>(
+      EspbenchOrderRows(GenerateOrders(options)), "espbench(orders)",
+      batch_size);
+  PIPES_RETURN_IF_ERROR(
+      engine.BindStream("orders", EspbenchOrderSchema(), orders));
+  return Status::OK();
+}
+
+}  // namespace pipes::workloads

@@ -1,0 +1,66 @@
+#ifndef PIPES_WORKLOADS_ESPBENCH_CQL_H_
+#define PIPES_WORKLOADS_ESPBENCH_CQL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/element.h"
+#include "src/engine/engine.h"
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+#include "src/workloads/espbench.h"
+
+/// \file
+/// The relational face of the ESPBench workload: tuple schemas for the
+/// telemetry stream and the ERP dimensions, row materializers, a catalog
+/// of the canonical queries as CQL text, and a one-call `Engine` binding —
+/// so the declarative front end runs the same scenario the typed fragment
+/// builders (espbench_queries.h) wire by hand.
+
+namespace pipes::workloads {
+
+/// Telemetry stream `events`: (machine:int, sensor:int, power:double,
+/// temp:double). Point rows at event time.
+relational::Schema EspbenchEventSchema();
+
+/// Dimension `machines`: (id:int, grp:int, rated_power:double,
+/// mtype:string). Rows valid on [0, kMaxTimestamp).
+relational::Schema EspbenchMachineSchema();
+
+/// Dimension `orders`: (id:int, machine:int, quantity:int). Rows valid on
+/// [start, due).
+relational::Schema EspbenchOrderSchema();
+
+/// Drains a (possibly disordered) generator through the reordering adapter
+/// and materializes the delivered telemetry as start-ordered tuple rows.
+std::vector<StreamElement<relational::Tuple>> EspbenchEventRows(
+    const EspbenchOptions& options);
+
+std::vector<StreamElement<relational::Tuple>> EspbenchMachineRows(
+    const std::vector<MachineInfo>& machines);
+
+std::vector<StreamElement<relational::Tuple>> EspbenchOrderRows(
+    const std::vector<ProductionOrder>& orders);
+
+/// One canonical query of the workload, as registrable CQL text over the
+/// streams `BindEspbenchStreams` installs.
+struct EspbenchCqlQuery {
+  std::string name;
+  std::string text;
+};
+
+/// The catalog: threshold alerting, order enrichment, windowed machine
+/// power, over-capacity enrichment, late-data audit counts. Every entry
+/// compiles against the schemas above.
+const std::vector<EspbenchCqlQuery>& EspbenchCqlCatalog();
+
+/// Adds the three feeds to `engine.graph()` and binds them as `events`,
+/// `machines`, and `orders`, ready for `Register`ing catalog queries.
+Status BindEspbenchStreams(engine::Engine& engine,
+                           const EspbenchOptions& options,
+                           std::size_t batch_size = 8);
+
+}  // namespace pipes::workloads
+
+#endif  // PIPES_WORKLOADS_ESPBENCH_CQL_H_

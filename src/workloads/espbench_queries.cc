@@ -1,0 +1,146 @@
+#include "src/workloads/espbench_queries.h"
+
+#include <memory>
+
+#include "src/common/macros.h"
+
+namespace pipes::workloads {
+
+FunctionSource<MachineEvent>& AddEspbenchSource(QueryGraph& graph,
+                                                EspbenchOptions options,
+                                                std::size_t batch_size) {
+  PIPES_CHECK_MSG(options.disorder_slack_ms == 0 && options.late_fraction == 0,
+                  "disordered feed needs AddReorderedEspbenchSource");
+  auto generator = std::make_shared<EspbenchGenerator>(std::move(options));
+  const EspbenchOptions& opts = generator->options();
+  auto& source = graph.Add<FunctionSource<MachineEvent>>(
+      [generator]() -> std::optional<StreamElement<MachineEvent>> {
+        auto event = generator->Next();
+        if (!event.has_value()) return std::nullopt;
+        const Timestamp t = event->timestamp;
+        return StreamElement<MachineEvent>::Point(std::move(*event), t);
+      },
+      "espbench", batch_size);
+  // Dataflow feed contract: interarrival gaps are clamped to >= 1 ms, and
+  // nothing past duration_ms. Bursts raise the short-term rate to
+  // burst_intensity events per gap, so declare the peak.
+  const double peak = opts.burst_period_ms > 0 ? opts.burst_intensity : 1.0;
+  source.DeclareRatePerUnit(peak / opts.mean_interarrival_ms);
+  source.DeclareTotalElements(
+      static_cast<std::uint64_t>(opts.duration_ms));
+  source.DeclareValidityExtent(1);  // point elements
+  return source;
+}
+
+algebra::ReorderingSource<MachineEvent>& AddReorderedEspbenchSource(
+    QueryGraph& graph, EspbenchOptions options) {
+  const Timestamp slack = options.disorder_slack_ms;
+  auto generator = std::make_shared<EspbenchGenerator>(std::move(options));
+  const EspbenchOptions& opts = generator->options();
+  auto& source = graph.Add<algebra::ReorderingSource<MachineEvent>>(
+      [generator]() -> std::optional<StreamElement<MachineEvent>> {
+        auto event = generator->Next();
+        if (!event.has_value()) return std::nullopt;
+        const Timestamp t = event->timestamp;
+        return StreamElement<MachineEvent>::Point(std::move(*event), t);
+      },
+      slack, "espbench-reorder");
+  // Raw-feed contract, forwarded through the reorderer: gaps clamp to
+  // >= 1 ms (at most one event per ms, none past duration_ms), point
+  // validity. Bursts raise the short-term rate up to burst_intensity.
+  const double peak = opts.burst_period_ms > 0 ? opts.burst_intensity : 1.0;
+  source.DeclareRatePerUnit(peak / opts.mean_interarrival_ms);
+  source.DeclareTotalElements(static_cast<std::uint64_t>(opts.duration_ms));
+  source.DeclareValidityExtent(1);
+  return source;
+}
+
+VectorSource<MachineInfo>& AddMachineDimensionSource(
+    QueryGraph& graph, std::vector<MachineInfo> machines,
+    std::size_t batch_size) {
+  std::vector<StreamElement<MachineInfo>> rows;
+  rows.reserve(machines.size());
+  for (MachineInfo& m : machines) {
+    rows.push_back(StreamElement<MachineInfo>(std::move(m), 0, kMaxTimestamp));
+  }
+  return graph.Add<VectorSource<MachineInfo>>(std::move(rows),
+                                             "erp-machines", batch_size);
+}
+
+VectorSource<ProductionOrder>& AddOrderDimensionSource(
+    QueryGraph& graph, const std::vector<ProductionOrder>& orders,
+    std::size_t batch_size) {
+  OrderValidity validity;
+  std::vector<StreamElement<ProductionOrder>> rows;
+  rows.reserve(orders.size());
+  for (const ProductionOrder& o : orders) {
+    rows.push_back(StreamElement<ProductionOrder>(o, validity(o)));
+  }
+  return graph.Add<VectorSource<ProductionOrder>>(std::move(rows),
+                                                 "erp-orders", batch_size);
+}
+
+PowerThresholdAlert& BuildPowerThresholdAlertQuery(
+    QueryGraph& graph, Source<MachineEvent>& events, double threshold_w,
+    Timestamp min_duration, Timestamp avg_window, Timestamp avg_slide) {
+  MachinePowerAverage& averages =
+      BuildMachinePowerQuery(graph, events, avg_window, avg_slide);
+  auto& detector = graph.Add<PowerThresholdAlert>(
+      MachineAvgKey{}, AvgPowerAbove{threshold_w}, min_duration,
+      "overload-alert");
+  averages.AddSubscriber(detector.input());
+  return detector;
+}
+
+Source<EventWithOrder>& BuildOrderEnrichmentJoin(
+    QueryGraph& graph, Source<MachineEvent>& events,
+    Source<ProductionOrder>& orders) {
+  auto join = algebra::MakeHashJoin<MachineEvent, ProductionOrder>(
+      MachineOf{}, OrderMachineOf{}, CombineEventOrder{}, "events-x-orders");
+  auto& node = graph.Add(std::move(join));
+  events.AddSubscriber(node.left());
+  orders.AddSubscriber(node.right());
+  return node;
+}
+
+MachinePowerAverage& BuildMachinePowerQuery(QueryGraph& graph,
+                                            Source<MachineEvent>& events,
+                                            Timestamp range,
+                                            Timestamp slide) {
+  auto& window = graph.Add<algebra::SlideWindow<MachineEvent>>(
+      range, slide, "power-window");
+  auto& average = graph.Add<MachinePowerAverage>(MachineOf{}, PowerOf{},
+                                                 "machine-power");
+  events.AddSubscriber(window.input());
+  window.AddSubscriber(average.input());
+  return average;
+}
+
+Source<EventWithMachine>& BuildOverCapacityQuery(
+    QueryGraph& graph, Source<MachineEvent>& events,
+    Source<MachineInfo>& machines) {
+  auto join = algebra::MakeHashJoin<MachineEvent, MachineInfo>(
+      MachineOf{}, MachineInfoId{}, CombineEventMachine{},
+      "events-x-machines");
+  auto& node = graph.Add(std::move(join));
+  events.AddSubscriber(node.left());
+  machines.AddSubscriber(node.right());
+  auto& over = graph.Add<algebra::Filter<EventWithMachine, OverRatedPower>>(
+      OverRatedPower{}, "over-capacity");
+  node.AddSubscriber(over.input());
+  return over;
+}
+
+MachineEventCount& BuildLateDataAuditQuery(QueryGraph& graph,
+                                           Source<MachineEvent>& events,
+                                           Timestamp period) {
+  auto& window = graph.Add<algebra::SlideWindow<MachineEvent>>(
+      period, period, "audit-window");
+  auto& counts = graph.Add<MachineEventCount>(MachineOf{}, PowerOf{},
+                                              "late-data-audit");
+  events.AddSubscriber(window.input());
+  window.AddSubscriber(counts.input());
+  return counts;
+}
+
+}  // namespace pipes::workloads

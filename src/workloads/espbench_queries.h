@@ -1,0 +1,197 @@
+#ifndef PIPES_WORKLOADS_ESPBENCH_QUERIES_H_
+#define PIPES_WORKLOADS_ESPBENCH_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/aggregate.h"
+#include "src/algebra/filter.h"
+#include "src/algebra/join.h"
+#include "src/algebra/reorder.h"
+#include "src/algebra/window.h"
+#include "src/core/generator_source.h"
+#include "src/core/graph.h"
+#include "src/workloads/espbench.h"
+#include "src/workloads/traffic_queries.h"  // SustainedConditionDetector
+
+/// \file
+/// The ESPBench query library: typed plan fragments for the enterprise
+/// scenario's continuous queries —
+///
+///  * sustained power-threshold alerting (ESPBench "machine power" flavour),
+///  * stream <-> ERP enrichment joins (orders, machine master data),
+///  * windowed per-machine power aggregation,
+///  * a late-data-sensitive tumbling audit count over the reordered feed.
+///
+/// The raw feed may be disordered (see `EspbenchOptions`), so the canonical
+/// entry point is `AddReorderedEspbenchSource`, which restores the
+/// start-order invariant with a slack equal to the generator's declared
+/// disorder bound.
+
+namespace pipes::workloads {
+
+/// Wraps an `EspbenchGenerator` into an active source of point elements.
+/// Only valid for a perfectly ordered feed: requires all disorder knobs to
+/// be zero (checked), since downstream operators assume start order.
+FunctionSource<MachineEvent>& AddEspbenchSource(QueryGraph& graph,
+                                                EspbenchOptions options,
+                                                std::size_t batch_size = 1);
+
+/// Wraps a (possibly disordered) `EspbenchGenerator` in a
+/// `ReorderingSource` with slack = `options.disorder_slack_ms`: emits in
+/// start order, drops beyond-slack stragglers (counted on the node).
+algebra::ReorderingSource<MachineEvent>& AddReorderedEspbenchSource(
+    QueryGraph& graph, EspbenchOptions options);
+
+// --- ERP dimension feeds -------------------------------------------------------
+// Dimensions enter the graph through the relation-as-stream path: each row
+// is one element whose validity is the row's temporal scope.
+
+/// Machine master data as a stream of rows valid on [0, kMaxTimestamp).
+VectorSource<MachineInfo>& AddMachineDimensionSource(
+    QueryGraph& graph, std::vector<MachineInfo> machines,
+    std::size_t batch_size = 1);
+
+/// Production orders as a stream of rows valid on [start, due). `orders`
+/// must be sorted by `start` (as `GenerateOrders` returns them).
+VectorSource<ProductionOrder>& AddOrderDimensionSource(
+    QueryGraph& graph, const std::vector<ProductionOrder>& orders,
+    std::size_t batch_size = 1);
+
+// --- Named functors ------------------------------------------------------------
+
+struct MachineOf {
+  std::int64_t operator()(const MachineEvent& e) const { return e.machine; }
+};
+struct PowerOf {
+  double operator()(const MachineEvent& e) const { return e.power_w; }
+};
+struct PowerAbove {
+  double threshold_w;
+  bool operator()(const MachineEvent& e) const {
+    return e.power_w > threshold_w;
+  }
+};
+struct MachineInfoId {
+  std::int64_t operator()(const MachineInfo& m) const { return m.id; }
+};
+struct OrderMachineOf {
+  std::int64_t operator()(const ProductionOrder& o) const {
+    return o.machine;
+  }
+};
+/// Validity of an order row: scheduled span, never empty.
+struct OrderValidity {
+  TimeInterval operator()(const ProductionOrder& o) const {
+    return TimeInterval(o.start, std::max(o.due, o.start + 1));
+  }
+};
+
+// --- Q1: sustained power-threshold alerting ------------------------------------
+
+/// Predicate/key on the (machine, avg power) pairs of MachinePowerAverage.
+struct AvgPowerAbove {
+  double threshold_w;
+  bool operator()(const std::pair<std::int64_t, double>& p) const {
+    return p.second > threshold_w;
+  }
+};
+struct MachineAvgKey {
+  std::int64_t operator()(const std::pair<std::int64_t, double>& p) const {
+    return p.first;
+  }
+};
+
+/// Alarm when a machine's windowed average power stays above `threshold_w`
+/// contiguously for at least `min_duration` (one alarm per overload
+/// episode). Built on the windowed average — raw telemetry points are
+/// sparse per machine, so sustained detection needs the window's validity
+/// to bridge the gaps (same shape as the traffic congestion query).
+using PowerThresholdAlert =
+    SustainedConditionDetector<std::pair<std::int64_t, double>,
+                               MachineAvgKey, AvgPowerAbove>;
+PowerThresholdAlert& BuildPowerThresholdAlertQuery(
+    QueryGraph& graph, Source<MachineEvent>& events, double threshold_w,
+    Timestamp min_duration, Timestamp avg_window = 1'000,
+    Timestamp avg_slide = 500);
+
+// --- Q2: stream <-> orders enrichment join -------------------------------------
+
+/// A telemetry event attributed to the production order occupying its
+/// machine at event time.
+struct EventWithOrder {
+  MachineEvent event;
+  ProductionOrder order;
+
+  friend bool operator==(const EventWithOrder&,
+                         const EventWithOrder&) = default;
+};
+struct CombineEventOrder {
+  EventWithOrder operator()(const MachineEvent& e,
+                            const ProductionOrder& o) const {
+    return EventWithOrder{e, o};
+  }
+};
+
+/// Temporal equi-join on machine id: a (point) event matches an order iff
+/// the order is scheduled at event time — the interval semantics replace an
+/// explicit "is the order active?" predicate.
+Source<EventWithOrder>& BuildOrderEnrichmentJoin(
+    QueryGraph& graph, Source<MachineEvent>& events,
+    Source<ProductionOrder>& orders);
+
+// --- Q3: windowed per-machine power aggregation --------------------------------
+
+/// (machine, average power) per slide-aligned window of `range`.
+using MachinePowerAverage =
+    algebra::GroupedAggregate<MachineEvent, algebra::AvgAgg<double>,
+                              MachineOf, PowerOf>;
+MachinePowerAverage& BuildMachinePowerQuery(QueryGraph& graph,
+                                            Source<MachineEvent>& events,
+                                            Timestamp range, Timestamp slide);
+
+// --- Q4: over-capacity enrichment against machine master data ------------------
+
+struct EventWithMachine {
+  MachineEvent event;
+  MachineInfo machine;
+
+  friend bool operator==(const EventWithMachine&,
+                         const EventWithMachine&) = default;
+};
+struct CombineEventMachine {
+  EventWithMachine operator()(const MachineEvent& e,
+                              const MachineInfo& m) const {
+    return EventWithMachine{e, m};
+  }
+};
+struct OverRatedPower {
+  bool operator()(const EventWithMachine& em) const {
+    return em.event.power_w > em.machine.rated_power_w;
+  }
+};
+
+/// Events exceeding their machine's nameplate capacity: enrichment join
+/// with the machine dimension, then a filter on the joined row.
+Source<EventWithMachine>& BuildOverCapacityQuery(
+    QueryGraph& graph, Source<MachineEvent>& events,
+    Source<MachineInfo>& machines);
+
+// --- Q5: late-data-sensitive tumbling audit count ------------------------------
+
+/// (machine, event count) per tumbling `period`. Counts shift between
+/// adjacent buckets when delivery is disordered, so this query is the
+/// late-data-sensitive variant: its results over the reordered feed differ
+/// from the ordered feed's exactly by the beyond-slack drops.
+using MachineEventCount =
+    algebra::GroupedAggregate<MachineEvent, algebra::CountAgg<double>,
+                              MachineOf, PowerOf>;
+MachineEventCount& BuildLateDataAuditQuery(QueryGraph& graph,
+                                           Source<MachineEvent>& events,
+                                           Timestamp period);
+
+}  // namespace pipes::workloads
+
+#endif  // PIPES_WORKLOADS_ESPBENCH_QUERIES_H_

@@ -111,6 +111,72 @@ TEST(Parser, ReportsErrors) {
   EXPECT_FALSE(Parse("SELECT * FROM bids extra tokens !").ok());
 }
 
+TEST(Parser, ParsesDerivedTableSubquery) {
+  auto result = Parse(
+      "SELECT s.auction FROM (SELECT auction, price FROM bids "
+      "[RANGE 1 MINUTES] WHERE price > 10) AS s WHERE s.auction > 0");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->from.size(), 1u);
+  ASSERT_NE(result->from[0].subquery, nullptr);
+  EXPECT_EQ(result->from[0].alias, "s");
+  const QueryAst& sub = *result->from[0].subquery;
+  ASSERT_EQ(sub.from.size(), 1u);
+  EXPECT_EQ(sub.from[0].stream, "bids");
+  EXPECT_EQ(sub.from[0].window.kind, WindowKind::kRange);
+  ASSERT_NE(sub.where, nullptr);
+  // The outer WHERE stays with the outer query.
+  ASSERT_NE(result->where, nullptr);
+  EXPECT_EQ(result->where->ToString(), "(s.auction > 0)");
+}
+
+TEST(Parser, SubqueryJoinConditionsStayInsideTheSubquery) {
+  auto result = Parse(
+      "SELECT * FROM (SELECT b.auction FROM bids b JOIN persons p "
+      "ON b.bidder = p.id) s JOIN bids o ON s.auction = o.auction");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->from.size(), 2u);
+  const QueryAst& sub = *result->from[0].subquery;
+  // Inner ON desugared into the inner WHERE; outer ON into the outer WHERE.
+  ASSERT_NE(sub.where, nullptr);
+  EXPECT_EQ(sub.where->ToString(), "(b.bidder = p.id)");
+  ASSERT_NE(result->where, nullptr);
+  EXPECT_EQ(result->where->ToString(), "(s.auction = o.auction)");
+}
+
+TEST(Parser, DerivedTableErrors) {
+  // Alias is mandatory.
+  EXPECT_FALSE(Parse("SELECT * FROM (SELECT * FROM bids)").ok());
+  // Windows may not attach to the derived table itself.
+  EXPECT_FALSE(
+      Parse("SELECT * FROM (SELECT * FROM bids) [RANGE 1 MINUTES] s").ok());
+  // The subquery must close its parenthesis.
+  EXPECT_FALSE(Parse("SELECT * FROM (SELECT * FROM bids s").ok());
+}
+
+TEST(Analyzer, DerivedTableReQualifiesColumns) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile(
+      "SELECT s.top FROM (SELECT auction, MAX(price) AS top FROM bids "
+      "[RANGE 1 MINUTES] GROUP BY auction) AS s WHERE s.top > 10",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->schema.arity(), 1u);
+  EXPECT_EQ(plan->schema.field(0).name, "s.top");
+  EXPECT_EQ(plan->schema.field(0).type, ValueType::kDouble);
+}
+
+TEST(Analyzer, DerivedTableJoinsWithStream) {
+  Catalog catalog = MakeCatalog();
+  auto plan = Compile(
+      "SELECT s.auction, o.price FROM (SELECT DISTINCT auction FROM bids) s "
+      "JOIN bids o ON s.auction = o.auction",
+      catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->schema.arity(), 2u);
+  EXPECT_EQ(plan->schema.field(0).name, "s.auction");
+  EXPECT_EQ(plan->schema.field(1).name, "o.price");
+}
+
 TEST(Analyzer, SelectStarIsScanOnly) {
   Catalog catalog = MakeCatalog();
   auto plan = Compile("SELECT * FROM bids", catalog);

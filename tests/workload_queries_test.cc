@@ -2,9 +2,13 @@
 // (including the sustained-condition incident detector) and the NEXMark
 // query fragments.
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -339,6 +343,133 @@ TEST(NexmarkQueries, BidSelectionKeepsOnlyMatchingAuctions) {
       });
   selected.AddSubscriber(sink.input());
   Drain(graph);
+}
+
+// --- Output-shape contract for every registered query ----------------------
+//
+// Each workload query must (a) produce output at all on a default-ish feed
+// and (b) keep the start-order invariant — its output watermark is
+// monotone. A shape regression (wrong operator wiring, a stage dropping
+// everything, disordered emission) fails loudly here.
+
+/// Subscribes to `out`, records element starts, and asserts monotone
+/// starts and non-emptiness after the drain.
+template <typename T>
+class ShapeProbe {
+ public:
+  ShapeProbe(QueryGraph& graph, Source<T>& out, std::string label)
+      : label_(std::move(label)) {
+    auto& sink = graph.Add<CallbackSink<T>>(
+        [this](const StreamElement<T>& e) { starts_.push_back(e.start()); });
+    out.AddSubscriber(sink.input());
+  }
+
+  void Check(bool expect_output = true) const {
+    if (expect_output) {
+      EXPECT_FALSE(starts_.empty()) << label_ << ": no output";
+    }
+    EXPECT_TRUE(std::is_sorted(starts_.begin(), starts_.end()))
+        << label_ << ": output watermark regressed";
+  }
+
+ private:
+  std::string label_;
+  std::vector<Timestamp> starts_;
+};
+
+TEST(WorkloadShapes, EveryTrafficQueryEmitsMonotoneOutput) {
+  // Column counts are part of the compiled shape: pin them so a silent
+  // output-type change is a conscious one.
+  static_assert(std::tuple_size_v<HovAverageSpeed::Output> == 2);
+  static_assert(std::tuple_size_v<SegmentAverageSpeed::Output> == 2);
+
+  TrafficOptions options;
+  options.num_detectors = 6;
+  options.num_lanes = 3;
+  options.duration_ms = 3600'000;
+  options.base_rate_per_s = 0.1;
+  TrafficIncident incident;
+  incident.begin = 600'000;
+  incident.end = 1'800'000;
+  incident.detector = 4;
+  incident.speed_factor = 0.2;
+  options.incidents = {incident};
+
+  QueryGraph graph;
+  auto& readings = AddTrafficSource(graph, options);
+  ShapeProbe<TrafficReading> source_probe(graph, readings, "traffic-source");
+  ShapeProbe<std::pair<std::int32_t, double>> hov_probe(
+      graph, BuildHovAverageSpeedQuery(graph, readings, 600'000, 300'000),
+      "hov-average");
+  ShapeProbe<std::pair<std::int32_t, double>> segment_probe(
+      graph,
+      BuildSegmentAverageSpeedQuery(graph, readings, /*direction=*/0,
+                                    300'000, 60'000),
+      "segment-average");
+  ShapeProbe<Sustained<std::int32_t>> congestion_probe(
+      graph,
+      BuildCongestionQuery(graph, readings, /*direction=*/0, 300'000,
+                           60'000, /*speed_threshold=*/40.0,
+                           /*min_duration=*/600'000),
+      "congestion");
+  Drain(graph);
+
+  source_probe.Check();
+  hov_probe.Check();
+  segment_probe.Check();
+  congestion_probe.Check();
+}
+
+TEST(WorkloadShapes, EveryNexmarkQueryEmitsMonotoneOutput) {
+  static_assert(std::tuple_size_v<BidsPerAuction::Output> == 2);
+
+  QueryGraph graph;
+  auto& events = MakeNexmarkSource(graph, 5000);
+  ShapeProbe<NexmarkEvent> source_probe(graph, events, "nexmark-source");
+  auto& bids = BuildBidStream(graph, events);
+  ShapeProbe<Bid> bid_probe(graph, bids, "bid-stream");
+  ShapeProbe<Auction> auction_probe(graph, BuildAuctionStream(graph, events),
+                                    "auction-stream");
+  ShapeProbe<Person> person_probe(graph, BuildPersonStream(graph, events),
+                                  "person-stream");
+  ShapeProbe<Bid> currency_probe(
+      graph, BuildCurrencyConversion(graph, bids, 0.9), "currency");
+  ShapeProbe<Bid> selection_probe(graph, BuildBidSelection(graph, bids, 2),
+                                  "bid-selection");
+  ShapeProbe<double> highest_probe(
+      graph, BuildHighestBidQuery(graph, bids, 10'000), "highest-bid");
+  ShapeProbe<std::pair<std::int64_t, std::uint64_t>> counts_probe(
+      graph, BuildBidsPerAuctionQuery(graph, bids, 20'000, 20'000),
+      "bids-per-auction");
+  // The open-auction join needs [open, expires) validity on its build
+  // side; replay the same generator's auctions with that validity.
+  NexmarkOptions gen_options;
+  gen_options.num_events = 5000;
+  NexmarkGenerator generator(gen_options);
+  AuctionValidity validity;
+  std::vector<StreamElement<Auction>> open_auctions;
+  while (auto e = generator.Next()) {
+    if (e->kind == NexmarkKind::kAuction) {
+      open_auctions.push_back(
+          StreamElement<Auction>(e->auction, validity(e->auction)));
+    }
+  }
+  auto& auction_source = graph.Add<VectorSource<Auction>>(
+      std::move(open_auctions), "open-auctions");
+  ShapeProbe<BidWithAuction> join_probe(
+      graph, BuildOpenAuctionJoin(graph, bids, auction_source),
+      "open-auction-join");
+  Drain(graph);
+
+  source_probe.Check();
+  bid_probe.Check();
+  auction_probe.Check();
+  person_probe.Check();
+  currency_probe.Check();
+  selection_probe.Check();
+  highest_probe.Check();
+  counts_probe.Check();
+  join_probe.Check();
 }
 
 }  // namespace
